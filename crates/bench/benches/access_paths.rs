@@ -1,0 +1,41 @@
+//! Wall-clock benchmark of the four access paths across selectivities
+//! (the Criterion companion to the fig5 virtual-time experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::SmoothScanConfig;
+use smooth_planner::{AccessPathChoice, Database};
+use smooth_storage::StorageConfig;
+use smooth_workload::micro;
+
+fn db() -> Database {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, 20_000, 1).expect("install");
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let db = db();
+    let mut group = c.benchmark_group("access_paths");
+    group.sample_size(10);
+    for sel in [0.001f64, 0.05, 0.5] {
+        for (name, access) in [
+            ("full", AccessPathChoice::ForceFull),
+            ("index", AccessPathChoice::ForceIndex),
+            ("sort", AccessPathChoice::ForceSort),
+            ("smooth", AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("sel_{sel}")),
+                &sel,
+                |b, &sel| {
+                    let plan = micro::query(sel, false, access.clone());
+                    b.iter(|| db.run(&plan).expect("query").rows.len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

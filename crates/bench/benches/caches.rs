@@ -1,0 +1,52 @@
+//! Auxiliary-structure benchmarks: Result-Cache partition counts for the
+//! ordered Smooth Scan, and raw bitmap-cache operation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::{PageIdCache, SmoothScanConfig, TupleIdCache};
+use smooth_planner::{AccessPathChoice, Database};
+use smooth_storage::StorageConfig;
+use smooth_types::{PageId, Tid};
+use smooth_workload::micro;
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, 20_000, 4).expect("install");
+    let mut group = c.benchmark_group("result_cache_partitions");
+    group.sample_size(10);
+    for parts in [1usize, 4, 16, 64] {
+        let mut config = SmoothScanConfig::eager_elastic().with_order(true);
+        config.result_cache_partitions = parts;
+        group.bench_with_input(BenchmarkId::new("ordered_sel_5pct", parts), &config, |b, config| {
+            let plan = micro::query(0.05, true, AccessPathChoice::Smooth(*config));
+            b.iter(|| db.run(&plan).expect("query").rows.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitmaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_caches");
+    group.bench_function("page_id_cache_insert_contains", |b| {
+        let mut cache = PageIdCache::new(1_000_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 1_000_000;
+            cache.insert(PageId(i));
+            cache.contains(PageId(i))
+        });
+    });
+    group.bench_function("tuple_id_cache_insert_contains", |b| {
+        let mut cache = TupleIdCache::new(10_000, 128);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            let tid = Tid::new(i, (i % 128) as u16);
+            cache.insert(tid);
+            cache.contains(tid)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitions, bench_bitmaps);
+criterion_main!(benches);

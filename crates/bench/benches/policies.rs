@@ -1,0 +1,42 @@
+//! Policy ablation: Greedy vs Selectivity-Increase vs Elastic at the two
+//! regimes where they differ (sparse uniform, skewed head).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::{PolicyKind, SmoothScanConfig};
+use smooth_planner::{AccessPathChoice, Database};
+use smooth_storage::StorageConfig;
+use smooth_workload::{micro, skew};
+
+fn bench(c: &mut Criterion) {
+    let mut uniform = Database::new(StorageConfig::default());
+    micro::install(&mut uniform, 20_000, 2).expect("install");
+    let mut skewed = Database::new(StorageConfig::default());
+    skew::install(&mut skewed, 20_000, 2).expect("install");
+
+    let mut group = c.benchmark_group("policies");
+    group.sample_size(10);
+    for policy in [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic] {
+        let access =
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().with_policy(policy));
+        group.bench_with_input(
+            BenchmarkId::new("uniform_low_sel", format!("{policy:?}")),
+            &access,
+            |b, access| {
+                let plan = micro::query(0.001, false, access.clone());
+                b.iter(|| uniform.run(&plan).expect("query").rows.len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("skewed_head", format!("{policy:?}")),
+            &access,
+            |b, access| {
+                let plan = skew::query(access.clone());
+                b.iter(|| skewed.run(&plan).expect("query").rows.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation of the maximum morphing-region size (the paper settles on
+//! 2 K pages = 16 MB after a sensitivity analysis, Section VI-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::SmoothScanConfig;
+use smooth_planner::{AccessPathChoice, Database};
+use smooth_storage::StorageConfig;
+use smooth_workload::micro;
+
+fn bench(c: &mut Criterion) {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, 20_000, 3).expect("install");
+    let mut group = c.benchmark_group("region_cap");
+    group.sample_size(10);
+    for cap in [1u32, 8, 128, 2048] {
+        let mut config = SmoothScanConfig::eager_elastic();
+        config.max_region_pages = cap;
+        group.bench_with_input(BenchmarkId::new("sel_50pct", cap), &config, |b, config| {
+            let plan = micro::query(0.5, false, AccessPathChoice::Smooth(*config));
+            b.iter(|| db.run(&plan).expect("query").rows.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

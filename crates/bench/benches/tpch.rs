@@ -1,0 +1,30 @@
+//! Wall-clock benchmark of the Fig. 4 TPC-H queries: PostgreSQL's plan vs
+//! the Smooth Scan plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::SmoothScanConfig;
+use smooth_planner::{AccessPathChoice, Database};
+use smooth_storage::StorageConfig;
+use smooth_workload::tpch::{self, queries::Fig4Query, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut db = Database::new(StorageConfig::default());
+    tpch::install(&mut db, Scale { sf: 0.005, seed: 2015 }).expect("install");
+    tpch::gen::create_tuning_indexes(&mut db).expect("indexes");
+    let mut group = c.benchmark_group("tpch_fig4");
+    group.sample_size(10);
+    for q in [Fig4Query::Q1, Fig4Query::Q6, Fig4Query::Q14] {
+        group.bench_with_input(BenchmarkId::new("psql", q.label()), &q, |b, q| {
+            let plan = q.plan(q.psql_access());
+            b.iter(|| db.run(&plan).expect("query").rows.len());
+        });
+        group.bench_with_input(BenchmarkId::new("smooth", q.label()), &q, |b, q| {
+            let plan = q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()));
+            b.iter(|| db.run(&plan).expect("query").rows.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

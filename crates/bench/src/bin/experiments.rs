@@ -1,0 +1,39 @@
+//! Experiment driver: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>...     run the listed experiments
+//! experiments all         run everything (DESIGN.md §3 order)
+//! experiments --list      show known ids
+//! ```
+
+use smooth_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <id>... | all | --list");
+        eprintln!("known ids: {}", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let started = std::time::Instant::now();
+    for id in ids {
+        let t = std::time::Instant::now();
+        if !experiments::run(id) {
+            eprintln!("unknown experiment id '{id}' (try --list)");
+            std::process::exit(2);
+        }
+        eprintln!("  [{id} took {:.1}s wall]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[all done in {:.1}s wall]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,87 @@
+//! Table I + cost-model validation (Section V; accuracy corroborated in
+//! the technical report).
+//!
+//! First prints Table I's parameters instantiated for the micro table,
+//! then compares the model-predicted I/O cost of each access path against
+//! the *measured* virtual I/O time across the selectivity sweep.
+
+use smooth_core::{CostModel, SmoothScanConfig, TableGeometry};
+use smooth_planner::AccessPathChoice;
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Print Table I and run the validation sweep.
+pub fn run() {
+    let db = setup::micro_db(DeviceProfile::hdd());
+    let heap = &db.table(micro::TABLE).expect("micro").heap;
+    let geometry = TableGeometry::new(
+        heap.schema().estimated_tuple_width(16) as u64,
+        heap.tuple_count(),
+    );
+    let model = CostModel::new(geometry, DeviceProfile::hdd());
+
+    let mut t1 = Report::new(
+        "table1",
+        "cost model parameters (micro table instance)",
+        &["parameter", "value", "equation"],
+    );
+    let g = &model.geometry;
+    for (name, value, eq) in [
+        ("TS (tuple size B)", g.tuple_size.to_string(), "-"),
+        ("#T (tuples)", g.tuples.to_string(), "-"),
+        ("PS (page size B)", g.page_size.to_string(), "-"),
+        ("#TP (tuples/page)", g.tuples_per_page().to_string(), "Eq.3"),
+        ("#P (pages)", g.pages().to_string(), "Eq.4"),
+        ("fanout", g.fanout().to_string(), "Eq.5"),
+        ("#leaves", g.leaves().to_string(), "Eq.6"),
+        ("height", g.height().to_string(), "Eq.7"),
+        ("randcost (ns/page)", model.device.rand_page_ns.to_string(), "-"),
+        ("seqcost (ns/page)", model.device.seq_page_ns.to_string(), "-"),
+    ] {
+        t1.row(vec![name.to_string(), value, eq.to_string()]);
+    }
+    t1.finish();
+
+    let mut v = Report::new(
+        "costmodel",
+        "predicted vs measured I/O time (virtual s)",
+        &[
+            "sel_%",
+            "fs_model",
+            "fs_measured",
+            "is_model",
+            "is_measured",
+            "ss_model",
+            "ss_measured",
+            "ss_err_%",
+        ],
+    );
+    for sel in micro::selectivity_grid() {
+        let card = model.geometry.cardinality(sel);
+        let fs_meas = measure(&db, sel, AccessPathChoice::ForceFull);
+        let is_meas = measure(&db, sel, AccessPathChoice::ForceIndex);
+        let ss_meas =
+            measure(&db, sel, AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()));
+        let ss_model = model.ss_cost_ns(card) / 1e9;
+        let err = if ss_meas > 0.0 { (ss_model / ss_meas - 1.0) * 100.0 } else { 0.0 };
+        v.row(vec![
+            format!("{}", sel * 100.0),
+            Report::secs(model.fs_cost_ns() / 1e9),
+            Report::secs(fs_meas),
+            Report::secs(model.is_cost_ns(card) / 1e9),
+            Report::secs(is_meas),
+            Report::secs(ss_model),
+            Report::secs(ss_meas),
+            format!("{err:+.0}"),
+        ]);
+    }
+    v.finish();
+}
+
+fn measure(db: &smooth_planner::Database, sel: f64, access: AccessPathChoice) -> f64 {
+    let stats = db.run(&micro::query(sel, false, access)).expect("costmodel run").stats;
+    stats.clock.io_ns as f64 / 1e9
+}

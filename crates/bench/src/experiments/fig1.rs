@@ -1,0 +1,58 @@
+//! Fig. 1: non-robust performance due to optimization errors.
+//!
+//! Runs 19 TPC-H queries twice: *original* (PK indexes only → scans and
+//! hash joins) and *tuned* (advisor indexes installed, per-query
+//! statistics damage modeling the correlation-blind estimates the paper
+//! attributes to DBMS-X). Reports normalized execution time
+//! (tuned / original), the quantity on Fig. 1's log-scale y-axis.
+//!
+//! Expected shape: most queries near or below 1 (tuning helps or is
+//! neutral), moderate regressions on Q3/Q18/Q21, severe on Q19, and a
+//! catastrophic factor (paper: ×400; the magnitude scales with the
+//! LINEITEM:pool ratio) on Q12, where the only plan change is the access
+//! path / join lookup strategy.
+
+use smooth_stats::StatsQuality;
+use smooth_storage::DeviceProfile;
+use smooth_workload::tpch::fig1_queries;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run the tuned-vs-original workload comparison.
+pub fn run() {
+    let (original, mut tuned) = setup::tpch_pair(DeviceProfile::hdd());
+    let mut report = Report::new(
+        "fig1",
+        "tuned vs original TPC-H (normalized exec time, log-scale in the paper)",
+        &["query", "original_s", "tuned_s", "normalized"],
+    );
+    let mut workload_original = 0.0f64;
+    let mut workload_tuned = 0.0f64;
+    for q in fig1_queries() {
+        let plan = (q.build)();
+        let base = original.run(&plan).expect("original run").stats;
+        for (table, quality) in q.tuned_damage {
+            tuned.set_stats_quality(table, *quality).expect("damage");
+        }
+        let after = tuned.run(&plan).expect("tuned run").stats;
+        for (table, _) in q.tuned_damage {
+            tuned.set_stats_quality(table, StatsQuality::Accurate).expect("reset");
+        }
+        workload_original += base.secs();
+        workload_tuned += after.secs();
+        report.row(vec![
+            q.name.to_string(),
+            Report::secs(base.secs()),
+            Report::secs(after.secs()),
+            Report::factor(after.secs() / base.secs().max(1e-9)),
+        ]);
+    }
+    report.finish();
+    println!(
+        "  [workload total: original {:.1}s, tuned {:.1}s → overall degradation factor {:.1}]",
+        workload_original,
+        workload_tuned,
+        workload_tuned / workload_original.max(1e-9)
+    );
+}

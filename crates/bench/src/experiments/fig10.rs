@@ -1,0 +1,39 @@
+//! Fig. 10: the Fig. 5 sweep on SSD (rand:seq = 2:1).
+//!
+//! Expected shape: the narrower random/sequential gap makes index-based
+//! paths viable deeper into the selectivity range — Index Scan stays
+//! competitive until ~0.1% (vs 0.01% on HDD), Smooth Scan beats Sort Scan
+//! above ~0.1% and ends within ~10% of Full Scan at 100%.
+
+use smooth_core::SmoothScanConfig;
+use smooth_planner::AccessPathChoice;
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run the SSD sweep (without ORDER BY, as in the paper's Fig. 10).
+pub fn run() {
+    let db = setup::micro_db(DeviceProfile::ssd());
+    let mut report = Report::new(
+        "fig10",
+        "selectivity sweep on SSD (exec time, virtual s)",
+        &["sel_%", "full_scan", "index_scan", "sort_scan", "smooth_scan"],
+    );
+    for sel in micro::selectivity_grid() {
+        let mut cells = vec![format!("{}", sel * 100.0)];
+        for access in [
+            AccessPathChoice::ForceFull,
+            AccessPathChoice::ForceIndex,
+            AccessPathChoice::ForceSort,
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        ] {
+            let plan = micro::query(sel, false, access);
+            let stats = db.run(&plan).expect("fig10 query").stats;
+            cells.push(Report::secs(stats.secs()));
+        }
+        report.row(cells);
+    }
+    report.finish();
+}

@@ -1,0 +1,48 @@
+//! Fig. 11: the Switch Scan performance cliff.
+//!
+//! Switch Scan runs a plain index scan until the optimizer's 32 K-tuple
+//! estimate is violated, then restarts as a full scan. Expected shape: a
+//! vertical cliff right past the estimate's selectivity (the time jumps by
+//! a whole full-scan), then flat full-scan behaviour — versus Smooth
+//! Scan's smooth curve through the same region.
+
+use smooth_core::SmoothScanConfig;
+use smooth_planner::AccessPathChoice;
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run the cliff study.
+pub fn run() {
+    let db = setup::micro_db(DeviceProfile::hdd());
+    let rows = setup::micro_rows();
+    // The optimizer's estimate: 0.008% selectivity (the paper's 32 K of
+    // 400 M tuples); the cliff appears at the next grid point, 0.009%.
+    let estimate = (rows as f64 * 0.00008) as u64;
+    println!("  [switch scan estimate = {estimate} tuples]");
+    let mut report = Report::new(
+        "fig11",
+        "switch scan cliff (exec time, virtual s)",
+        &["sel_%", "full_scan", "switch_scan", "smooth_scan"],
+    );
+    let grid = [
+        0.00001, 0.00005, 0.00007, 0.00008, 0.00009, 0.0001, 0.0005, 0.001, 0.01, 0.10,
+        0.50, 1.0,
+    ];
+    for sel in grid {
+        let mut cells = vec![format!("{}", sel * 100.0)];
+        for access in [
+            AccessPathChoice::ForceFull,
+            AccessPathChoice::Switch { estimate },
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        ] {
+            let plan = micro::query(sel, false, access);
+            let stats = db.run(&plan).expect("fig11 query").stats;
+            cells.push(Report::secs(stats.secs()));
+        }
+        report.row(cells);
+    }
+    report.finish();
+}

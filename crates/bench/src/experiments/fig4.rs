@@ -1,0 +1,70 @@
+//! Fig. 4 + Table II: improving TPC-H with Smooth Scan.
+//!
+//! For each of Q1 (98%), Q4 (65%), Q6 (2%), Q7 (30%) and Q14 (1%): run the
+//! plan PostgreSQL 9.2.1 chose (Section VI-B) and the same plan with
+//! Smooth Scan as the LINEITEM access path, reporting execution time split
+//! into CPU utilization and I/O wait (Fig. 4) plus the number of I/O
+//! requests and data read (Table II).
+//!
+//! Expected shape: large wins where PostgreSQL picked an index scan at
+//! non-trivial selectivity (Q6 ~10×, Q7 ~7×, Q14 ~8×), near-parity with a
+//! small Smooth overhead where the choice was already optimal (Q1 +14%,
+//! Q4 < +1% in the paper).
+
+use smooth_core::SmoothScanConfig;
+use smooth_planner::AccessPathChoice;
+use smooth_storage::DeviceProfile;
+use smooth_workload::tpch::queries::Fig4Query;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run the five queries under both disciplines.
+pub fn run() {
+    let db = setup::tpch_tuned(DeviceProfile::hdd());
+    let mut fig = Report::new(
+        "fig4",
+        "TPC-H with Smooth Scan (virtual s; pSQL = PostgreSQL's plan)",
+        &[
+            "query",
+            "psql_cpu_s",
+            "psql_io_s",
+            "psql_total_s",
+            "ss_cpu_s",
+            "ss_io_s",
+            "ss_total_s",
+            "speedup",
+        ],
+    );
+    let mut table2 = Report::new(
+        "table2",
+        "I/O analysis (Table II)",
+        &["query", "psql_io_req_K", "ss_io_req_K", "psql_read_MB", "ss_read_MB"],
+    );
+    for q in Fig4Query::all() {
+        let psql = db.run(&q.plan(q.psql_access())).expect("psql plan").stats;
+        let smooth = db
+            .run(&q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
+            .expect("smooth plan")
+            .stats;
+        fig.row(vec![
+            q.label().to_string(),
+            Report::secs(psql.clock.cpu_ns as f64 / 1e9),
+            Report::secs(psql.clock.io_ns as f64 / 1e9),
+            Report::secs(psql.secs()),
+            Report::secs(smooth.clock.cpu_ns as f64 / 1e9),
+            Report::secs(smooth.clock.io_ns as f64 / 1e9),
+            Report::secs(smooth.secs()),
+            Report::factor(psql.secs() / smooth.secs().max(1e-9)),
+        ]);
+        table2.row(vec![
+            q.label().to_string(),
+            format!("{:.1}", psql.io.io_requests as f64 / 1e3),
+            format!("{:.1}", smooth.io.io_requests as f64 / 1e3),
+            format!("{:.1}", psql.io.mb_read()),
+            format!("{:.1}", smooth.io.mb_read()),
+        ]);
+    }
+    fig.finish();
+    table2.finish();
+}

@@ -1,0 +1,40 @@
+//! Fig. 6: sensitivity of the Smooth Scan modes.
+//!
+//! Compares Full Scan, Index Scan, Smooth Scan capped at Mode 1 ("Entire
+//! Page Probe") and full Smooth Scan with Mode 2 ("Flattening Access").
+//! Expected shape: Mode-1-only beats Index Scan by ~10× at 100% (repeated
+//! accesses removed) but stays ~rand/seq above Full Scan; flattening closes
+//! that gap to ~20%.
+
+use smooth_core::SmoothScanConfig;
+use smooth_planner::AccessPathChoice;
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run the mode-sensitivity sweep.
+pub fn run() {
+    let db = setup::micro_db(DeviceProfile::hdd());
+    let mut report = Report::new(
+        "fig6",
+        "mode sensitivity (exec time, virtual s)",
+        &["sel_%", "full_scan", "index_scan", "ss_entire_page_probe", "ss_flattening"],
+    );
+    for sel in micro::selectivity_grid() {
+        let mut cells = vec![format!("{}", sel * 100.0)];
+        for access in [
+            AccessPathChoice::ForceFull,
+            AccessPathChoice::ForceIndex,
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().mode1_only()),
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        ] {
+            let plan = micro::query(sel, false, access);
+            let stats = db.run(&plan).expect("fig6 query").stats;
+            cells.push(Report::secs(stats.secs()));
+        }
+        report.row(cells);
+    }
+    report.finish();
+}

@@ -1,0 +1,58 @@
+//! Fig. 9: auxiliary data structures.
+//!
+//! 9a — Result-Cache overhead (the extra time the ordered variant pays
+//! over the unordered one for the same scan) and hit rate (requests served
+//! from the cache). The paper reports ≤ 14% overhead and a hit rate
+//! reaching 100% by 1% selectivity.
+//!
+//! 9b — morphing accuracy: fraction of fetched pages that contained at
+//! least one result; reaches 100% by ~2.5% selectivity.
+
+use smooth_core::SmoothScanConfig;
+use smooth_executor::Operator;
+use smooth_planner::ScanSpec;
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::Report;
+use crate::setup;
+
+/// Run both panels from the same sweeps.
+pub fn run() {
+    let db = setup::micro_db(DeviceProfile::hdd());
+    let mut report = Report::new(
+        "fig9",
+        "result cache overhead/hit rate + morphing accuracy",
+        &["sel_%", "cache_overhead_%", "cache_hit_rate_%", "morphing_accuracy_%"],
+    );
+    for sel in micro::selectivity_grid() {
+        // Unordered run: baseline time.
+        let spec = ScanSpec::new(micro::TABLE, micro::predicate(sel));
+        let mut plain = db
+            .build_smooth_scan(&spec, SmoothScanConfig::eager_elastic())
+            .expect("smooth scan");
+        let base = db.run_operator(&mut plain).expect("unordered run").stats;
+        // Ordered run: result cache engaged.
+        let mut ordered = db
+            .build_smooth_scan(&spec, SmoothScanConfig::eager_elastic().with_order(true))
+            .expect("smooth scan");
+        let with_cache = db.run_operator(&mut ordered).expect("ordered run").stats;
+        let metrics = ordered.metrics();
+        ordered.close().ok();
+
+        let overhead = if base.clock.total_ns() > 0 {
+            (with_cache.clock.total_ns() as f64 / base.clock.total_ns() as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let hit_rate = metrics.cache_hit_rate().map_or(0.0, |r| r * 100.0);
+        let accuracy = metrics.morphing_accuracy().map_or(0.0, |a| a * 100.0);
+        report.row(vec![
+            format!("{}", sel * 100.0),
+            format!("{overhead:.1}"),
+            format!("{hit_rate:.1}"),
+            format!("{accuracy:.1}"),
+        ]);
+    }
+    report.finish();
+}

@@ -1,0 +1,41 @@
+//! One module per paper artifact. See DESIGN.md §3 for the experiment
+//! index mapping each module to its figure/table, workload and parameters.
+
+pub mod costmodel;
+pub mod cr;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// Known experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig4", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+    "fig11", "table1", "costmodel", "cr",
+];
+
+/// Dispatch one experiment by id. Returns false for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "fig1" => fig1::run(),
+        "fig4" | "table2" => fig4::run(),
+        "fig5a" => fig5::run(true),
+        "fig5b" => fig5::run(false),
+        "fig6" => fig6::run(),
+        "fig7a" => fig7::run_policies(),
+        "fig7b" => fig7::run_triggers(),
+        "fig8" => fig8::run(),
+        "fig9" => fig9::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "table1" | "costmodel" => costmodel::run(),
+        "cr" => cr::run(),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,133 @@
+//! Aligned-table printing and CSV emission for experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One experiment's tabular output.
+pub struct Report {
+    id: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report for experiment `id`.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Format seconds with adaptive precision.
+    pub fn secs(v: f64) -> String {
+        if v >= 100.0 {
+            format!("{v:.0}")
+        } else if v >= 1.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.4}")
+        }
+    }
+
+    /// Format a ratio/factor.
+    pub fn factor(v: f64) -> String {
+        if v >= 100.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+
+    /// Print as an aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Write `results/<id>.csv` relative to the workspace root (or CWD).
+    pub fn save_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = workspace_results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Print and save; panics only on I/O failure writing results.
+    pub fn finish(&self) {
+        self.print();
+        match self.save_csv() {
+            Ok(path) => println!("  [written {}]", path.display()),
+            Err(e) => eprintln!("  [csv write failed: {e}]"),
+        }
+    }
+}
+
+/// `results/` under the workspace root when detectable, else under CWD.
+fn workspace_results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up while a Cargo.toml with [workspace] is visible above.
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(body) = fs::read_to_string(&manifest) {
+                if body.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_formats() {
+        let mut r = Report::new("test", "demo", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        assert_eq!(Report::secs(0.12345), "0.1235");
+        assert_eq!(Report::secs(12.345), "12.35");
+        assert_eq!(Report::secs(1234.5), "1234");
+        assert_eq!(Report::factor(399.6), "400");
+        r.print(); // must not panic
+    }
+}

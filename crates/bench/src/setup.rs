@@ -1,0 +1,78 @@
+//! Shared experiment setup: databases at the DESIGN.md scales.
+
+use smooth_planner::Database;
+use smooth_storage::{CpuCosts, DeviceProfile, StorageConfig};
+use smooth_workload::tpch::{self, Scale};
+use smooth_workload::{micro, skew};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Micro-benchmark rows (override: `MICRO_ROWS`).
+pub fn micro_rows() -> u64 {
+    env_u64("MICRO_ROWS", micro::DEFAULT_ROWS)
+}
+
+/// Skew-table rows (override: `SKEW_ROWS`).
+pub fn skew_rows() -> u64 {
+    env_u64("SKEW_ROWS", skew::DEFAULT_ROWS)
+}
+
+/// TPC-H scale factor (override: `TPCH_SF`).
+pub fn tpch_sf() -> f64 {
+    env_f64("TPCH_SF", 0.02)
+}
+
+/// Storage config for a table of `pages` pages: the pool holds 1/16 of the
+/// heap (cold-run regime, DESIGN.md §6).
+pub fn storage_config(device: DeviceProfile, pages: u64) -> StorageConfig {
+    StorageConfig {
+        device,
+        cpu: CpuCosts::default(),
+        pool_pages: ((pages / 16) as usize).clamp(64, 8192),
+    }
+}
+
+/// A database holding the micro table, indexed on `c2`.
+pub fn micro_db(device: DeviceProfile) -> Database {
+    let rows = micro_rows();
+    let pages = rows / 90; // ≈ 90 tuples/page
+    let mut db = Database::new(storage_config(device, pages));
+    micro::install(&mut db, rows, 0xC2).expect("micro install");
+    db
+}
+
+/// A database holding the skewed table, indexed on `c2`.
+pub fn skew_db(device: DeviceProfile) -> Database {
+    let rows = skew_rows();
+    let pages = rows / 90;
+    let mut db = Database::new(storage_config(device, pages));
+    skew::install(&mut db, rows, 0x5E).expect("skew install");
+    db
+}
+
+/// The Fig. 1 pair: `(original, tuned)` TPC-H databases. `original` has
+/// only PK indexes; `tuned` adds the advisor's secondary indexes.
+pub fn tpch_pair(device: DeviceProfile) -> (Database, Database) {
+    let scale = Scale { sf: tpch_sf(), seed: 2015 };
+    let lineitem_pages = (scale.orders() * 4) / 70;
+    let cfg = storage_config(device, lineitem_pages);
+    let mut original = Database::new(cfg);
+    tpch::install(&mut original, scale).expect("tpch install");
+    let mut tuned = Database::new(cfg);
+    tpch::install(&mut tuned, scale).expect("tpch install");
+    tpch::gen::create_tuning_indexes(&mut tuned).expect("tuning indexes");
+    (original, tuned)
+}
+
+/// The tuned TPC-H database alone (Fig. 4 / Table II run on the indexed
+/// configuration, mirroring the paper: "we create the set of indices
+/// proposed by the commercial system").
+pub fn tpch_tuned(device: DeviceProfile) -> Database {
+    tpch_pair(device).1
+}

@@ -1,0 +1,208 @@
+//! Morphing policies: when and how fast the morphing region grows
+//! (Section III-B).
+//!
+//! The policy owns the *morph size* — how many adjacent pages each index
+//! probe drags in. Size 1 is Mode 1 (entire-page probe); anything larger is
+//! Mode 2 (flattening). Growth is multiplicative by
+//! [`MorphPolicy::GROWTH_FACTOR`] (Eq. 17), capped by the operator's
+//! maximum region, and — for Elastic only — shrinks through sparse regions
+//! so skew becomes an opportunity instead of a liability (Section VI-D).
+
+/// Which policy drives the morph-size updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Expand after every probe: fastest convergence to a full scan, worst
+    /// low-selectivity overhead.
+    Greedy,
+    /// Expand only when local selectivity exceeds global selectivity.
+    SelectivityIncrease,
+    /// Like Selectivity-Increase, but also *shrinks* through sparse
+    /// regions. The paper's most robust policy.
+    Elastic,
+}
+
+/// Mutable morphing state: region size plus the selectivity counters of
+/// Eqs. (1) and (2).
+#[derive(Debug, Clone)]
+pub struct MorphPolicy {
+    kind: PolicyKind,
+    region_pages: u32,
+    max_region_pages: u32,
+    /// `#P_seen`: pages fetched by morphing so far.
+    pages_seen: u64,
+    /// `#P_res`: fetched pages that contained at least one result.
+    pages_with_results: u64,
+}
+
+impl MorphPolicy {
+    /// Region growth/shrink factor (Eq. 17).
+    pub const GROWTH_FACTOR: u32 = 2;
+
+    /// Default region cap: 2 K pages = 16 MB, the optimum found by the
+    /// paper's sensitivity analysis (Section VI-D, "Impact of the
+    /// Flattening Access Mode").
+    pub const DEFAULT_MAX_REGION: u32 = 2048;
+
+    /// A policy starting in Mode 1 (single-page regions).
+    pub fn new(kind: PolicyKind, max_region_pages: u32) -> Self {
+        MorphPolicy {
+            kind,
+            region_pages: 1,
+            max_region_pages: max_region_pages.max(1),
+            pages_seen: 0,
+            pages_with_results: 0,
+        }
+    }
+
+    /// The policy flavour.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Current morph size in pages (1 = Mode 1, >1 = Mode 2).
+    pub fn region_pages(&self) -> u32 {
+        self.region_pages
+    }
+
+    /// Global selectivity over pages seen so far (Eq. 2), or `None` before
+    /// the first region.
+    pub fn global_selectivity(&self) -> Option<f64> {
+        (self.pages_seen > 0)
+            .then(|| self.pages_with_results as f64 / self.pages_seen as f64)
+    }
+
+    /// `#P_seen` so far.
+    pub fn pages_seen(&self) -> u64 {
+        self.pages_seen
+    }
+
+    /// `#P_res` so far.
+    pub fn pages_with_results(&self) -> u64 {
+        self.pages_with_results
+    }
+
+    /// Morphing accuracy (Fig. 9b): fraction of fetched pages that held
+    /// results.
+    pub fn accuracy(&self) -> Option<f64> {
+        self.global_selectivity()
+    }
+
+    /// Record one completed morphing region (`pages` fetched, of which
+    /// `pages_with_results` held matches) and update the morph size.
+    pub fn observe_region(&mut self, pages: u64, pages_with_results: u64) {
+        debug_assert!(pages_with_results <= pages);
+        if pages == 0 {
+            return;
+        }
+        let local = pages_with_results as f64 / pages as f64;
+        let global = self.global_selectivity();
+        self.pages_seen += pages;
+        self.pages_with_results += pages_with_results;
+        // "Denser" means at least as dense as everything seen so far. The
+        // comparison is non-strict: at a uniform density the fixed point
+        // must be growth, otherwise a 100%-selectivity scan would stay in
+        // Mode 1 forever instead of converging to sequential behaviour
+        // (Fig. 5b shows Smooth Scan within 20% of Full Scan there).
+        let denser = pages_with_results > 0 && global.is_none_or(|g| local >= g);
+        match self.kind {
+            PolicyKind::Greedy => self.grow(),
+            PolicyKind::SelectivityIncrease => {
+                if denser {
+                    self.grow();
+                }
+            }
+            PolicyKind::Elastic => {
+                if denser {
+                    self.grow();
+                } else {
+                    self.shrink();
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        self.region_pages =
+            (self.region_pages.saturating_mul(Self::GROWTH_FACTOR)).min(self.max_region_pages);
+    }
+
+    fn shrink(&mut self) {
+        self.region_pages = (self.region_pages / Self::GROWTH_FACTOR).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_doubles_every_region_up_to_cap() {
+        let mut p = MorphPolicy::new(PolicyKind::Greedy, 16);
+        let sizes: Vec<u32> = (0..6)
+            .map(|_| {
+                let s = p.region_pages();
+                p.observe_region(s as u64, 0); // even empty regions grow
+                s
+            })
+            .collect();
+        assert_eq!(sizes, vec![1, 2, 4, 8, 16, 16]);
+    }
+
+    #[test]
+    fn selectivity_increase_grows_only_on_denser_regions() {
+        let mut p = MorphPolicy::new(PolicyKind::SelectivityIncrease, 1024);
+        p.observe_region(1, 1); // first hit grows
+        assert_eq!(p.region_pages(), 2);
+        p.observe_region(2, 0); // sparse: SI never shrinks
+        assert_eq!(p.region_pages(), 2);
+        // global is now 1/3; local 1/2 > 1/3 → grow
+        p.observe_region(2, 1);
+        assert_eq!(p.region_pages(), 4);
+        // local below global → keep (SI never shrinks)
+        p.observe_region(10, 1); // local 0.1 < global 0.4
+        assert_eq!(p.region_pages(), 4);
+    }
+
+    #[test]
+    fn elastic_shrinks_through_sparse_regions() {
+        let mut p = MorphPolicy::new(PolicyKind::Elastic, 1024);
+        // Dense head: grow repeatedly.
+        p.observe_region(1, 1);
+        p.observe_region(2, 2);
+        p.observe_region(4, 4);
+        assert_eq!(p.region_pages(), 8);
+        // Sparse region: halve back.
+        p.observe_region(8, 0);
+        assert_eq!(p.region_pages(), 4);
+        p.observe_region(4, 0);
+        p.observe_region(2, 0);
+        p.observe_region(1, 0);
+        assert_eq!(p.region_pages(), 1, "floors at Mode 1");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = MorphPolicy::new(PolicyKind::Elastic, 64);
+        p.observe_region(10, 5);
+        p.observe_region(10, 0);
+        assert_eq!(p.pages_seen(), 20);
+        assert_eq!(p.pages_with_results(), 5);
+        assert!((p.accuracy().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_region_is_ignored() {
+        let mut p = MorphPolicy::new(PolicyKind::Greedy, 64);
+        p.observe_region(0, 0);
+        assert_eq!(p.region_pages(), 1);
+        assert_eq!(p.global_selectivity(), None);
+    }
+
+    #[test]
+    fn mode1_only_via_cap_of_one() {
+        let mut p = MorphPolicy::new(PolicyKind::Greedy, 1);
+        p.observe_region(1, 1);
+        p.observe_region(1, 1);
+        assert_eq!(p.region_pages(), 1);
+    }
+}

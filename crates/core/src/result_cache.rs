@@ -1,0 +1,320 @@
+//! The Result Cache: qualifying tuples found ahead of the cursor
+//! (Section IV-A).
+//!
+//! When Smooth Scan must respect an interesting order, tuples discovered on
+//! speculatively fetched pages cannot be emitted immediately; they wait in
+//! the Result Cache until the index cursor reaches their `(key, tid)`.
+//! Following the paper:
+//!
+//! * the cache is **partitioned by key range**, with boundaries taken from
+//!   the index root page ("the root page is a good indicator of the key
+//!   value distributions");
+//! * emission probes by exact `(key, tid)`;
+//! * deletion is **bulk**: once the cursor passes a partition's upper
+//!   boundary, the whole partition is dropped at once;
+//! * under memory pressure, partitions whose key ranges are furthest from
+//!   the cursor spill to overflow files and are charged sequential I/O to
+//!   write and later re-read.
+
+use std::collections::HashMap;
+
+use smooth_storage::Storage;
+use smooth_types::{Row, Tid, PAGE_SIZE};
+
+/// Counters reported by Fig. 9a.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Tuples inserted over the operator's lifetime.
+    pub inserts: u64,
+    /// Probe calls.
+    pub requests: u64,
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Tuples dropped by bulk partition eviction.
+    pub evicted: u64,
+    /// High-water mark of resident tuples.
+    pub max_resident: u64,
+    /// Tuples currently resident.
+    pub resident: u64,
+    /// Tuples written to overflow files under memory pressure.
+    pub spilled: u64,
+    /// Tuples read back from overflow files.
+    pub unspilled: u64,
+}
+
+#[derive(Debug, Default)]
+struct Partition {
+    rows: HashMap<(i64, Tid), Row>,
+    /// Spilled to an overflow file: contents kept (simulated file), but
+    /// access requires a charged re-read.
+    spilled: bool,
+}
+
+/// Key-range-partitioned cache of rows found ahead of the cursor.
+pub struct ResultCache {
+    /// `bounds[i]` is the *exclusive* upper key of partition `i`;
+    /// the last partition is unbounded.
+    bounds: Vec<i64>,
+    parts: Vec<Partition>,
+    /// Lowest partition not yet evicted (cursor position).
+    current: usize,
+    /// Spill when resident tuples exceed this (None = unlimited).
+    spill_threshold: Option<usize>,
+    /// Approximate bytes per row for spill I/O accounting.
+    row_bytes: usize,
+    stats: ResultCacheStats,
+}
+
+impl ResultCache {
+    /// Build from index-root separator keys, using up to `partitions`
+    /// ranges. `row_bytes` sizes spill I/O.
+    pub fn new(separators: &[i64], partitions: usize, row_bytes: usize) -> Self {
+        let partitions = partitions.max(1);
+        let mut bounds: Vec<i64> = Vec::new();
+        if partitions > 1 && !separators.is_empty() {
+            // Sample `partitions - 1` boundaries evenly from the separators.
+            let want = (partitions - 1).min(separators.len());
+            for i in 1..=want {
+                let idx = i * separators.len() / (want + 1);
+                bounds.push(separators[idx.min(separators.len() - 1)]);
+            }
+            bounds.dedup();
+        }
+        let nparts = bounds.len() + 1;
+        ResultCache {
+            bounds,
+            parts: (0..nparts).map(|_| Partition::default()).collect(),
+            current: 0,
+            spill_threshold: None,
+            row_bytes: row_bytes.max(1),
+            stats: ResultCacheStats::default(),
+        }
+    }
+
+    /// Enable spilling beyond `max_resident_tuples`.
+    pub fn with_spill_threshold(mut self, max_resident_tuples: usize) -> Self {
+        self.spill_threshold = Some(max_resident_tuples.max(1));
+        self
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn partition_of(&self, key: i64) -> usize {
+        // First partition whose exclusive upper bound exceeds the key.
+        self.bounds.partition_point(|&b| b <= key)
+    }
+
+    /// Insert a tuple found ahead of the cursor.
+    pub fn insert(&mut self, storage: &Storage, key: i64, tid: Tid, row: Row) {
+        storage.clock().charge_cpu(storage.cpu().hash_op_ns);
+        let p = self.partition_of(key);
+        debug_assert!(p >= self.current, "insert behind the cursor");
+        let part = &mut self.parts[p];
+        if part.spilled {
+            // Appending to a spilled partition keeps it on "disk".
+            let ns = Self::spill_io_ns(storage, self.row_bytes, 1);
+            storage.clock().charge_io(ns);
+            self.stats.spilled += 1;
+        }
+        if part.rows.insert((key, tid), row).is_none() {
+            self.stats.inserts += 1;
+            if !part.spilled {
+                self.stats.resident += 1;
+                self.stats.max_resident = self.stats.max_resident.max(self.stats.resident);
+            }
+        }
+        self.maybe_spill(storage);
+    }
+
+    /// Probe for the tuple the cursor just reached.
+    pub fn probe(&mut self, storage: &Storage, key: i64, tid: Tid) -> Option<Row> {
+        storage.clock().charge_cpu(storage.cpu().hash_op_ns);
+        self.stats.requests += 1;
+        let p = self.partition_of(key);
+        if self.parts[p].spilled {
+            self.unspill(storage, p);
+        }
+        let row = self.parts[p].rows.get(&(key, tid)).cloned();
+        if row.is_some() {
+            self.stats.hits += 1;
+        }
+        row
+    }
+
+    /// Advance the cursor to `key`, bulk-dropping every partition whose key
+    /// range lies entirely behind it.
+    pub fn advance_to(&mut self, key: i64) {
+        while self.current < self.bounds.len() && self.bounds[self.current] <= key {
+            let part = std::mem::take(&mut self.parts[self.current]);
+            let n = part.rows.len() as u64;
+            self.stats.evicted += n;
+            if !part.spilled {
+                self.stats.resident -= n;
+            }
+            self.current += 1;
+        }
+    }
+
+    /// Drop everything (operator close).
+    pub fn clear(&mut self) {
+        for part in &mut self.parts {
+            let n = part.rows.len() as u64;
+            self.stats.evicted += n;
+            if !part.spilled {
+                self.stats.resident = self.stats.resident.saturating_sub(n);
+            }
+            part.rows.clear();
+            part.spilled = false;
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        self.stats
+    }
+
+    /// Cost of writing or reading `tuples` rows of an overflow file: one
+    /// seek plus sequential page transfers on the scan's device.
+    fn spill_io_ns(storage: &Storage, row_bytes: usize, tuples: u64) -> u64 {
+        let pages = (tuples * row_bytes as u64).div_ceil(PAGE_SIZE as u64).max(1);
+        storage.device().run_cost_ns(pages)
+    }
+
+    fn maybe_spill(&mut self, storage: &Storage) {
+        let Some(limit) = self.spill_threshold else { return };
+        while self.stats.resident as usize > limit {
+            // Spill the resident partition furthest from the cursor
+            // ("caches containing the ranges the furthest from the current
+            // key range are spilled into the overflow files").
+            let victim = (self.current..self.parts.len())
+                .rev()
+                .find(|&i| !self.parts[i].spilled && !self.parts[i].rows.is_empty());
+            let Some(v) = victim else { return };
+            let n = self.parts[v].rows.len() as u64;
+            if v == self.current && self.parts.len() == 1 {
+                return; // never spill the only active partition
+            }
+            self.parts[v].spilled = true;
+            self.stats.spilled += n;
+            self.stats.resident -= n;
+            let ns = Self::spill_io_ns(storage, self.row_bytes, n);
+            storage.clock().charge_io(ns);
+        }
+    }
+
+    fn unspill(&mut self, storage: &Storage, p: usize) {
+        let part = &mut self.parts[p];
+        let n = part.rows.len() as u64;
+        part.spilled = false;
+        self.stats.unspilled += n;
+        self.stats.resident += n;
+        self.stats.max_resident = self.stats.max_resident.max(self.stats.resident);
+        let ns = Self::spill_io_ns(storage, self.row_bytes, n);
+        storage.clock().charge_io(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_types::Value;
+
+    fn storage() -> Storage {
+        Storage::default_hdd()
+    }
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn insert_probe_roundtrip() {
+        let s = storage();
+        let mut c = ResultCache::new(&[100, 200, 300], 4, 64);
+        c.insert(&s, 150, Tid::new(1, 1), row(150));
+        assert_eq!(c.probe(&s, 150, Tid::new(1, 1)), Some(row(150)));
+        assert_eq!(c.probe(&s, 150, Tid::new(1, 2)), None);
+        let st = c.stats();
+        assert_eq!((st.inserts, st.requests, st.hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn partitions_follow_separators() {
+        let c = ResultCache::new(&(0..100).collect::<Vec<i64>>(), 8, 64);
+        assert_eq!(c.partition_count(), 8);
+        let c = ResultCache::new(&[], 8, 64);
+        assert_eq!(c.partition_count(), 1);
+        let c = ResultCache::new(&[5], 1, 64);
+        assert_eq!(c.partition_count(), 1);
+    }
+
+    #[test]
+    fn bulk_eviction_on_advance() {
+        let s = storage();
+        let mut c = ResultCache::new(&[10, 20, 30], 4, 64);
+        c.insert(&s, 5, Tid::new(0, 0), row(5));
+        c.insert(&s, 15, Tid::new(0, 1), row(15));
+        c.insert(&s, 25, Tid::new(0, 2), row(25));
+        c.insert(&s, 35, Tid::new(0, 3), row(35));
+        assert_eq!(c.stats().resident, 4);
+        c.advance_to(20); // passes partitions [_,10) and [10,20)
+        let st = c.stats();
+        assert_eq!(st.evicted, 2);
+        assert_eq!(st.resident, 2);
+        // Items at/ahead of the cursor survive.
+        assert_eq!(c.probe(&s, 25, Tid::new(0, 2)), Some(row(25)));
+        assert_eq!(c.probe(&s, 35, Tid::new(0, 3)), Some(row(35)));
+    }
+
+    #[test]
+    fn boundary_key_does_not_evict_its_own_partition() {
+        let s = storage();
+        let mut c = ResultCache::new(&[10], 2, 64);
+        c.insert(&s, 10, Tid::new(0, 0), row(10));
+        c.advance_to(10); // partition [10, ∞) must survive
+        assert_eq!(c.probe(&s, 10, Tid::new(0, 0)), Some(row(10)));
+        assert_eq!(c.stats().evicted, 0);
+    }
+
+    #[test]
+    fn spilling_under_pressure_and_transparent_unspill() {
+        let s = storage();
+        let mut c = ResultCache::new(&[100, 200, 300], 4, 64).with_spill_threshold(2);
+        // Fill three partitions; threshold 2 forces the furthest to spill.
+        c.insert(&s, 50, Tid::new(0, 0), row(50));
+        c.insert(&s, 150, Tid::new(0, 1), row(150));
+        let io_before = s.clock().snapshot().io_ns;
+        c.insert(&s, 350, Tid::new(0, 2), row(350)); // exceeds threshold
+        let st = c.stats();
+        assert!(st.spilled >= 1, "furthest partition spilled: {st:?}");
+        assert!(s.clock().snapshot().io_ns > io_before, "spill charged I/O");
+        // Probing the spilled partition brings it back (charged) and hits.
+        assert_eq!(c.probe(&s, 350, Tid::new(0, 2)), Some(row(350)));
+        assert!(c.stats().unspilled >= 1);
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let s = storage();
+        let mut c = ResultCache::new(&[10], 2, 64);
+        c.insert(&s, 5, Tid::new(0, 0), row(5));
+        c.insert(&s, 15, Tid::new(0, 1), row(15));
+        c.clear();
+        assert_eq!(c.stats().resident, 0);
+        assert_eq!(c.probe(&s, 5, Tid::new(0, 0)), None);
+    }
+
+    #[test]
+    fn max_resident_high_water_mark() {
+        let s = storage();
+        let mut c = ResultCache::new(&[10], 2, 64);
+        c.insert(&s, 1, Tid::new(0, 0), row(1));
+        c.insert(&s, 2, Tid::new(0, 1), row(2));
+        c.advance_to(10);
+        c.insert(&s, 11, Tid::new(0, 2), row(11));
+        assert_eq!(c.stats().max_resident, 2);
+    }
+}

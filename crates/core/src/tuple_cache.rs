@@ -1,0 +1,99 @@
+//! The Tuple-ID cache: one bit per tuple slot (Section IV-A).
+//!
+//! Needed only by the Optimizer- and SLA-driven triggers: tuples produced
+//! by the traditional index scan *before* morphing starts must not be
+//! produced again when Smooth Scan later processes their whole page. (With
+//! the Eager strategy the cache is unnecessary — a point the paper credits
+//! to strict `(indexkey, TID)` ordering.)
+
+use smooth_types::Tid;
+
+/// Bitmap of already-produced tuples, addressed by dense TID ordinal.
+#[derive(Debug, Clone)]
+pub struct TupleIdCache {
+    bits: Vec<u64>,
+    slots_per_page: u32,
+    set_count: u64,
+}
+
+impl TupleIdCache {
+    /// A cache for a heap of `pages` pages with at most `slots_per_page`
+    /// tuples per page.
+    pub fn new(pages: u32, slots_per_page: u32) -> Self {
+        let slots = pages as u64 * slots_per_page as u64;
+        TupleIdCache {
+            bits: vec![0u64; (slots as usize).div_ceil(64)],
+            slots_per_page,
+            set_count: 0,
+        }
+    }
+
+    /// Whether the tuple has been produced already.
+    #[inline]
+    pub fn contains(&self, tid: Tid) -> bool {
+        let i = tid.ordinal(self.slots_per_page) as usize;
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Record a produced tuple; returns `true` if newly set.
+    #[inline]
+    pub fn insert(&mut self, tid: Tid) -> bool {
+        let i = tid.ordinal(self.slots_per_page) as usize;
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.bits[i / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.set_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of recorded tuples.
+    pub fn len(&self) -> u64 {
+        self.set_count
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_membership() {
+        let mut c = TupleIdCache::new(100, 120);
+        let t = Tid::new(40, 77);
+        assert!(!c.contains(t));
+        assert!(c.insert(t));
+        assert!(c.contains(t));
+        assert!(!c.insert(t));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn distinct_tids_do_not_collide() {
+        let mut c = TupleIdCache::new(10, 120);
+        c.insert(Tid::new(0, 119));
+        assert!(!c.contains(Tid::new(1, 0)));
+        c.insert(Tid::new(1, 0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn memory_is_one_bit_per_slot() {
+        let c = TupleIdCache::new(1000, 128);
+        assert_eq!(c.memory_bytes(), (1000 * 128 / 64) * 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on the §V cost model and the morphing policies:
+//! monotonicity, bounds and convergence invariants that must hold for any
+//! table geometry and any region-observation history.
+
+use proptest::prelude::*;
+use smooth_core::{CostModel, MorphPolicy, PolicyKind, TableGeometry};
+use smooth_storage::DeviceProfile;
+
+fn arb_geometry() -> impl Strategy<Value = TableGeometry> {
+    (8u64..512, 100u64..5_000_000).prop_map(|(ts, t)| TableGeometry::new(ts, t))
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceProfile> {
+    (1u64..100_000, 1u64..20).prop_map(|(seq, ratio)| {
+        DeviceProfile::custom("p", seq, seq.saturating_mul(ratio).max(seq))
+    })
+}
+
+proptest! {
+    #[test]
+    fn cost_model_invariants(geometry in arb_geometry(), device in arb_device(),
+                             sel_a in 0.0f64..1.0, sel_b in 0.0f64..1.0) {
+        let m = CostModel::new(geometry, device);
+        let (lo, hi) = if sel_a <= sel_b { (sel_a, sel_b) } else { (sel_b, sel_a) };
+        let (card_lo, card_hi) = (geometry.cardinality(lo), geometry.cardinality(hi));
+        // Index and Smooth costs are monotone in cardinality.
+        prop_assert!(m.is_cost_ns(card_lo) <= m.is_cost_ns(card_hi));
+        prop_assert!(m.ss_cost_ns(card_lo) <= m.ss_cost_ns(card_hi) + 1e-6);
+        // Full scan is selectivity-independent and positive.
+        prop_assert!(m.fs_cost_ns() > 0.0);
+        // Smooth never exceeds Mode-1-only (flattening only helps).
+        prop_assert!(m.ss_cost_ns(card_hi) <= m.ss_mode1_only_cost_ns(card_hi) + 1e-6);
+        // The optimum is never above any individual alternative.
+        let opt = m.optimal_cost_ns(card_hi);
+        prop_assert!(opt <= m.fs_cost_ns() + 1e-6);
+        prop_assert!(opt <= m.is_cost_ns(card_hi) + 1e-6);
+        prop_assert!(opt <= m.sort_scan_cost_ns(card_hi) + 1e-6);
+        // CR bound is ratio + 1 and the elastic worst case stays under it.
+        prop_assert!(m.elastic_worst_case_cr() <= m.cr_theoretical_bound() + 1e-6);
+    }
+
+    #[test]
+    fn sla_trigger_monotone_and_bounded(geometry in arb_geometry(), device in arb_device(),
+                                        budget_a in 0.5f64..8.0, budget_b in 0.5f64..8.0) {
+        let m = CostModel::new(geometry, device);
+        let (lo, hi) = if budget_a <= budget_b { (budget_a, budget_b) } else { (budget_b, budget_a) };
+        let ka = m.sla_trigger_cardinality(lo * m.fs_cost_ns());
+        let kb = m.sla_trigger_cardinality(hi * m.fs_cost_ns());
+        prop_assert!(ka <= kb, "larger budgets allow later switches");
+        prop_assert!(kb <= geometry.tuples);
+    }
+
+    #[test]
+    fn policy_region_always_within_bounds(
+        kind in prop_oneof![
+            Just(PolicyKind::Greedy),
+            Just(PolicyKind::SelectivityIncrease),
+            Just(PolicyKind::Elastic),
+        ],
+        cap in 1u32..4096,
+        observations in proptest::collection::vec((1u64..64, 0u64..64), 0..200),
+    ) {
+        let mut p = MorphPolicy::new(kind, cap);
+        for (pages, res) in observations {
+            let res = res.min(pages);
+            prop_assert!(p.region_pages() >= 1 && p.region_pages() <= cap.max(1));
+            p.observe_region(pages, res);
+        }
+        prop_assert!(p.region_pages() >= 1 && p.region_pages() <= cap.max(1));
+        prop_assert!(p.pages_with_results() <= p.pages_seen());
+        if let Some(acc) = p.accuracy() {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    /// Selectivity-Increase never shrinks; Greedy grows on every non-empty
+    /// region until the cap.
+    #[test]
+    fn policy_direction_laws(observations in proptest::collection::vec((1u64..32, 0u64..32), 1..100)) {
+        let mut si = MorphPolicy::new(PolicyKind::SelectivityIncrease, 1 << 20);
+        let mut greedy = MorphPolicy::new(PolicyKind::Greedy, 1 << 20);
+        let mut si_prev = si.region_pages();
+        let mut greedy_prev = greedy.region_pages();
+        for (pages, res) in observations {
+            let res = res.min(pages);
+            si.observe_region(pages, res);
+            greedy.observe_region(pages, res);
+            prop_assert!(si.region_pages() >= si_prev, "SI never shrinks");
+            prop_assert!(greedy.region_pages() >= greedy_prev * 2 || greedy.region_pages() == 1 << 20);
+            si_prev = si.region_pages();
+            greedy_prev = greedy.region_pages();
+        }
+        prop_assert!(greedy.region_pages() >= si.region_pages(), "greedy is the fastest grower");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: Smooth Scan must return *exactly* the rows a full scan +
+//! filter returns — same multiset, no duplicates, no losses — for every
+//! policy, trigger, order mode, selectivity, data distribution and buffer
+//! pool size. This is the paper's correctness obligation: morphing is an
+//! execution-strategy change only, never a semantics change.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use smooth_core::{PolicyKind, SmoothScan, SmoothScanConfig, Trigger};
+use smooth_executor::{collect_rows, FullTableScan, Predicate};
+use smooth_index::BTreeIndex;
+use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, Storage, StorageConfig};
+use smooth_types::{Column, DataType, Row, Schema, Value};
+
+fn build_table(keys: &[i64]) -> (Arc<HeapFile>, Arc<BTreeIndex>) {
+    let schema = Schema::new(vec![
+        Column::new("c0", DataType::Int64),
+        Column::new("c1", DataType::Int64),
+        Column::new("pad", DataType::Text),
+    ])
+    .unwrap();
+    let mut l = HeapLoader::new_mem("t", schema);
+    for (i, &k) in keys.iter().enumerate() {
+        l.push(&Row::new(vec![Value::Int(i as i64), Value::Int(k), Value::str("p".repeat(80))]))
+            .unwrap();
+    }
+    let heap = Arc::new(l.finish().unwrap());
+    let index = Arc::new(BTreeIndex::build_from_heap("i", &heap, 1).unwrap());
+    (heap, index)
+}
+
+fn storage(pool: usize) -> Storage {
+    Storage::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: pool,
+    })
+}
+
+fn canonical(mut rows: Vec<Row>) -> Vec<(i64, i64)> {
+    let mut v: Vec<(i64, i64)> = rows
+        .drain(..)
+        .map(|r| (r.int(1).unwrap(), r.int(0).unwrap()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Greedy),
+        Just(PolicyKind::SelectivityIncrease),
+        Just(PolicyKind::Elastic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn smooth_scan_equals_oracle(
+        keys in proptest::collection::vec(0i64..200, 50..1500),
+        lo in 0i64..200,
+        width in 0i64..220,
+        policy in arb_policy(),
+        ordered in any::<bool>(),
+        pool in 4usize..64,
+        max_region in prop_oneof![Just(1u32), Just(4u32), Just(2048u32)],
+        trigger_card in prop_oneof![Just(None), (0u64..300).prop_map(Some)],
+    ) {
+        let (heap, index) = build_table(&keys);
+        let s = storage(pool);
+        let hi = lo + width;
+        let mut oracle = FullTableScan::new(
+            Arc::clone(&heap),
+            s.clone(),
+            Predicate::int_half_open(1, lo, hi),
+        );
+        let expected = canonical(collect_rows(&mut oracle).unwrap());
+
+        let trigger = match trigger_card {
+            None => Trigger::Eager,
+            Some(c) => Trigger::OptimizerDriven {
+                estimated_cardinality: c,
+                policy: PolicyKind::SelectivityIncrease,
+            },
+        };
+        let mut config = SmoothScanConfig::default()
+            .with_policy(policy)
+            .with_order(ordered)
+            .with_trigger(trigger);
+        config.max_region_pages = max_region;
+        let mut ss = SmoothScan::new(
+            Arc::clone(&heap),
+            Arc::clone(&index),
+            s.clone(),
+            1,
+            Bound::Included(lo),
+            Bound::Excluded(hi),
+            Predicate::True,
+            config,
+        );
+        let rows = collect_rows(&mut ss).unwrap();
+        if ordered {
+            let ks: Vec<i64> = rows.iter().map(|r| r.int(1).unwrap()).collect();
+            prop_assert!(ks.windows(2).all(|w| w[0] <= w[1]), "ordered mode key order");
+        }
+        prop_assert_eq!(canonical(rows), expected);
+        // Morphing never fetches more pages than the heap holds.
+        prop_assert!(ss.metrics().pages_fetched <= heap.page_count() as u64);
+    }
+
+    #[test]
+    fn switch_scan_equals_oracle(
+        keys in proptest::collection::vec(0i64..100, 50..800),
+        hi in 0i64..110,
+        estimate in 0u64..400,
+    ) {
+        let (heap, index) = build_table(&keys);
+        let s = storage(16);
+        let mut oracle = FullTableScan::new(
+            Arc::clone(&heap),
+            s.clone(),
+            Predicate::int_half_open(1, 0, hi),
+        );
+        let expected = canonical(collect_rows(&mut oracle).unwrap());
+        let mut sw = smooth_core::SwitchScan::new(
+            heap,
+            index,
+            s,
+            1,
+            Bound::Included(0),
+            Bound::Excluded(hi),
+            Predicate::True,
+            estimate,
+        );
+        let rows = collect_rows(&mut sw).unwrap();
+        prop_assert_eq!(canonical(rows), expected);
+    }
+
+    #[test]
+    fn ordered_smooth_scan_with_spill_equals_oracle(
+        keys in proptest::collection::vec(0i64..50, 100..900),
+        spill in 1usize..40,
+    ) {
+        let (heap, index) = build_table(&keys);
+        let s = storage(32);
+        let mut oracle =
+            FullTableScan::new(Arc::clone(&heap), s.clone(), Predicate::int_lt(1, 25));
+        let expected = canonical(collect_rows(&mut oracle).unwrap());
+        let mut config = SmoothScanConfig::default().with_order(true);
+        config.result_cache_spill = Some(spill);
+        let mut ss = SmoothScan::new(
+            heap,
+            index,
+            s,
+            1,
+            Bound::Unbounded,
+            Bound::Excluded(25),
+            Predicate::True,
+            config,
+        );
+        let rows = collect_rows(&mut ss).unwrap();
+        let ks: Vec<i64> = rows.iter().map(|r| r.int(1).unwrap()).collect();
+        prop_assert!(ks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(canonical(rows), expected);
+    }
+}

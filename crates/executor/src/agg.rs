@@ -1,0 +1,339 @@
+//! Aggregation: hash-grouped and scalar.
+//!
+//! Covers the aggregate shapes of the TPC-H-style workload (Q1's grouped
+//! sums/averages, Q6's scalar revenue sum, Q4's grouped counts).
+
+use std::collections::HashMap;
+
+use smooth_types::{Column, DataType, Result, Row, Schema, Value};
+
+use crate::operator::{BoxedOperator, Operator};
+
+/// Supported aggregate functions over one child column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(col)` — non-null values.
+    Count(usize),
+    /// `SUM(col)` as a float.
+    Sum(usize),
+    /// `SUM(a * b)` as a float (TPC-H revenue expressions like
+    /// `l_extendedprice * l_discount`).
+    SumProduct(usize, usize),
+    /// `AVG(col)`.
+    Avg(usize),
+    /// `MIN(col)`.
+    Min(usize),
+    /// `MAX(col)`.
+    Max(usize),
+}
+
+impl AggFunc {
+    fn output_column(&self, child: &Schema, ordinal: usize) -> Column {
+        let name = |f: &str, c: usize| format!("{f}_{}", child.column(c).name);
+        match self {
+            AggFunc::CountStar => Column::new(format!("count_{ordinal}"), DataType::Int64),
+            AggFunc::Count(c) => Column::new(name("count", *c), DataType::Int64),
+            AggFunc::Sum(c) => Column::new(name("sum", *c), DataType::Float64),
+            AggFunc::SumProduct(a, b) => Column::new(
+                format!("sum_{}_x_{}", child.column(*a).name, child.column(*b).name),
+                DataType::Float64,
+            ),
+            AggFunc::Avg(c) => Column::new(name("avg", *c), DataType::Float64),
+            AggFunc::Min(c) => Column::nullable(name("min", *c), child.column(*c).ty),
+            AggFunc::Max(c) => Column::nullable(name("max", *c), child.column(*c).ty),
+        }
+    }
+}
+
+/// Accumulator state per aggregate per group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(f: &AggFunc) -> Acc {
+        match f {
+            AggFunc::CountStar | AggFunc::Count(_) => Acc::Count(0),
+            AggFunc::Sum(_) | AggFunc::SumProduct(..) => Acc::Sum(0.0),
+            AggFunc::Avg(_) => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min(_) => Acc::Min(None),
+            AggFunc::Max(_) => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, f: &AggFunc, row: &Row) -> Result<()> {
+        match (self, f) {
+            (Acc::Count(n), AggFunc::CountStar) => *n += 1,
+            (Acc::Count(n), AggFunc::Count(c)) => {
+                if !row.get(*c).is_null() {
+                    *n += 1;
+                }
+            }
+            (Acc::Sum(s), AggFunc::Sum(c)) => {
+                if !row.get(*c).is_null() {
+                    *s += row.float(*c)?;
+                }
+            }
+            (Acc::Sum(s), AggFunc::SumProduct(a, b)) => {
+                if !row.get(*a).is_null() && !row.get(*b).is_null() {
+                    *s += row.float(*a)? * row.float(*b)?;
+                }
+            }
+            (Acc::Avg { sum, n }, AggFunc::Avg(c)) => {
+                if !row.get(*c).is_null() {
+                    *sum += row.float(*c)?;
+                    *n += 1;
+                }
+            }
+            (Acc::Min(m), AggFunc::Min(c)) => {
+                let v = row.get(*c);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt()) {
+                    *m = Some(v.clone());
+                }
+            }
+            (Acc::Max(m), AggFunc::Max(c)) => {
+                let v = row.get(*c);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt()) {
+                    *m = Some(v.clone());
+                }
+            }
+            _ => unreachable!("accumulator/function mismatch"),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n as i64),
+            Acc::Sum(s) => Value::Float(s),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation over optional group-by columns. With no group columns
+/// it degenerates to a scalar aggregate producing exactly one row.
+pub struct HashAggregate {
+    child: BoxedOperator,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggFunc>,
+    storage: smooth_storage::Storage,
+    schema: Schema,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl HashAggregate {
+    /// Group child rows by `group_cols` and compute `aggs` per group.
+    pub fn new(
+        child: BoxedOperator,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+        storage: smooth_storage::Storage,
+    ) -> Result<Self> {
+        let child_schema = child.schema();
+        let mut cols = Vec::with_capacity(group_cols.len() + aggs.len());
+        for &g in &group_cols {
+            if g >= child_schema.len() {
+                return Err(smooth_types::Error::schema(format!("group column {g} out of range")));
+            }
+            cols.push(child_schema.column(g).clone());
+        }
+        for (i, a) in aggs.iter().enumerate() {
+            cols.push(a.output_column(child_schema, i));
+        }
+        let schema = Schema::new(cols)?;
+        Ok(HashAggregate { child, group_cols, aggs, storage, schema, output: None })
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        // Stable output: remember first-seen order of groups.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let cpu = *self.storage.cpu();
+        while let Some(row) = self.child.next()? {
+            let key: Vec<Value> =
+                self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+            self.storage
+                .clock()
+                .charge_cpu(cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64);
+            let accs = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                self.aggs.iter().map(Acc::new).collect()
+            });
+            for (acc, f) in accs.iter_mut().zip(&self.aggs) {
+                acc.update(f, &row)?;
+            }
+        }
+        self.child.close()?;
+        if self.group_cols.is_empty() && groups.is_empty() {
+            // Scalar aggregate over the empty input still yields one row.
+            groups.insert(Vec::new(), self.aggs.iter().map(Acc::new).collect());
+            order.push(Vec::new());
+        }
+        let mut rows = Vec::with_capacity(order.len());
+        for key in order {
+            let accs = groups.remove(&key).expect("group recorded");
+            let mut values = key;
+            values.extend(accs.into_iter().map(Acc::finish));
+            rows.push(Row::new(values));
+        }
+        self.output = Some(rows.into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.output.as_mut().and_then(|it| it.next()))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.output = None;
+        Ok(())
+    }
+
+    fn label(&self) -> String {
+        format!("HashAggregate(groups={:?}) → {}", self.group_cols, self.child.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect_rows, ValuesOp};
+
+    fn input(rows: Vec<(i64, i64)>) -> BoxedOperator {
+        let schema = Schema::new(vec![
+            Column::new("g", DataType::Int64),
+            Column::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        Box::new(ValuesOp::new(
+            schema,
+            rows.into_iter().map(|(g, v)| Row::new(vec![Value::Int(g), Value::Int(v)])).collect(),
+        ))
+    }
+
+    fn storage() -> smooth_storage::Storage {
+        smooth_storage::Storage::default_hdd()
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let mut agg = HashAggregate::new(
+            input(vec![(1, 10), (2, 5), (1, 20), (2, 7), (1, 30)]),
+            vec![0],
+            vec![
+                AggFunc::CountStar,
+                AggFunc::Sum(1),
+                AggFunc::Avg(1),
+                AggFunc::Min(1),
+                AggFunc::Max(1),
+            ],
+            storage(),
+        )
+        .unwrap();
+        let rows = collect_rows(&mut agg).unwrap();
+        assert_eq!(rows.len(), 2);
+        let g1 = rows.iter().find(|r| r.int(0).unwrap() == 1).unwrap();
+        assert_eq!(g1.int(1).unwrap(), 3);
+        assert_eq!(g1.float(2).unwrap(), 60.0);
+        assert_eq!(g1.float(3).unwrap(), 20.0);
+        assert_eq!(g1.int(4).unwrap(), 10);
+        assert_eq!(g1.int(5).unwrap(), 30);
+        // first-seen group order is preserved
+        assert_eq!(rows[0].int(0).unwrap(), 1);
+        assert_eq!(rows[1].int(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input_yields_one_row() {
+        let mut agg = HashAggregate::new(
+            input(vec![]),
+            vec![],
+            vec![AggFunc::CountStar, AggFunc::Sum(1), AggFunc::Avg(1), AggFunc::Min(1)],
+            storage(),
+        )
+        .unwrap();
+        let rows = collect_rows(&mut agg).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].int(0).unwrap(), 0);
+        assert_eq!(rows[0].float(1).unwrap(), 0.0);
+        assert!(rows[0].get(2).is_null());
+        assert!(rows[0].get(3).is_null());
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_yields_no_rows() {
+        let mut agg = HashAggregate::new(
+            input(vec![]),
+            vec![0],
+            vec![AggFunc::CountStar],
+            storage(),
+        )
+        .unwrap();
+        assert!(collect_rows(&mut agg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        let schema = Schema::new(vec![Column::nullable("v", DataType::Int64)]).unwrap();
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(3)]),
+        ];
+        let child = Box::new(ValuesOp::new(schema, rows));
+        let mut agg = HashAggregate::new(
+            child,
+            vec![],
+            vec![AggFunc::CountStar, AggFunc::Count(0), AggFunc::Sum(0)],
+            storage(),
+        )
+        .unwrap();
+        let out = collect_rows(&mut agg).unwrap();
+        assert_eq!(out[0].int(0).unwrap(), 3);
+        assert_eq!(out[0].int(1).unwrap(), 2);
+        assert_eq!(out[0].float(2).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_group_column() {
+        assert!(HashAggregate::new(input(vec![]), vec![9], vec![], storage()).is_err());
+    }
+
+    #[test]
+    fn output_schema_names_and_types() {
+        let agg = HashAggregate::new(
+            input(vec![]),
+            vec![0],
+            vec![AggFunc::Sum(1), AggFunc::CountStar],
+            storage(),
+        )
+        .unwrap();
+        let s = agg.schema();
+        assert_eq!(s.column(0).name, "g");
+        assert_eq!(s.column(1).name, "sum_v");
+        assert_eq!(s.column(1).ty, DataType::Float64);
+        assert_eq!(s.column(2).ty, DataType::Int64);
+    }
+}

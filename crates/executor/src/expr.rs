@@ -1,0 +1,289 @@
+//! Predicates evaluated over rows.
+//!
+//! A small, concrete predicate language — range and equality tests
+//! composable with AND/OR/NOT — rather than a general expression tree:
+//! every query in the paper (micro-benchmark Q1, the skew query, and the
+//! TPC-H-style workload) is a conjunction of column ranges and string
+//! equalities. NULL comparisons evaluate to false, the practical
+//! two-valued simplification of SQL's three-valued logic for filters.
+
+use std::ops::Bound;
+
+use smooth_types::{Result, Row, Value};
+
+/// A boolean predicate over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (scan without filter).
+    True,
+    /// `lo <= col <= hi` with configurable open/closed ends, on an
+    /// integer-like column.
+    IntRange {
+        /// Column ordinal.
+        col: usize,
+        /// Lower bound.
+        lo: Bound<i64>,
+        /// Upper bound.
+        hi: Bound<i64>,
+    },
+    /// `col = value` on a text column.
+    StrEq {
+        /// Column ordinal.
+        col: usize,
+        /// Comparand.
+        value: String,
+    },
+    /// `col IN (values)` on a text column.
+    StrIn {
+        /// Column ordinal.
+        col: usize,
+        /// Accepted values.
+        values: Vec<String>,
+    },
+    /// `left < right` across two integer columns of the same row
+    /// (TPC-H Q4/Q12: `l_commitdate < l_receiptdate`).
+    IntColLt {
+        /// Left column ordinal.
+        left: usize,
+        /// Right column ordinal.
+        right: usize,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `col = key` on an integer column.
+    pub fn int_eq(col: usize, key: i64) -> Self {
+        Predicate::IntRange { col, lo: Bound::Included(key), hi: Bound::Included(key) }
+    }
+
+    /// `lo <= col < hi` — the micro-benchmark's shape.
+    pub fn int_half_open(col: usize, lo: i64, hi: i64) -> Self {
+        Predicate::IntRange { col, lo: Bound::Included(lo), hi: Bound::Excluded(hi) }
+    }
+
+    /// `col >= lo`.
+    pub fn int_ge(col: usize, lo: i64) -> Self {
+        Predicate::IntRange { col, lo: Bound::Included(lo), hi: Bound::Unbounded }
+    }
+
+    /// `col < hi`.
+    pub fn int_lt(col: usize, hi: i64) -> Self {
+        Predicate::IntRange { col, lo: Bound::Unbounded, hi: Bound::Excluded(hi) }
+    }
+
+    /// `col <= hi`.
+    pub fn int_le(col: usize, hi: i64) -> Self {
+        Predicate::IntRange { col, lo: Bound::Unbounded, hi: Bound::Included(hi) }
+    }
+
+    /// Conjunction that collapses trivial cases.
+    pub fn and(preds: Vec<Predicate>) -> Self {
+        let mut flat: Vec<Predicate> =
+            preds.into_iter().filter(|p| !matches!(p, Predicate::True)).collect();
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().unwrap(),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Evaluate against a row. Comparisons against NULL are false.
+    pub fn eval(&self, row: &Row) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::IntRange { col, lo, hi } => match row.get(*col) {
+                Value::Int(v) => {
+                    (match lo {
+                        Bound::Unbounded => true,
+                        Bound::Included(l) => *v >= *l,
+                        Bound::Excluded(l) => *v > *l,
+                    }) && (match hi {
+                        Bound::Unbounded => true,
+                        Bound::Included(h) => *v <= *h,
+                        Bound::Excluded(h) => *v < *h,
+                    })
+                }
+                Value::Null => false,
+                other => {
+                    return Err(smooth_types::Error::exec(format!(
+                        "int predicate on non-int value {other}"
+                    )))
+                }
+            },
+            Predicate::StrEq { col, value } => match row.get(*col) {
+                Value::Str(s) => s == value,
+                Value::Null => false,
+                other => {
+                    return Err(smooth_types::Error::exec(format!(
+                        "string predicate on non-string value {other}"
+                    )))
+                }
+            },
+            Predicate::StrIn { col, values } => match row.get(*col) {
+                Value::Str(s) => values.iter().any(|v| v == s),
+                Value::Null => false,
+                other => {
+                    return Err(smooth_types::Error::exec(format!(
+                        "string predicate on non-string value {other}"
+                    )))
+                }
+            },
+            Predicate::IntColLt { left, right } => {
+                match (row.get(*left), row.get(*right)) {
+                    (Value::Int(a), Value::Int(b)) => a < b,
+                    (Value::Null, _) | (_, Value::Null) => false,
+                    (a, b) => {
+                        return Err(smooth_types::Error::exec(format!(
+                            "column comparison on non-ints: {a} vs {b}"
+                        )))
+                    }
+                }
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval(row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.eval(row)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval(row)?,
+        })
+    }
+
+    /// If this predicate constrains exactly one integer column with a range
+    /// usable to drive an index (possibly with residual work left over),
+    /// return `(col, lo, hi, residual)`. Conjunctions pick the first
+    /// matching conjunct; everything else becomes residual.
+    pub fn split_index_range(&self) -> Option<(usize, Bound<i64>, Bound<i64>, Predicate)> {
+        match self {
+            Predicate::IntRange { col, lo, hi } => Some((*col, *lo, *hi, Predicate::True)),
+            Predicate::And(ps) => {
+                let idx = ps
+                    .iter()
+                    .position(|p| matches!(p, Predicate::IntRange { .. }))?;
+                if let Predicate::IntRange { col, lo, hi } = &ps[idx] {
+                    let rest: Vec<Predicate> = ps
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != idx)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    Some((*col, *lo, *hi, Predicate::and(rest)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64, s: &str) -> Row {
+        Row::new(vec![Value::Int(v), Value::str(s)])
+    }
+
+    #[test]
+    fn ranges() {
+        let p = Predicate::int_half_open(0, 10, 20);
+        assert!(p.eval(&row(10, "")).unwrap());
+        assert!(p.eval(&row(19, "")).unwrap());
+        assert!(!p.eval(&row(20, "")).unwrap());
+        assert!(!p.eval(&row(9, "")).unwrap());
+        assert!(Predicate::int_eq(0, 5).eval(&row(5, "")).unwrap());
+        assert!(Predicate::int_ge(0, 5).eval(&row(5, "")).unwrap());
+        assert!(Predicate::int_lt(0, 5).eval(&row(4, "")).unwrap());
+        assert!(Predicate::int_le(0, 5).eval(&row(5, "")).unwrap());
+    }
+
+    #[test]
+    fn strings_and_composites() {
+        let p = Predicate::And(vec![
+            Predicate::int_ge(0, 0),
+            Predicate::StrEq { col: 1, value: "ok".into() },
+        ]);
+        assert!(p.eval(&row(1, "ok")).unwrap());
+        assert!(!p.eval(&row(1, "no")).unwrap());
+        assert!(!p.eval(&row(-1, "ok")).unwrap());
+        let q = Predicate::Or(vec![
+            Predicate::StrIn { col: 1, values: vec!["a".into(), "b".into()] },
+            Predicate::int_eq(0, 7),
+        ]);
+        assert!(q.eval(&row(0, "b")).unwrap());
+        assert!(q.eval(&row(7, "z")).unwrap());
+        assert!(!q.eval(&row(0, "z")).unwrap());
+        let n = Predicate::Not(Box::new(Predicate::True));
+        assert!(!n.eval(&row(0, "")).unwrap());
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let r = Row::new(vec![Value::Null, Value::Null]);
+        assert!(!Predicate::int_eq(0, 0).eval(&r).unwrap());
+        assert!(!Predicate::StrEq { col: 1, value: String::new() }.eval(&r).unwrap());
+        // but NOT(null-compare) is true under two-valued semantics
+        assert!(Predicate::Not(Box::new(Predicate::int_eq(0, 0))).eval(&r).unwrap());
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(Predicate::int_eq(1, 0).eval(&row(0, "x")).is_err());
+        assert!(Predicate::StrEq { col: 0, value: "x".into() }.eval(&row(0, "x")).is_err());
+    }
+
+    #[test]
+    fn column_comparison() {
+        let p = Predicate::IntColLt { left: 0, right: 1 };
+        let two_ints = Row::new(vec![Value::Int(3), Value::Int(5)]);
+        assert!(p.eval(&two_ints).unwrap());
+        let eq = Row::new(vec![Value::Int(5), Value::Int(5)]);
+        assert!(!p.eval(&eq).unwrap());
+        let with_null = Row::new(vec![Value::Null, Value::Int(5)]);
+        assert!(!p.eval(&with_null).unwrap());
+        assert!(p.eval(&row(0, "x")).is_err());
+    }
+
+    #[test]
+    fn and_collapses() {
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+        assert_eq!(Predicate::and(vec![Predicate::True]), Predicate::True);
+        let p = Predicate::int_eq(0, 1);
+        assert_eq!(Predicate::and(vec![Predicate::True, p.clone()]), p);
+    }
+
+    #[test]
+    fn split_extracts_index_range() {
+        let p = Predicate::And(vec![
+            Predicate::StrEq { col: 1, value: "x".into() },
+            Predicate::int_half_open(0, 3, 9),
+        ]);
+        let (col, lo, hi, residual) = p.split_index_range().unwrap();
+        assert_eq!(col, 0);
+        assert_eq!(lo, Bound::Included(3));
+        assert_eq!(hi, Bound::Excluded(9));
+        assert_eq!(residual, Predicate::StrEq { col: 1, value: "x".into() });
+        assert!(Predicate::True.split_index_range().is_none());
+        let lone = Predicate::int_eq(2, 5);
+        let (col, _, _, residual) = lone.split_index_range().unwrap();
+        assert_eq!(col, 2);
+        assert_eq!(residual, Predicate::True);
+    }
+}

@@ -1,0 +1,35 @@
+//! Volcano-style query executor with the traditional access paths.
+//!
+//! Implements the PostgreSQL operator repertoire the paper measures against
+//! (Section II and VI):
+//!
+//! * **Full Table Scan** — sequential page runs with readahead;
+//! * **Index Scan** — B+-tree range cursor driving random heap fetches,
+//!   preserving key order;
+//! * **Sort Scan** (a.k.a. Bitmap Heap Scan) — drain the index, sort TIDs in
+//!   page order, fetch nearly sequentially; blocking, order-destroying;
+//! * Filter / Project / Sort;
+//! * Nested-Loop, Index-Nested-Loop, Hash and Merge joins;
+//! * hash and scalar aggregation.
+//!
+//! Every operator charges CPU per tuple touched and performs all I/O
+//! through [`smooth_storage::Storage`], so the virtual clock and I/O
+//! counters measure real executed access patterns. The Smooth Scan operator
+//! itself lives in `smooth-core` and plugs into the same [`Operator`]
+//! protocol.
+
+pub mod agg;
+pub mod expr;
+pub mod filter;
+pub mod join;
+pub mod operator;
+pub mod scan;
+pub mod sort;
+
+pub use agg::{AggFunc, HashAggregate};
+pub use expr::Predicate;
+pub use filter::{Filter, Project};
+pub use join::{HashJoin, IndexNestedLoopJoin, JoinType, MergeJoin, NestedLoopJoin};
+pub use operator::{collect_rows, BoxedOperator, Operator};
+pub use scan::{FullTableScan, IndexScan, SortScan};
+pub use sort::Sort;

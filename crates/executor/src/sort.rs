@@ -1,0 +1,168 @@
+//! Blocking in-memory sort.
+//!
+//! Restores "interesting orders" (Section II): plans that need key order on
+//! top of Full Scan or Sort Scan place this operator above the access path
+//! — the posterior-sorting overhead that Smooth Scan avoids in Fig. 5a.
+
+use std::cmp::Ordering;
+
+use smooth_types::{Result, Row, Schema};
+
+use crate::operator::{BoxedOperator, Operator};
+
+/// One sort key: column ordinal and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column ordinal in the child schema.
+    pub column: usize,
+    /// Ascending when true.
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key on `column`.
+    pub fn asc(column: usize) -> Self {
+        SortKey { column, ascending: true }
+    }
+
+    /// Descending key on `column`.
+    pub fn desc(column: usize) -> Self {
+        SortKey { column, ascending: false }
+    }
+}
+
+/// Blocking sort operator.
+pub struct Sort {
+    child: BoxedOperator,
+    keys: Vec<SortKey>,
+    storage: smooth_storage::Storage,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl Sort {
+    /// Sort child output by `keys` (lexicographic).
+    pub fn new(child: BoxedOperator, storage: smooth_storage::Storage, keys: Vec<SortKey>) -> Self {
+        Sort { child, keys, storage, sorted: None }
+    }
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let mut rows = Vec::new();
+        while let Some(r) = self.child.next()? {
+            rows.push(r);
+        }
+        self.child.close()?;
+        let n = rows.len() as u64;
+        if n > 1 {
+            self.storage
+                .clock()
+                .charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
+        }
+        let keys = self.keys.clone();
+        rows.sort_by(|a, b| {
+            for k in &keys {
+                let ord = a.get(k.column).total_cmp(b.get(k.column));
+                let ord = if k.ascending { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        self.sorted = Some(rows.into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.sorted.as_mut().and_then(|it| it.next()))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.sorted = None;
+        Ok(())
+    }
+
+    fn label(&self) -> String {
+        format!("Sort → {}", self.child.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect_rows, ValuesOp};
+    use smooth_types::{Column, DataType, Value};
+
+    fn storage() -> smooth_storage::Storage {
+        smooth_storage::Storage::default_hdd()
+    }
+
+    fn input(rows: Vec<(i64, i64)>) -> BoxedOperator {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        Box::new(ValuesOp::new(
+            schema,
+            rows.into_iter().map(|(a, b)| Row::new(vec![Value::Int(a), Value::Int(b)])).collect(),
+        ))
+    }
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let mut s = Sort::new(
+            input(vec![(3, 0), (1, 1), (2, 2)]),
+            storage(),
+            vec![SortKey::asc(0)],
+        );
+        let rows = collect_rows(&mut s).unwrap();
+        assert_eq!(rows.iter().map(|r| r.int(0).unwrap()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut s = Sort::new(
+            input(vec![(3, 0), (1, 1), (2, 2)]),
+            storage(),
+            vec![SortKey::desc(0)],
+        );
+        let rows = collect_rows(&mut s).unwrap();
+        assert_eq!(rows.iter().map(|r| r.int(0).unwrap()).collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_lexicographic() {
+        let mut s = Sort::new(
+            input(vec![(1, 9), (0, 5), (1, 2), (0, 7)]),
+            storage(),
+            vec![SortKey::asc(0), SortKey::desc(1)],
+        );
+        let rows = collect_rows(&mut s).unwrap();
+        let pairs: Vec<(i64, i64)> =
+            rows.iter().map(|r| (r.int(0).unwrap(), r.int(1).unwrap())).collect();
+        assert_eq!(pairs, vec![(0, 7), (0, 5), (1, 9), (1, 2)]);
+    }
+
+    #[test]
+    fn charges_nlogn_cpu() {
+        let st = storage();
+        let before = st.clock().snapshot().cpu_ns;
+        let mut s = Sort::new(
+            input((0..1024).map(|i| (1023 - i, i)).collect()),
+            st.clone(),
+            vec![SortKey::asc(0)],
+        );
+        collect_rows(&mut s).unwrap();
+        let delta = st.clock().snapshot().cpu_ns - before;
+        assert_eq!(delta, st.cpu().sort_cmp_ns * 1024 * 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut s = Sort::new(input(vec![]), storage(), vec![SortKey::asc(0)]);
+        assert!(collect_rows(&mut s).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the B+-tree must agree with a sorted-vector oracle for
+//! arbitrary key multisets (heavy duplicates included) and arbitrary range
+//! bounds, at any fanout.
+
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use smooth_index::BTreeIndex;
+use smooth_storage::{CpuCosts, DeviceProfile, Storage, StorageConfig};
+use smooth_types::Tid;
+
+fn storage() -> Storage {
+    Storage::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: 4096,
+    })
+}
+
+fn oracle_range(
+    entries: &[(i64, Tid)],
+    lo: Bound<i64>,
+    hi: Bound<i64>,
+) -> Vec<(i64, Tid)> {
+    let mut v: Vec<(i64, Tid)> = entries
+        .iter()
+        .copied()
+        .filter(|&(k, _)| {
+            (match lo {
+                Bound::Unbounded => true,
+                Bound::Included(l) => k >= l,
+                Bound::Excluded(l) => k > l,
+            }) && (match hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => k <= h,
+                Bound::Excluded(h) => k < h,
+            })
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn arb_bound() -> impl Strategy<Value = Bound<i64>> {
+    prop_oneof![
+        Just(Bound::Unbounded),
+        (-50i64..150).prop_map(Bound::Included),
+        (-50i64..150).prop_map(Bound::Excluded),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn range_scans_match_oracle(
+        keys in proptest::collection::vec(0i64..100, 0..400),
+        fanout in 2usize..40,
+        lo in arb_bound(),
+        hi in arb_bound(),
+    ) {
+        let entries: Vec<(i64, Tid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, Tid::new(i as u32, (i % 7) as u16)))
+            .collect();
+        let idx = std::sync::Arc::new(BTreeIndex::build_with_fanout("i", entries.clone(), fanout));
+        let s = storage();
+        let got = idx.range(&s, lo, hi).collect_all();
+        prop_assert_eq!(got, oracle_range(&entries, lo, hi));
+    }
+
+    #[test]
+    fn probe_matches_oracle(
+        keys in proptest::collection::vec(0i64..30, 1..200),
+        fanout in 2usize..20,
+        probe in -5i64..35,
+    ) {
+        let entries: Vec<(i64, Tid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, Tid::new(i as u32, 0)))
+            .collect();
+        let idx = std::sync::Arc::new(BTreeIndex::build_with_fanout("i", entries.clone(), fanout));
+        let s = storage();
+        let got = idx.probe(&s, probe);
+        let want: Vec<Tid> = oracle_range(&entries, Bound::Included(probe), Bound::Included(probe))
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn geometry_invariants(keys in proptest::collection::vec(any::<i64>(), 0..500),
+                           fanout in 2usize..50) {
+        let entries: Vec<(i64, Tid)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, Tid::new(i as u32, 0))).collect();
+        let n = entries.len();
+        let idx = BTreeIndex::build_with_fanout("i", entries, fanout);
+        prop_assert_eq!(idx.len() as usize, n);
+        // Leaves hold at most `fanout` entries and exactly n in total.
+        prop_assert!(idx.leaf_count() as usize >= n.div_ceil(fanout).max(1));
+        // Separators are sorted.
+        let seps = idx.root_separators();
+        prop_assert!(seps.windows(2).all(|w| w[0] <= w[1]));
+        // min/max agree with the key set.
+        if n > 0 {
+            prop_assert_eq!(idx.min_key(), keys.iter().min().copied());
+            prop_assert_eq!(idx.max_key(), keys.iter().max().copied());
+        }
+    }
+}

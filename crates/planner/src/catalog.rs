@@ -1,0 +1,160 @@
+//! The catalog: tables, their indexes, and their (possibly stale)
+//! statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use smooth_index::BTreeIndex;
+use smooth_stats::{StaleCatalog, StatsQuality, TableStats};
+use smooth_storage::HeapFile;
+use smooth_types::{Error, Result};
+
+/// One secondary index registered on a table.
+#[derive(Clone)]
+pub struct IndexEntry {
+    /// The B+-tree.
+    pub index: Arc<BTreeIndex>,
+    /// Indexed column ordinal.
+    pub column: usize,
+}
+
+/// One table: heap, indexes, statistics.
+pub struct TableEntry {
+    /// The heap file.
+    pub heap: Arc<HeapFile>,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexEntry>,
+    /// Statistics with a staleness model applied.
+    pub stats: StaleCatalog,
+}
+
+impl TableEntry {
+    /// Find an index on `column`.
+    pub fn index_on(&self, column: usize) -> Option<&IndexEntry> {
+        self.indexes.iter().find(|e| e.column == column)
+    }
+}
+
+/// Name → table map.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a loaded heap, analyzing it immediately (accurate stats by
+    /// default; damage them with [`Catalog::set_stats_quality`]).
+    pub fn register(&mut self, heap: Arc<HeapFile>) -> Result<()> {
+        let name = heap.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(Error::plan(format!("table '{name}' already exists")));
+        }
+        let stats = TableStats::analyze(&heap)?;
+        self.tables.insert(
+            name,
+            TableEntry {
+                heap,
+                indexes: Vec::new(),
+                stats: StaleCatalog::new(stats, StatsQuality::Accurate),
+            },
+        );
+        Ok(())
+    }
+
+    /// Build and register a B+-tree on `table.column`.
+    pub fn create_index(&mut self, table: &str, column: usize, name: &str) -> Result<()> {
+        let entry = self.get_mut(table)?;
+        if entry.index_on(column).is_some() {
+            return Err(Error::plan(format!("duplicate index on {table}.{column}")));
+        }
+        let index = Arc::new(BTreeIndex::build_from_heap(name, &entry.heap, column)?);
+        entry.indexes.push(IndexEntry { index, column });
+        Ok(())
+    }
+
+    /// Re-analyze a table (fresh, accurate statistics; keeps the quality
+    /// setting).
+    pub fn analyze(&mut self, table: &str) -> Result<()> {
+        let entry = self.get_mut(table)?;
+        let quality = entry.stats.quality();
+        entry.stats = StaleCatalog::new(TableStats::analyze(&entry.heap)?, quality);
+        Ok(())
+    }
+
+    /// Set the staleness model for a table's statistics.
+    pub fn set_stats_quality(&mut self, table: &str, quality: StatsQuality) -> Result<()> {
+        self.get_mut(table)?.stats.set_quality(quality);
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn get(&self, table: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| Error::plan(format!("no table named '{table}'")))
+    }
+
+    fn get_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::plan(format!("no table named '{table}'")))
+    }
+
+    /// Registered table names (sorted for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_storage::HeapLoader;
+    use smooth_types::{Column, DataType, Row, Schema, Value};
+
+    fn heap(name: &str) -> Arc<HeapFile> {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let mut l = HeapLoader::new_mem(name, schema);
+        for i in 0..500i64 {
+            l.push(&Row::new(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+        }
+        Arc::new(l.finish().unwrap())
+    }
+
+    #[test]
+    fn register_analyze_index_lookup() {
+        let mut c = Catalog::new();
+        c.register(heap("t")).unwrap();
+        assert!(c.register(heap("t")).is_err(), "duplicate table");
+        c.create_index("t", 1, "t_b").unwrap();
+        assert!(c.create_index("t", 1, "dup").is_err());
+        let e = c.get("t").unwrap();
+        assert!(e.index_on(1).is_some());
+        assert!(e.index_on(0).is_none());
+        assert_eq!(e.stats.honest().row_count, 500);
+        assert!(c.get("missing").is_err());
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn stats_quality_is_settable() {
+        let mut c = Catalog::new();
+        c.register(heap("t")).unwrap();
+        c.set_stats_quality("t", StatsQuality::FixedCardinality(7)).unwrap();
+        assert_eq!(c.get("t").unwrap().stats.quality(), StatsQuality::FixedCardinality(7));
+        c.analyze("t").unwrap();
+        // analyze refreshes numbers but keeps the damage model
+        assert_eq!(c.get("t").unwrap().stats.quality(), StatsQuality::FixedCardinality(7));
+    }
+}

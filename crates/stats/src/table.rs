@@ -1,0 +1,109 @@
+//! Per-table statistics: the `ANALYZE` output the planner consumes.
+
+use smooth_storage::{HeapFile, PageView};
+use smooth_types::{PageId, Result, Value};
+
+use crate::column::ColumnStats;
+
+/// Statistics for one table, with per-column detail for integer-like
+/// columns (text columns carry no histogram — the planner treats predicates
+/// on them with fixed default selectivities, as real systems do when
+/// statistics are missing).
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Rows in the table at analysis time.
+    pub row_count: u64,
+    /// Heap pages at analysis time.
+    pub page_count: u32,
+    /// Column statistics, aligned with the schema (None for text columns).
+    pub columns: Vec<Option<ColumnStats>>,
+}
+
+impl TableStats {
+    /// Scan the heap (raw, uncharged — `ANALYZE` is setup work) and build
+    /// statistics for every integer-like column.
+    pub fn analyze(heap: &HeapFile) -> Result<Self> {
+        let ncols = heap.schema().len();
+        let mut per_col: Vec<Vec<i64>> = vec![Vec::new(); ncols];
+        let collect: Vec<bool> = heap
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.ty.indexable() && c.ty != smooth_types::DataType::Text)
+            .collect();
+        for p in 0..heap.page_count() {
+            let page = heap.read_raw(PageId(p))?;
+            let view = PageView::new(&page)?;
+            for slot in 0..view.slot_count() {
+                let row = heap.decode_slot(&page, slot)?;
+                for (c, vals) in per_col.iter_mut().enumerate() {
+                    if !collect[c] {
+                        continue;
+                    }
+                    if let Value::Int(v) = row.get(c) {
+                        vals.push(*v);
+                    }
+                }
+            }
+        }
+        let row_count = heap.tuple_count();
+        let columns = per_col
+            .into_iter()
+            .enumerate()
+            .map(|(c, vals)| collect[c].then(|| ColumnStats::analyze(&vals, row_count)))
+            .collect();
+        Ok(TableStats { row_count, page_count: heap.page_count(), columns })
+    }
+
+    /// Statistics for a column by index (None for unanalyzed columns).
+    pub fn column(&self, idx: usize) -> Option<&ColumnStats> {
+        self.columns.get(idx).and_then(|c| c.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_storage::HeapLoader;
+    use smooth_types::{Column, DataType, Row, Schema};
+    use std::ops::Bound;
+
+    #[test]
+    fn analyze_covers_int_columns_and_skips_text() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int64),
+            Column::new("grp", DataType::Int32),
+            Column::new("note", DataType::Text),
+        ])
+        .unwrap();
+        let mut l = HeapLoader::new_mem("t", schema);
+        for i in 0..2000i64 {
+            l.push(&Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::str("x"),
+            ]))
+            .unwrap();
+        }
+        let heap = l.finish().unwrap();
+        let stats = TableStats::analyze(&heap).unwrap();
+        assert_eq!(stats.row_count, 2000);
+        assert_eq!(stats.page_count, heap.page_count());
+        assert!(stats.column(2).is_none());
+        let id = stats.column(0).unwrap();
+        assert_eq!((id.min, id.max), (Some(0), Some(1999)));
+        let grp = stats.column(1).unwrap();
+        assert_eq!(grp.distinct, 10);
+        let half = id.range_selectivity(Bound::Included(0), Bound::Excluded(1000));
+        assert!((half - 0.5).abs() < 0.05, "{half}");
+    }
+
+    #[test]
+    fn analyze_empty_table() {
+        let schema = Schema::new(vec![Column::new("id", DataType::Int64)]).unwrap();
+        let heap = HeapLoader::new_mem("t", schema).finish().unwrap();
+        let stats = TableStats::analyze(&heap).unwrap();
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.column(0).unwrap().min, None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Physical page stores: where frozen pages live.
+//!
+//! Two interchangeable backends implement [`Backend`]:
+//!
+//! * [`MemBackend`] — pages in a `Vec`; the default for experiments (the
+//!   *cost* of I/O is charged by the device model, so the bytes may as well
+//!   come from RAM — this is what makes the harness fast and deterministic).
+//! * [`FileBackend`] — pages in a real file via positional reads; proves the
+//!   engine runs against a durable store and exercises the same code paths.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::Arc;
+
+use smooth_types::{Error, Result, PAGE_SIZE};
+
+use crate::page::PageBuf;
+
+/// A store of fixed-size pages addressed by dense page number.
+pub trait Backend: Send + Sync {
+    /// Number of pages currently stored.
+    fn page_count(&self) -> u32;
+    /// Fetch a page image by number.
+    fn read(&self, page: u32) -> Result<PageBuf>;
+    /// Append a page, returning its number.
+    fn append(&mut self, page: PageBuf) -> Result<u32>;
+}
+
+/// In-memory page store.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    pages: Vec<PageBuf>,
+}
+
+impl MemBackend {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn read(&self, page: u32) -> Result<PageBuf> {
+        self.pages
+            .get(page as usize)
+            .cloned()
+            .ok_or_else(|| Error::exec(format!("page {page} past end of file")))
+    }
+
+    fn append(&mut self, page: PageBuf) -> Result<u32> {
+        let id = self.pages.len() as u32;
+        self.pages.push(page);
+        Ok(id)
+    }
+}
+
+/// File-backed page store using positional reads (no shared seek cursor).
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    page_count: u32,
+}
+
+impl FileBackend {
+    /// Create (truncating) a page file at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FileBackend { file, page_count: 0 })
+    }
+
+    /// Open an existing page file; its size must be page-aligned.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(Error::corrupt(format!("file length {len} not page aligned")));
+        }
+        Ok(FileBackend { file, page_count: (len / PAGE_SIZE as u64) as u32 })
+    }
+}
+
+impl Backend for FileBackend {
+    fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    fn read(&self, page: u32) -> Result<PageBuf> {
+        if page >= self.page_count {
+            return Err(Error::exec(format!("page {page} past end of file")));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, page as u64 * PAGE_SIZE as u64)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(Arc::from(buf.into_boxed_slice()))
+    }
+
+    fn append(&mut self, page: PageBuf) -> Result<u32> {
+        let id = self.page_count;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(&page, id as u64 * PAGE_SIZE as u64)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+            f.write_all(&page)?;
+        }
+        self.page_count += 1;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageBuilder;
+
+    fn page_with(byte: &[u8]) -> PageBuf {
+        let mut b = PageBuilder::new();
+        b.insert(byte).unwrap();
+        b.freeze()
+    }
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        let mut m = MemBackend::new();
+        assert_eq!(m.append(page_with(b"one")).unwrap(), 0);
+        assert_eq!(m.append(page_with(b"two")).unwrap(), 1);
+        assert_eq!(m.page_count(), 2);
+        let p = m.read(1).unwrap();
+        assert_eq!(crate::page::PageView::new(&p).unwrap().get(0).unwrap(), b"two");
+        assert!(m.read(2).is_err());
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_reopen() {
+        let path = std::env::temp_dir()
+            .join(format!("smooth_fb_{}_{}", std::process::id(), line!()));
+        {
+            let mut f = FileBackend::create(&path).unwrap();
+            f.append(page_with(b"persisted")).unwrap();
+            f.append(page_with(b"more")).unwrap();
+            assert_eq!(f.page_count(), 2);
+        }
+        let f = FileBackend::open(&path).unwrap();
+        assert_eq!(f.page_count(), 2);
+        let p = f.read(0).unwrap();
+        assert_eq!(crate::page::PageView::new(&p).unwrap().get(0).unwrap(), b"persisted");
+        assert!(f.read(9).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_unaligned_file() {
+        let path = std::env::temp_dir()
+            .join(format!("smooth_fb_bad_{}_{}", std::process::id(), line!()));
+        std::fs::write(&path, b"not a page").unwrap();
+        assert!(FileBackend::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Device profiles: the cost of moving one page, sequentially or randomly.
+//!
+//! The paper's analysis is parameterized entirely by the ratio between a
+//! random and a sequential page transfer (`randcost`/`seqcost`, Table I).
+//! Section V-A uses `randcost = 10, seqcost = 1` for HDDs and
+//! `randcost = 2, seqcost = 1` for SSDs; Section VI-A reports 130 MB/s of
+//! sequential bandwidth for the HDD array and Section VI-E 550 MB/s for the
+//! SSD. The presets below translate those figures to per-page latencies.
+
+use std::fmt;
+
+/// Timing model of one storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Human-readable name ("hdd", "ssd", ...).
+    pub name: &'static str,
+    /// Cost of transferring one page that continues a sequential run.
+    pub seq_page_ns: u64,
+    /// Cost of transferring one page at a random position (seek + transfer).
+    pub rand_page_ns: u64,
+}
+
+impl DeviceProfile {
+    /// The paper's HDD array: ~130 MB/s sequential (≈ 62.5 µs per 8 KB
+    /// page), random accesses 10× slower (Section V-A).
+    pub const fn hdd() -> Self {
+        DeviceProfile { name: "hdd", seq_page_ns: 62_500, rand_page_ns: 625_000 }
+    }
+
+    /// The paper's SSD: ~550 MB/s sequential (≈ 15 µs per 8 KB page),
+    /// random accesses 2× slower (Sections V-A, VI-E).
+    pub const fn ssd() -> Self {
+        DeviceProfile { name: "ssd", seq_page_ns: 15_000, rand_page_ns: 30_000 }
+    }
+
+    /// A custom profile, mainly for tests and ablations.
+    pub const fn custom(name: &'static str, seq_page_ns: u64, rand_page_ns: u64) -> Self {
+        DeviceProfile { name, seq_page_ns, rand_page_ns }
+    }
+
+    /// `randcost / seqcost` — the quantity that drives the competitive
+    /// ratio bounds of Section V-A.
+    pub fn rand_seq_ratio(&self) -> f64 {
+        self.rand_page_ns as f64 / self.seq_page_ns as f64
+    }
+
+    /// Cost of one run of `len` pages starting at a random position:
+    /// one random transfer plus `len - 1` sequential ones.
+    pub fn run_cost_ns(&self, len: u64) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            self.rand_page_ns + (len - 1) * self.seq_page_ns
+        }
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::hdd()
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (seq {} ns/page, rand {} ns/page, ratio {:.1})",
+            self.name,
+            self.seq_page_ns,
+            self.rand_page_ns,
+            self.rand_seq_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios_hold() {
+        assert_eq!(DeviceProfile::hdd().rand_seq_ratio(), 10.0);
+        assert_eq!(DeviceProfile::ssd().rand_seq_ratio(), 2.0);
+    }
+
+    #[test]
+    fn run_cost_mixes_one_random_with_sequential() {
+        let d = DeviceProfile::custom("t", 1, 10);
+        assert_eq!(d.run_cost_ns(0), 0);
+        assert_eq!(d.run_cost_ns(1), 10);
+        assert_eq!(d.run_cost_ns(5), 10 + 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = DeviceProfile::hdd().to_string();
+        assert!(s.contains("hdd") && s.contains("10.0"));
+    }
+}

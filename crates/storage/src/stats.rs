@@ -1,0 +1,93 @@
+//! I/O counters: what Table II and Fig. 8b report.
+//!
+//! The tracker accumulates monotone counters; experiments snapshot before
+//! and after a query and subtract, which is how the paper reports
+//! per-query "#I/O requests" and "read data (GB)" (Table II) and
+//! "number of read pages" (Fig. 8b).
+
+use smooth_types::PAGE_SIZE;
+
+/// Point-in-time I/O counter values. Subtracting two snapshots (via
+/// [`IoSnapshot::since`]) yields the traffic of the work between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Number of I/O requests issued to the device (a multi-page
+    /// sequential run counts once — this is what Table II counts).
+    pub io_requests: u64,
+    /// Pages transferred from the device (including re-reads).
+    pub pages_read: u64,
+    /// Pages transferred at sequential cost.
+    pub seq_pages: u64,
+    /// Pages transferred at random cost.
+    pub rand_pages: u64,
+    /// *Distinct* pages ever transferred (Fig. 8b's metric).
+    pub distinct_pages: u64,
+    /// Buffer pool hits (no device traffic).
+    pub buffer_hits: u64,
+}
+
+/// Alias making call-sites explicit about deltas vs totals.
+pub type IoStatsDelta = IoSnapshot;
+
+impl IoSnapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoStatsDelta {
+        IoSnapshot {
+            io_requests: self.io_requests - earlier.io_requests,
+            pages_read: self.pages_read - earlier.pages_read,
+            seq_pages: self.seq_pages - earlier.seq_pages,
+            rand_pages: self.rand_pages - earlier.rand_pages,
+            distinct_pages: self.distinct_pages - earlier.distinct_pages,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+        }
+    }
+
+    /// Bytes transferred from the device.
+    pub fn bytes_read(&self) -> u64 {
+        self.pages_read * PAGE_SIZE as u64
+    }
+
+    /// Megabytes transferred from the device.
+    pub fn mb_read(&self) -> f64 {
+        self.bytes_read() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_every_field() {
+        let a = IoSnapshot {
+            io_requests: 10,
+            pages_read: 100,
+            seq_pages: 90,
+            rand_pages: 10,
+            distinct_pages: 80,
+            buffer_hits: 5,
+        };
+        let b = IoSnapshot {
+            io_requests: 4,
+            pages_read: 40,
+            seq_pages: 36,
+            rand_pages: 4,
+            distinct_pages: 30,
+            buffer_hits: 2,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.io_requests, 6);
+        assert_eq!(d.pages_read, 60);
+        assert_eq!(d.seq_pages, 54);
+        assert_eq!(d.rand_pages, 6);
+        assert_eq!(d.distinct_pages, 50);
+        assert_eq!(d.buffer_hits, 3);
+    }
+
+    #[test]
+    fn byte_accounting_uses_page_size() {
+        let s = IoSnapshot { pages_read: 3, ..Default::default() };
+        assert_eq!(s.bytes_read(), 3 * PAGE_SIZE as u64);
+        assert!((s.mb_read() - 3.0 * 8192.0 / 1048576.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,323 @@
+//! The storage facade: buffered, accounted page access.
+//!
+//! One [`Storage`] instance plays the role of PostgreSQL's buffer manager +
+//! storage manager for a database: every heap-page or index-node access from
+//! any operator funnels through it, consults the buffer pool, and charges
+//! the device model on misses. It is cheaply cloneable (shared interior) so
+//! each operator in a plan can hold a handle.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smooth_types::{PageId, Result};
+
+use crate::clock::VirtualClock;
+use crate::costs::CpuCosts;
+use crate::device::DeviceProfile;
+use crate::heap::HeapFile;
+use crate::page::PageBuf;
+use crate::pool::{BufferPool, Cached};
+use crate::stats::IoSnapshot;
+use crate::tracker::DiskTracker;
+
+/// Identifier of one on-"disk" file (heap or index) within the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+static NEXT_FILE_ID: AtomicU32 = AtomicU32::new(1);
+
+impl FileId {
+    /// A process-unique file id.
+    pub fn fresh() -> FileId {
+        FileId(NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Tunables for one storage instance.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageConfig {
+    /// Device timing model.
+    pub device: DeviceProfile,
+    /// CPU cost constants charged by operators.
+    pub cpu: CpuCosts,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            device: DeviceProfile::hdd(),
+            cpu: CpuCosts::default(),
+            pool_pages: 256,
+        }
+    }
+}
+
+struct Inner {
+    clock: VirtualClock,
+    cpu: CpuCosts,
+    tracker: Mutex<DiskTracker>,
+    pool: Mutex<BufferPool>,
+}
+
+/// Shared storage-manager handle.
+#[derive(Clone)]
+pub struct Storage {
+    inner: Arc<Inner>,
+}
+
+impl Storage {
+    /// Build a storage manager from a config.
+    pub fn new(cfg: StorageConfig) -> Self {
+        Storage {
+            inner: Arc::new(Inner {
+                clock: VirtualClock::new(),
+                cpu: cfg.cpu,
+                tracker: Mutex::new(DiskTracker::new(cfg.device)),
+                pool: Mutex::new(BufferPool::new(cfg.pool_pages)),
+            }),
+        }
+    }
+
+    /// Storage with default config (HDD, 256-page pool).
+    pub fn default_hdd() -> Self {
+        Self::new(StorageConfig::default())
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    /// CPU cost constants.
+    pub fn cpu(&self) -> &CpuCosts {
+        &self.inner.cpu
+    }
+
+    /// The current device profile.
+    pub fn device(&self) -> DeviceProfile {
+        self.inner.tracker.lock().device()
+    }
+
+    /// Swap the device profile (between experiments).
+    pub fn set_device(&self, device: DeviceProfile) {
+        self.inner.tracker.lock().set_device(device);
+    }
+
+    /// Read one heap page through the pool, charging on miss.
+    pub fn read_heap_page(&self, heap: &HeapFile, page: PageId) -> Result<PageBuf> {
+        self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns); // pool lookup
+        let file = heap.file_id();
+        {
+            let mut pool = self.inner.pool.lock();
+            if let Some(Cached::Heap(buf)) = pool.get(file, page.0) {
+                self.inner.tracker.lock().note_buffer_hit();
+                return Ok(buf);
+            }
+        }
+        self.inner.tracker.lock().read_run(&self.inner.clock, file, page.0, 1);
+        let buf = heap.read_raw(page)?;
+        self.inner.pool.lock().insert(file, page.0, Cached::Heap(buf.clone()));
+        Ok(buf)
+    }
+
+    /// Read a contiguous run of heap pages `[start, start+len)` through the
+    /// pool. Resident pages are served from cache; the missing pages are
+    /// coalesced into maximal contiguous device requests (each one seek +
+    /// sequential transfers). Returns the pages in order.
+    pub fn read_heap_run(
+        &self,
+        heap: &HeapFile,
+        start: PageId,
+        len: u32,
+    ) -> Result<Vec<(PageId, PageBuf)>> {
+        let file = heap.file_id();
+        let mut out = Vec::with_capacity(len as usize);
+        let mut missing: Vec<u32> = Vec::new();
+        {
+            let mut pool = self.inner.pool.lock();
+            let mut tracker = self.inner.tracker.lock();
+            self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns * len as u64);
+            for p in start.0..start.0 + len {
+                match pool.get(file, p) {
+                    Some(Cached::Heap(buf)) => {
+                        tracker.note_buffer_hit();
+                        out.push((PageId(p), buf));
+                    }
+                    _ => missing.push(p),
+                }
+            }
+        }
+        // Coalesce misses into maximal contiguous runs and fetch each.
+        let mut i = 0;
+        while i < missing.len() {
+            let run_start = missing[i];
+            let mut run_len = 1u32;
+            while i + (run_len as usize) < missing.len()
+                && missing[i + run_len as usize] == run_start + run_len
+            {
+                run_len += 1;
+            }
+            self.inner.tracker.lock().read_run(&self.inner.clock, file, run_start, run_len);
+            for p in run_start..run_start + run_len {
+                let buf = heap.read_raw(PageId(p))?;
+                self.inner.pool.lock().insert(file, p, Cached::Heap(buf.clone()));
+                out.push((PageId(p), buf));
+            }
+            i += run_len as usize;
+        }
+        out.sort_unstable_by_key(|(p, _)| *p);
+        Ok(out)
+    }
+
+    /// Touch a *virtual* page (a B+-tree node): pool residency decides
+    /// whether the device is charged. Returns `true` on a pool hit.
+    pub fn touch_index_page(&self, file: FileId, node: u32) -> bool {
+        self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns);
+        {
+            let mut pool = self.inner.pool.lock();
+            if pool.get(file, node).is_some() {
+                self.inner.tracker.lock().note_buffer_hit();
+                return true;
+            }
+            pool.insert(file, node, Cached::Virtual);
+        }
+        self.inner.tracker.lock().read_run(&self.inner.clock, file, node, 1);
+        false
+    }
+
+    /// Flush the buffer pool (the paper's cold-run methodology: "we clear
+    /// database buffer caches as well as OS file system caches before each
+    /// query execution", Section VI-A).
+    pub fn flush_pool(&self) {
+        self.inner.pool.lock().clear();
+    }
+
+    /// Zero the clock and all I/O counters (between experiments).
+    pub fn reset_metrics(&self) {
+        self.inner.clock.reset();
+        self.inner.tracker.lock().reset();
+    }
+
+    /// Current I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.inner.tracker.lock().snapshot()
+    }
+
+    /// Distinct pages transferred for `file` since the last reset.
+    pub fn distinct_pages_for(&self, file: FileId) -> u64 {
+        self.inner.tracker.lock().distinct_pages_for(file)
+    }
+
+    /// Buffer pool occupancy (pages resident).
+    pub fn pool_len(&self) -> usize {
+        self.inner.pool.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_types::{Column, DataType, Row, Schema, Value};
+
+    fn small_heap(rows: i64) -> HeapFile {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int64),
+            Column::new("pad", DataType::Text),
+        ])
+        .unwrap();
+        let mut l = crate::heap::HeapLoader::new_mem("t", schema);
+        for i in 0..rows {
+            l.push(&Row::new(vec![Value::Int(i), Value::str("x".repeat(100))])).unwrap();
+        }
+        l.finish().unwrap()
+    }
+
+    fn storage(pool_pages: usize) -> Storage {
+        Storage::new(StorageConfig {
+            device: DeviceProfile::custom("t", 1, 10),
+            cpu: CpuCosts::default(),
+            pool_pages,
+        })
+    }
+
+    #[test]
+    fn cold_read_charges_miss_then_hit_is_free() {
+        let heap = small_heap(500);
+        let s = storage(64);
+        s.read_heap_page(&heap, PageId(3)).unwrap();
+        let after_first = s.io_snapshot();
+        assert_eq!(after_first.pages_read, 1);
+        s.read_heap_page(&heap, PageId(3)).unwrap();
+        let after_second = s.io_snapshot();
+        assert_eq!(after_second.pages_read, 1);
+        assert_eq!(after_second.buffer_hits, 1);
+    }
+
+    #[test]
+    fn run_read_coalesces_around_cached_pages() {
+        let heap = small_heap(2000);
+        let s = storage(64);
+        // Warm page 5 only.
+        s.read_heap_page(&heap, PageId(5)).unwrap();
+        s.reset_metrics();
+        // Run [3, 9): pages 3,4 and 6,7,8 are missing → two requests.
+        let pages = s.read_heap_run(&heap, PageId(3), 6).unwrap();
+        assert_eq!(pages.len(), 6);
+        assert!(pages.windows(2).all(|w| w[0].0 < w[1].0));
+        let io = s.io_snapshot();
+        assert_eq!(io.io_requests, 2);
+        assert_eq!(io.pages_read, 5);
+        assert_eq!(io.buffer_hits, 1);
+    }
+
+    #[test]
+    fn flush_makes_next_read_cold() {
+        let heap = small_heap(500);
+        let s = storage(64);
+        s.read_heap_page(&heap, PageId(0)).unwrap();
+        s.flush_pool();
+        s.read_heap_page(&heap, PageId(0)).unwrap();
+        assert_eq!(s.io_snapshot().pages_read, 2);
+    }
+
+    #[test]
+    fn index_touch_tracks_residency() {
+        let s = storage(64);
+        let f = FileId::fresh();
+        assert!(!s.touch_index_page(f, 0)); // cold
+        assert!(s.touch_index_page(f, 0)); // now cached
+        let io = s.io_snapshot();
+        assert_eq!(io.pages_read, 1);
+        assert_eq!(io.buffer_hits, 1);
+    }
+
+    #[test]
+    fn tiny_pool_causes_rereads() {
+        let heap = small_heap(2000);
+        let s = storage(2);
+        let n = heap.page_count();
+        for p in 0..n {
+            s.read_heap_page(&heap, PageId(p)).unwrap();
+        }
+        // Second sweep: everything was evicted.
+        for p in 0..n {
+            s.read_heap_page(&heap, PageId(p)).unwrap();
+        }
+        assert_eq!(s.io_snapshot().pages_read as u32, 2 * n);
+        assert_eq!(s.io_snapshot().distinct_pages as u32, n);
+    }
+
+    #[test]
+    fn clock_separates_cpu_and_io() {
+        let heap = small_heap(500);
+        let s = storage(64);
+        s.read_heap_page(&heap, PageId(0)).unwrap();
+        let snap = s.clock().snapshot();
+        assert!(snap.io_ns > 0);
+        assert!(snap.cpu_ns > 0);
+        assert_eq!(snap.io_ns, 10); // one random page on the test device
+    }
+}

@@ -1,0 +1,207 @@
+//! The disk tracker: classifies page transfers and charges the clock.
+//!
+//! Each transfer is sequential if it physically continues the previous one
+//! (same file, next page) and random otherwise — the distinction that
+//! drives the entire paper: "the sequential access pattern employed by the
+//! full table scan is one to two orders of magnitude faster than the random
+//! access pattern of an index scan" (Section II). Multi-page runs cost one
+//! random positioning plus sequential transfers for the remainder, which is
+//! how Smooth Scan's flattening mode (Mode 2) amortizes I/O.
+
+use std::collections::HashSet;
+
+use crate::clock::VirtualClock;
+use crate::device::DeviceProfile;
+use crate::stats::IoSnapshot;
+use crate::storage::FileId;
+
+/// Mutable I/O accounting state (wrapped in a mutex by [`crate::Storage`]).
+#[derive(Debug)]
+pub struct DiskTracker {
+    device: DeviceProfile,
+    /// Physical position of the most recent transfer: `(file, page)`.
+    last: Option<(FileId, u32)>,
+    io_requests: u64,
+    pages_read: u64,
+    seq_pages: u64,
+    rand_pages: u64,
+    buffer_hits: u64,
+    distinct: HashSet<(FileId, u32)>,
+}
+
+impl DiskTracker {
+    /// A tracker for the given device with zeroed counters.
+    pub fn new(device: DeviceProfile) -> Self {
+        DiskTracker {
+            device,
+            last: None,
+            io_requests: 0,
+            pages_read: 0,
+            seq_pages: 0,
+            rand_pages: 0,
+            buffer_hits: 0,
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// The device being modeled.
+    pub fn device(&self) -> DeviceProfile {
+        self.device
+    }
+
+    /// Swap the device profile (e.g. HDD → SSD between experiments).
+    pub fn set_device(&mut self, device: DeviceProfile) {
+        self.device = device;
+    }
+
+    /// Record one read request of `len` contiguous pages of `file` starting
+    /// at `start`, charging the clock. The first page is sequential only if
+    /// it directly continues the previous transfer.
+    pub fn read_run(&mut self, clock: &VirtualClock, file: FileId, start: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        self.io_requests += 1;
+        self.pages_read += len as u64;
+        let continues = match self.last {
+            Some((f, p)) => f == file && p + 1 == start,
+            None => false,
+        };
+        let (first_cost, first_seq) = if continues {
+            (self.device.seq_page_ns, true)
+        } else {
+            (self.device.rand_page_ns, false)
+        };
+        let io_ns = first_cost + (len as u64 - 1) * self.device.seq_page_ns;
+        clock.charge_io(io_ns);
+        if first_seq {
+            self.seq_pages += len as u64;
+        } else {
+            self.rand_pages += 1;
+            self.seq_pages += len as u64 - 1;
+        }
+        for p in start..start + len {
+            self.distinct.insert((file, p));
+        }
+        self.last = Some((file, start + len - 1));
+    }
+
+    /// Record a buffer-pool hit (no device traffic, no clock charge).
+    pub fn note_buffer_hit(&mut self) {
+        self.buffer_hits += 1;
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            io_requests: self.io_requests,
+            pages_read: self.pages_read,
+            seq_pages: self.seq_pages,
+            rand_pages: self.rand_pages,
+            distinct_pages: self.distinct.len() as u64,
+            buffer_hits: self.buffer_hits,
+        }
+    }
+
+    /// Distinct pages transferred for one specific file (Fig. 8b is
+    /// reported per heap).
+    pub fn distinct_pages_for(&self, file: FileId) -> u64 {
+        self.distinct.iter().filter(|(f, _)| *f == file).count() as u64
+    }
+
+    /// Zero all counters and forget the head position.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.io_requests = 0;
+        self.pages_read = 0;
+        self.seq_pages = 0;
+        self.rand_pages = 0;
+        self.buffer_hits = 0;
+        self.distinct.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DiskTracker, VirtualClock) {
+        (DiskTracker::new(DeviceProfile::custom("t", 1, 10)), VirtualClock::new())
+    }
+
+    #[test]
+    fn first_access_is_random() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 5, 1);
+        let s = t.snapshot();
+        assert_eq!((s.rand_pages, s.seq_pages, s.io_requests), (1, 0, 1));
+        assert_eq!(c.snapshot().io_ns, 10);
+    }
+
+    #[test]
+    fn contiguous_accesses_are_sequential() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 0, 1);
+        t.read_run(&c, FileId(1), 1, 1);
+        t.read_run(&c, FileId(1), 2, 1);
+        let s = t.snapshot();
+        assert_eq!((s.rand_pages, s.seq_pages), (1, 2));
+        assert_eq!(c.snapshot().io_ns, 10 + 1 + 1);
+    }
+
+    #[test]
+    fn jumps_and_file_switches_are_random() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 0, 1);
+        t.read_run(&c, FileId(1), 7, 1); // jump
+        t.read_run(&c, FileId(2), 8, 1); // different file, even if "adjacent" number
+        let s = t.snapshot();
+        assert_eq!(s.rand_pages, 3);
+        assert_eq!(c.snapshot().io_ns, 30);
+    }
+
+    #[test]
+    fn runs_cost_one_seek_plus_transfers() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 100, 8);
+        let s = t.snapshot();
+        assert_eq!((s.io_requests, s.pages_read), (1, 8));
+        assert_eq!((s.rand_pages, s.seq_pages), (1, 7));
+        assert_eq!(c.snapshot().io_ns, 10 + 7);
+        // A run continuing exactly after the previous one is all-sequential.
+        t.read_run(&c, FileId(1), 108, 4);
+        let s = t.snapshot();
+        assert_eq!((s.rand_pages, s.seq_pages), (1, 11));
+    }
+
+    #[test]
+    fn distinct_pages_ignore_rereads() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 0, 4);
+        t.read_run(&c, FileId(1), 2, 4); // overlaps 2 pages
+        let s = t.snapshot();
+        assert_eq!(s.pages_read, 8);
+        assert_eq!(s.distinct_pages, 6);
+        assert_eq!(t.distinct_pages_for(FileId(1)), 6);
+        assert_eq!(t.distinct_pages_for(FileId(9)), 0);
+    }
+
+    #[test]
+    fn zero_length_run_is_a_noop() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 0, 0);
+        assert_eq!(t.snapshot(), IoSnapshot::default());
+        assert_eq!(c.snapshot().io_ns, 0);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_position() {
+        let (mut t, c) = setup();
+        t.read_run(&c, FileId(1), 0, 2);
+        t.reset();
+        assert_eq!(t.snapshot(), IoSnapshot::default());
+        // After reset, even the "next" page costs a random access again.
+        t.read_run(&c, FileId(1), 2, 1);
+        assert_eq!(t.snapshot().rand_pages, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the storage layer: accounting invariants must hold
+//! under arbitrary access sequences.
+
+use proptest::prelude::*;
+use smooth_storage::{
+    CpuCosts, DeviceProfile, HeapLoader, PageBuilder, PageView, Storage, StorageConfig,
+};
+use smooth_types::{Column, DataType, PageId, Row, Schema, Value};
+
+fn heap(rows: i64) -> smooth_storage::HeapFile {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int64),
+        Column::new("pad", DataType::Text),
+    ])
+    .unwrap();
+    let mut l = HeapLoader::new_mem("t", schema);
+    for i in 0..rows {
+        l.push(&Row::new(vec![Value::Int(i), Value::str("p".repeat(60))])).unwrap();
+    }
+    l.finish().unwrap()
+}
+
+proptest! {
+    /// Every page served is either a device transfer or a buffer hit;
+    /// distinct pages never exceed total transfers nor the heap size.
+    #[test]
+    fn accounting_balances(accesses in proptest::collection::vec((0u32..40, 1u32..6), 1..60),
+                           pool_pages in 1usize..64) {
+        let h = heap(6000);
+        let n = h.page_count();
+        prop_assume!(n >= 46);
+        let s = Storage::new(StorageConfig {
+            device: DeviceProfile::custom("t", 1, 10),
+            cpu: CpuCosts::default(),
+            pool_pages,
+        });
+        let mut served = 0u64;
+        for (start, len) in accesses {
+            let len = len.min(n - start);
+            let pages = s.read_heap_run(&h, PageId(start), len).unwrap();
+            prop_assert_eq!(pages.len() as u32, len);
+            // returned in order, correct ids
+            for (i, (pid, buf)) in pages.iter().enumerate() {
+                prop_assert_eq!(pid.0, start + i as u32);
+                prop_assert!(PageView::new(buf).is_ok());
+            }
+            served += len as u64;
+        }
+        let io = s.io_snapshot();
+        prop_assert_eq!(io.pages_read + io.buffer_hits, served);
+        prop_assert_eq!(io.seq_pages + io.rand_pages, io.pages_read);
+        prop_assert!(io.distinct_pages <= io.pages_read);
+        prop_assert!(io.distinct_pages <= n as u64);
+        prop_assert!(io.io_requests <= io.pages_read);
+        // io time equals the device charge implied by the counters
+        let expected_io = io.rand_pages * 10 + io.seq_pages;
+        prop_assert_eq!(s.clock().snapshot().io_ns, expected_io);
+    }
+
+    /// The slotted page accepts tuples until full and returns each intact.
+    #[test]
+    fn page_roundtrip(tuples in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..300), 1..80)) {
+        let mut b = PageBuilder::new();
+        let mut stored = Vec::new();
+        for t in &tuples {
+            if let Some(slot) = b.insert(t) {
+                stored.push((slot, t.clone()));
+            }
+        }
+        let buf = b.freeze();
+        let v = PageView::new(&buf).unwrap();
+        prop_assert_eq!(v.slot_count() as usize, stored.len());
+        for (slot, bytes) in stored {
+            prop_assert_eq!(v.get(slot).unwrap(), &bytes[..]);
+        }
+    }
+}

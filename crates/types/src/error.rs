@@ -1,0 +1,97 @@
+//! Workspace-wide error type.
+//!
+//! A single, small error enum keeps `Result` plumbing uniform across the
+//! storage engine, index, executor and planner without pulling in external
+//! error-handling crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An underlying I/O failure (file-backed storage only).
+    Io(String),
+    /// On-disk or in-page data failed validation.
+    Corrupt(String),
+    /// A value did not match the schema, or a schema was malformed.
+    Schema(String),
+    /// The requested operation is valid but not supported by this engine.
+    Unsupported(String),
+    /// A runtime failure during query execution.
+    Exec(String),
+    /// A planner failure: unknown table/column, no viable plan, etc.
+    Plan(String),
+}
+
+impl Error {
+    /// Shorthand for a schema error with a formatted message.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+
+    /// Shorthand for an execution error with a formatted message.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Exec(msg.into())
+    }
+
+    /// Shorthand for a planner error with a formatted message.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+
+    /// Shorthand for a corruption error with a formatted message.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::corrupt("bad page header");
+        assert_eq!(e.to_string(), "corrupt data: bad page header");
+        let e = Error::plan("no table t");
+        assert_eq!(e.to_string(), "plan error: no table t");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::schema("x"), Error::Schema("x".into()));
+        assert_ne!(Error::schema("x"), Error::exec("x"));
+    }
+}

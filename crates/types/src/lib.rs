@@ -1,0 +1,27 @@
+//! Common types shared by every crate in the `smoothscan` workspace.
+//!
+//! This crate defines the vocabulary of the engine: [`Value`]s and
+//! [`DataType`]s, [`Schema`]s, the on-page [`Row`] codec, tuple identifiers
+//! ([`Tid`]) and the workspace-wide [`Error`] type.
+//!
+//! The representations deliberately mirror the PostgreSQL concepts the paper
+//! builds on: a heap tuple is addressed by a *TID* `(page, slot)`, rows are
+//! stored in slotted 8 KB pages, and secondary indexes map key values to
+//! TIDs. Keeping these types in a leaf crate lets the storage engine, the
+//! B+-tree, the executor and the Smooth Scan operator evolve independently.
+
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod tid;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use tid::{PageId, SlotId, Tid};
+pub use value::{DataType, Value};
+
+/// Page size used throughout the engine, matching PostgreSQL's default
+/// (and the paper's experimental setup, Section VI-C).
+pub const PAGE_SIZE: usize = 8192;

@@ -1,0 +1,287 @@
+//! In-memory rows and the on-page tuple codec.
+//!
+//! The wire format is a null bitmap followed by the field payloads in schema
+//! order. Fixed-width fields (`Int32`, `Int64`, `Float64`, `Date`) serialize
+//! little-endian; `Text` carries a 2-byte length prefix. NULL fields occupy
+//! no payload bytes. The format is self-delimiting given the schema, which
+//! is all a slotted heap page needs.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// One tuple's worth of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wrap a vector of values.
+    #[inline]
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` for the zero-column row.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow all values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying vector.
+    #[inline]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Value at position `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Integer at position `idx` (errors if not an int).
+    #[inline]
+    pub fn int(&self, idx: usize) -> Result<i64> {
+        self.values[idx].as_int()
+    }
+
+    /// Float at position `idx` (ints widen).
+    #[inline]
+    pub fn float(&self, idx: usize) -> Result<f64> {
+        self.values[idx].as_float()
+    }
+
+    /// String at position `idx` (errors if not text).
+    #[inline]
+    pub fn str(&self, idx: usize) -> Result<&str> {
+        self.values[idx].as_str()
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, right: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + right.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&right.values);
+        Row { values }
+    }
+
+    /// Serialized size in bytes under `schema`, without encoding.
+    pub fn encoded_len(&self, schema: &Schema) -> usize {
+        let bitmap = schema.len().div_ceil(8);
+        let payload: usize = self
+            .values
+            .iter()
+            .zip(schema.columns())
+            .map(|(v, c)| match (v, c.ty) {
+                (Value::Null, _) => 0,
+                (_, ty) => match ty.fixed_width() {
+                    Some(w) => w,
+                    None => 2 + v.as_str().map(str::len).unwrap_or(0),
+                },
+            })
+            .sum();
+        bitmap + payload
+    }
+
+    /// Encode this row under `schema`, appending to `out`.
+    ///
+    /// The row must validate against the schema; violations surface as
+    /// [`Error::Schema`].
+    pub fn encode_into(&self, schema: &Schema, out: &mut Vec<u8>) -> Result<()> {
+        schema.validate(self)?;
+        let bitmap_len = schema.len().div_ceil(8);
+        let bitmap_start = out.len();
+        out.resize(bitmap_start + bitmap_len, 0u8);
+        for (i, (v, c)) in self.values.iter().zip(schema.columns()).enumerate() {
+            match v {
+                Value::Null => {
+                    out[bitmap_start + i / 8] |= 1 << (i % 8);
+                }
+                Value::Int(x) => match c.ty {
+                    DataType::Int32 | DataType::Date => {
+                        out.extend_from_slice(&(*x as i32).to_le_bytes())
+                    }
+                    DataType::Int64 => out.extend_from_slice(&x.to_le_bytes()),
+                    _ => unreachable!("validated"),
+                },
+                Value::Float(x) => out.extend_from_slice(&x.to_le_bytes()),
+                Value::Str(s) => {
+                    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self, schema: &Schema) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.encoded_len(schema));
+        self.encode_into(schema, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a row of `schema` from `bytes`.
+    pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Row> {
+        let bitmap_len = schema.len().div_ceil(8);
+        if bytes.len() < bitmap_len {
+            return Err(Error::corrupt("tuple shorter than its null bitmap"));
+        }
+        let (bitmap, mut rest) = bytes.split_at(bitmap_len);
+        let mut values = Vec::with_capacity(schema.len());
+        for (i, c) in schema.columns().iter().enumerate() {
+            let is_null = bitmap[i / 8] & (1 << (i % 8)) != 0;
+            if is_null {
+                values.push(Value::Null);
+                continue;
+            }
+            let take = |rest: &mut &[u8], n: usize| -> Result<Vec<u8>> {
+                if rest.len() < n {
+                    return Err(Error::corrupt("tuple truncated"));
+                }
+                let (head, tail) = rest.split_at(n);
+                *rest = tail;
+                Ok(head.to_vec())
+            };
+            let v = match c.ty {
+                DataType::Int32 | DataType::Date => {
+                    let b = take(&mut rest, 4)?;
+                    Value::Int(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+                }
+                DataType::Int64 => {
+                    let b = take(&mut rest, 8)?;
+                    Value::Int(i64::from_le_bytes(b.try_into().unwrap()))
+                }
+                DataType::Float64 => {
+                    let b = take(&mut rest, 8)?;
+                    Value::Float(f64::from_le_bytes(b.try_into().unwrap()))
+                }
+                DataType::Text => {
+                    let b = take(&mut rest, 2)?;
+                    let len = u16::from_le_bytes(b.try_into().unwrap()) as usize;
+                    let s = take(&mut rest, len)?;
+                    Value::Str(
+                        String::from_utf8(s).map_err(|_| Error::corrupt("non-utf8 text field"))?,
+                    )
+                }
+            };
+            values.push(v);
+        }
+        if !rest.is_empty() {
+            return Err(Error::corrupt("trailing bytes after tuple"));
+        }
+        Ok(Row { values })
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int64),
+            Column::nullable("c", DataType::Text),
+            Column::nullable("d", DataType::Float64),
+            Column::new("e", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(-5),
+            Value::Int(1 << 40),
+            Value::str("hello"),
+            Value::Float(2.5),
+            Value::Int(19000),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let s = schema();
+        let r = row();
+        let bytes = r.encode(&s).unwrap();
+        assert_eq!(bytes.len(), r.encoded_len(&s));
+        assert_eq!(Row::decode(&s, &bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let s = schema();
+        let r = Row::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Null,
+            Value::Null,
+            Value::Int(0),
+        ]);
+        let bytes = r.encode(&s).unwrap();
+        assert_eq!(Row::decode(&s, &bytes).unwrap(), r);
+        // nulls cost zero payload bytes: bitmap(1) + 4 + 8 + 4
+        assert_eq!(bytes.len(), 17);
+    }
+
+    #[test]
+    fn encode_rejects_schema_violation() {
+        let s = schema();
+        let bad = Row::new(vec![
+            Value::Int(i64::MAX), // does not fit Int32
+            Value::Int(0),
+            Value::Null,
+            Value::Null,
+            Value::Int(0),
+        ]);
+        assert!(bad.encode(&s).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing() {
+        let s = schema();
+        let bytes = row().encode(&s).unwrap();
+        assert!(Row::decode(&s, &bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(Row::decode(&s, &extra).is_err());
+        assert!(Row::decode(&s, &[]).is_err());
+    }
+
+    #[test]
+    fn concat_joins_values() {
+        let r = Row::new(vec![Value::Int(1)]).concat(&Row::new(vec![Value::Int(2)]));
+        assert_eq!(r.values(), &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = row();
+        assert_eq!(r.int(0).unwrap(), -5);
+        assert_eq!(r.str(2).unwrap(), "hello");
+        assert_eq!(r.float(3).unwrap(), 2.5);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+}

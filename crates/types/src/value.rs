@@ -1,0 +1,277 @@
+//! Runtime values and their logical types.
+//!
+//! The engine keeps the value model intentionally small: 64-bit integers
+//! (also covering dates, encoded as days since epoch, and fixed-point
+//! decimals, encoded as cents), 64-bit floats, and UTF-8 strings. This is
+//! enough to express the paper's micro-benchmark (10 integer columns,
+//! Section VI-C) and the TPC-H-style workload (Section VI-B) without the
+//! complexity of a full SQL type system.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+
+/// Logical column types understood by the row codec and the planner.
+///
+/// The *storage* width differs per type (see [`DataType::fixed_width`]);
+/// in-memory all integer-like types widen to [`Value::Int`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer (4 bytes on page).
+    Int32,
+    /// 64-bit signed integer (8 bytes on page).
+    Int64,
+    /// 64-bit IEEE float (8 bytes on page).
+    Float64,
+    /// Date stored as days since 1970-01-01 (4 bytes on page).
+    Date,
+    /// Variable-length UTF-8 string with a 2-byte length prefix.
+    Text,
+}
+
+impl DataType {
+    /// Bytes this type occupies inside a tuple, excluding the null bitmap.
+    /// `None` for variable-width types.
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::Int32 | DataType::Date => Some(4),
+            DataType::Int64 | DataType::Float64 => Some(8),
+            DataType::Text => None,
+        }
+    }
+
+    /// Whether values of this type can serve as a B+-tree key.
+    pub fn indexable(self) -> bool {
+        !matches!(self, DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int32 => "int32",
+            DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
+            DataType::Date => "date",
+            DataType::Text => "text",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Any integer-like value (`Int32`, `Int64`, `Date` widen to this).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// `true` iff the value is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, erroring on other variants.
+    #[inline]
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(Error::exec(format!("expected int, got {other}"))),
+        }
+    }
+
+    /// Extract a float; integers widen losslessly for small magnitudes.
+    #[inline]
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::exec(format!("expected float, got {other}"))),
+        }
+    }
+
+    /// Extract a string slice, erroring on other variants.
+    #[inline]
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::exec(format!("expected text, got {other}"))),
+        }
+    }
+
+    /// Whether this value is storable under the given column type.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(v), DataType::Int32) => i32::try_from(*v).is_ok(),
+            (Value::Int(v), DataType::Date) => i32::try_from(*v).is_ok(),
+            (Value::Int(_), DataType::Int64) => true,
+            (Value::Float(_), DataType::Float64) => true,
+            (Value::Str(s), DataType::Text) => s.len() <= u16::MAX as usize,
+            _ => false,
+        }
+    }
+
+    /// Total ordering used by sort operators and B+-tree keys.
+    ///
+    /// NULL sorts first (as in PostgreSQL's `NULLS FIRST`); values of
+    /// different families compare by family rank, which never happens for
+    /// well-typed plans but keeps the ordering total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_check_variants() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::str("x").as_int().is_err());
+        assert_eq!(Value::Int(7).as_float().unwrap(), 7.0);
+        assert_eq!(Value::str("ab").as_str().unwrap(), "ab");
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn conformance_respects_width() {
+        assert!(Value::Int(1).conforms_to(DataType::Int32));
+        assert!(!Value::Int(i64::MAX).conforms_to(DataType::Int32));
+        assert!(Value::Int(i64::MAX).conforms_to(DataType::Int64));
+        assert!(Value::Null.conforms_to(DataType::Text));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int64));
+    }
+
+    #[test]
+    fn total_order_is_total_and_null_first() {
+        use Ordering::*;
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Less);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Int(10)), Less);
+        assert_eq!(Value::str("a").total_cmp(&Value::str("b")), Less);
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.5)), Less);
+        assert_eq!(Value::Float(3.5).total_cmp(&Value::Int(3)), Greater);
+    }
+
+    #[test]
+    fn float_hash_uses_bits() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Float(1.5)), h(&Value::Float(1.5)));
+        assert_ne!(h(&Value::Float(1.5)), h(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(DataType::Date.to_string(), "date");
+    }
+
+    #[test]
+    fn indexability() {
+        assert!(DataType::Int32.indexable());
+        assert!(DataType::Text.indexable());
+        assert!(!DataType::Float64.indexable());
+    }
+}

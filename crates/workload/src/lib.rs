@@ -1,0 +1,17 @@
+//! Workload generators and query definitions for the paper's experiments.
+//!
+//! * [`micro`] — the stress-test table of Section VI-C: integer columns
+//!   uniformly drawn from `[0, 10^5)`, a primary-key first column, a
+//!   non-clustered index on the second, and the selectivity-sweep query
+//!   `SELECT * FROM relation WHERE c2 >= 0 AND c2 < X% [ORDER BY c2]`.
+//! * [`skew`] — the skewed table of Section VI-D: a dense head of matching
+//!   tuples followed by a sparse sprinkle, total selectivity ≈ 1%.
+//! * [`tpch`] — a scaled TPC-H-style database (same schemas, foreign keys
+//!   and value distributions shaped after the spec) plus the query plans
+//!   used by Fig. 1, Fig. 4 and Table II.
+//!
+//! All generation is deterministic under an explicit seed.
+
+pub mod micro;
+pub mod skew;
+pub mod tpch;

@@ -1,0 +1,64 @@
+//! Quickstart: load a table, create an index, and watch Smooth Scan beat a
+//! mis-chosen access path without any statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smoothscan::prelude::*;
+
+fn main() {
+    // An engine with the paper's HDD model: a random page transfer costs
+    // 10× a sequential one — the asymmetry all access-path trouble stems from.
+    let mut db = Database::new(StorageConfig::default());
+
+    // A 200k-row table; `key` is uniform over [0, 1000).
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int64),
+        Column::new("key", DataType::Int64),
+        Column::new("payload", DataType::Text),
+    ])
+    .unwrap();
+    db.load_table(
+        "events",
+        schema,
+        (0..200_000i64).map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int((i.wrapping_mul(2654435761)) % 1000),
+                Value::str("#".repeat(64)),
+            ])
+        }),
+    )
+    .unwrap();
+    db.create_index("events", 1, "events_key").unwrap();
+
+    // A query that actually selects 30% of the table. Imagine the optimizer
+    // believed "a few rows" and picked the index scan...
+    let pred = Predicate::int_half_open(1, 0, 300);
+    println!("predicate: 0 <= key < 300 (true selectivity ≈ 30%)\n");
+    println!("{:<28} {:>12} {:>12} {:>12}", "access path", "time (s)", "I/O reqs", "MB read");
+    for (name, access) in [
+        ("FullTableScan", AccessPathChoice::ForceFull),
+        ("IndexScan (the mistake)", AccessPathChoice::ForceIndex),
+        ("SortScan (bitmap)", AccessPathChoice::ForceSort),
+        ("SmoothScan (no decision!)", AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())),
+    ] {
+        let plan = LogicalPlan::scan(
+            ScanSpec::new("events", pred.clone()).with_access(access),
+        );
+        let r = db.run(&plan).unwrap();
+        println!(
+            "{:<28} {:>12.3} {:>12} {:>12.1}",
+            name,
+            r.stats.secs(),
+            r.stats.io.io_requests,
+            r.stats.io.mb_read()
+        );
+    }
+
+    println!(
+        "\nSmooth Scan starts as an index scan, notices the density, and morphs\n\
+         toward sequential behaviour — no statistics, no cliff, no 100x blowup."
+    );
+}

@@ -1,0 +1,67 @@
+//! Skew as an opportunity: the Elastic policy's two-way morphing
+//! (Section VI-D, Fig. 8).
+//!
+//! The table has a dense head — the first 1% of pages contain nearly all
+//! matches — then a near-empty tail. One fixed strategy cannot serve both
+//! regions: a full scan wastes the tail, an index scan wastes the head.
+//! Elastic Smooth Scan grows its morphing region through the head and
+//! shrinks it back through the tail.
+//!
+//! ```sh
+//! cargo run --release --example skew_adaptivity
+//! ```
+
+use smoothscan::prelude::*;
+use smoothscan::workload::skew;
+
+fn main() {
+    let mut db = Database::new(StorageConfig::default());
+    skew::install(&mut db, 400_000, 7).unwrap();
+    let heap_file = db.table(skew::TABLE).unwrap().heap.file_id();
+    let total_pages = db.table(skew::TABLE).unwrap().heap.page_count();
+    println!("table: 400k rows over {total_pages} pages; query: c2 = 0 (sel ≈ 1%, dense head)\n");
+
+    println!(
+        "{:<22} {:>10} {:>16} {:>14}",
+        "access path", "time (s)", "distinct pages", "max region"
+    );
+    for (name, policy) in [
+        ("SI Smooth Scan", PolicyKind::SelectivityIncrease),
+        ("Elastic Smooth Scan", PolicyKind::Elastic),
+    ] {
+        db.storage().reset_metrics();
+        let spec = ScanSpec::new(skew::TABLE, skew::predicate());
+        let mut scan = db
+            .build_smooth_scan(&spec, SmoothScanConfig::eager_elastic().with_policy(policy))
+            .unwrap();
+        let result = db.run_operator(&mut scan).unwrap();
+        let m = scan.metrics();
+        println!(
+            "{:<22} {:>10.4} {:>16} {:>14}",
+            name,
+            result.stats.secs(),
+            db.storage().distinct_pages_for(heap_file),
+            m.max_region_pages,
+        );
+    }
+    for (name, access) in [
+        ("FullTableScan", AccessPathChoice::ForceFull),
+        ("IndexScan", AccessPathChoice::ForceIndex),
+    ] {
+        db.storage().reset_metrics();
+        let r = db.run(&skew::query(access)).unwrap();
+        println!(
+            "{:<22} {:>10.4} {:>16} {:>14}",
+            name,
+            r.stats.secs(),
+            db.storage().distinct_pages_for(heap_file),
+            "-"
+        );
+    }
+
+    println!(
+        "\nElastic shrinks back to single-page probes after the dense head;\n\
+         SI keeps the large morphing region it learned there and drags in\n\
+         pages the query never needed (Fig. 8's 56x page blowup at paper scale)."
+    );
+}

@@ -1,0 +1,65 @@
+//! SLA-driven morphing: use the cost model to guarantee an execution-time
+//! bound (Section III-C, Fig. 7b).
+//!
+//! The operator runs as a traditional index scan — the cheapest choice if
+//! the optimizer was right — but the cost model precomputes the tuple count
+//! beyond which even the worst case (100% selectivity) could violate the
+//! SLA. At that point it morphs greedily toward a full scan, keeping the
+//! bound.
+//!
+//! ```sh
+//! cargo run --release --example sla_guard
+//! ```
+
+use smoothscan::prelude::*;
+use smoothscan::workload::micro;
+
+fn main() {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, 200_000, 11).unwrap();
+    let heap = &db.table(micro::TABLE).unwrap().heap;
+    let model = CostModel::new(
+        TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count()),
+        DeviceProfile::hdd(),
+    );
+
+    // SLA: at most twice the full-scan time, whatever the selectivity.
+    let full_scan_s = model.fs_cost_ns() / 1e9;
+    let sla_ns = (2.0 * model.fs_cost_ns()) as u64;
+    let switch_at = model.sla_trigger_cardinality(sla_ns as f64);
+    println!("full scan takes {full_scan_s:.2}s → SLA = {:.2}s", 2.0 * full_scan_s);
+    println!("cost model: morph after {switch_at} index tuples to stay under the SLA\n");
+
+    println!("{:<8} {:>12} {:>12} {:>10}", "sel %", "index (s)", "sla-ss (s)", "bound ok");
+    for sel in [0.0001, 0.001, 0.01, 0.10, 0.50, 1.0] {
+        let index = db
+            .run(&micro::query(sel, false, AccessPathChoice::ForceIndex))
+            .unwrap()
+            .stats
+            .secs();
+        let guarded = db
+            .run(&micro::query(
+                sel,
+                false,
+                AccessPathChoice::Smooth(
+                    SmoothScanConfig::eager_elastic()
+                        .with_trigger(Trigger::SlaDriven { bound_ns: sla_ns }),
+                ),
+            ))
+            .unwrap()
+            .stats
+            .secs();
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>10}",
+            sel * 100.0,
+            index,
+            guarded,
+            if guarded <= 2.0 * full_scan_s * 1.05 { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nThe plain index scan blows through the SLA as selectivity grows;\n\
+         the SLA-driven Smooth Scan switches to greedy morphing in time, at\n\
+         the cost of a bounded detour when the estimate was actually fine."
+    );
+}

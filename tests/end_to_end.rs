@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: every access path, policy and trigger
+//! must agree on query results, across devices and workloads, end to end
+//! through the `Database` facade.
+
+use smoothscan::prelude::*;
+use smoothscan::workload::{micro, skew, tpch};
+
+fn micro_db(rows: u64) -> Database {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, rows, 99).unwrap();
+    db
+}
+
+fn sorted_ids(rows: &[Row]) -> Vec<i64> {
+    let mut ids: Vec<i64> = rows.iter().map(|r| r.int(0).unwrap()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn every_access_path_returns_identical_results_across_selectivities() {
+    let db = micro_db(40_000);
+    for sel in [0.0, 0.0005, 0.01, 0.25, 1.0] {
+        let reference = db.run(&micro::query(sel, false, AccessPathChoice::ForceFull)).unwrap();
+        let expected = sorted_ids(&reference.rows);
+        for access in [
+            AccessPathChoice::ForceIndex,
+            AccessPathChoice::ForceSort,
+            AccessPathChoice::Switch { estimate: 500 },
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+            AccessPathChoice::Smooth(
+                SmoothScanConfig::eager_elastic().with_policy(PolicyKind::Greedy),
+            ),
+            AccessPathChoice::Smooth(
+                SmoothScanConfig::eager_elastic()
+                    .with_policy(PolicyKind::SelectivityIncrease),
+            ),
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().mode1_only()),
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().with_order(true)),
+            AccessPathChoice::Auto,
+        ] {
+            let got = db.run(&micro::query(sel, false, access.clone())).unwrap();
+            assert_eq!(sorted_ids(&got.rows), expected, "sel {sel}, access {access:?}");
+        }
+    }
+}
+
+#[test]
+fn ordered_queries_respect_key_order_on_every_path() {
+    let db = micro_db(30_000);
+    for access in [
+        AccessPathChoice::ForceFull,
+        AccessPathChoice::ForceIndex,
+        AccessPathChoice::ForceSort,
+        AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+    ] {
+        let got = db.run(&micro::query(0.1, true, access.clone())).unwrap();
+        let keys: Vec<i64> = got.rows.iter().map(|r| r.int(micro::C2).unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{access:?} broke key order");
+    }
+}
+
+#[test]
+fn triggers_agree_with_eager_results() {
+    let db = micro_db(30_000);
+    let expected = sorted_ids(
+        &db.run(&micro::query(0.05, false, AccessPathChoice::ForceFull)).unwrap().rows,
+    );
+    let heap = &db.table(micro::TABLE).unwrap().heap;
+    let model = CostModel::new(
+        TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count()),
+        DeviceProfile::hdd(),
+    );
+    for trigger in [
+        Trigger::Eager,
+        Trigger::OptimizerDriven {
+            estimated_cardinality: 40,
+            policy: PolicyKind::SelectivityIncrease,
+        },
+        Trigger::SlaDriven { bound_ns: (2.0 * model.fs_cost_ns()) as u64 },
+    ] {
+        let access =
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().with_trigger(trigger));
+        let got = db.run(&micro::query(0.05, false, access)).unwrap();
+        assert_eq!(sorted_ids(&got.rows), expected, "{trigger:?}");
+    }
+}
+
+#[test]
+fn smooth_scan_is_robust_where_index_scan_collapses() {
+    let db = micro_db(60_000);
+    // At 50% selectivity the index scan must be an order of magnitude
+    // worse than both the full scan and Smooth Scan.
+    let full = db.run(&micro::query(0.5, false, AccessPathChoice::ForceFull)).unwrap().stats;
+    let index = db.run(&micro::query(0.5, false, AccessPathChoice::ForceIndex)).unwrap().stats;
+    let smooth = db
+        .run(&micro::query(
+            0.5,
+            false,
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        ))
+        .unwrap()
+        .stats;
+    assert!(index.clock.total_ns() > 10 * full.clock.total_ns());
+    assert!(smooth.clock.total_ns() < index.clock.total_ns() / 5);
+    // And at very low selectivity, Smooth stays close to the index scan.
+    let full_low =
+        db.run(&micro::query(0.0001, false, AccessPathChoice::ForceFull)).unwrap().stats;
+    let smooth_low = db
+        .run(&micro::query(
+            0.0001,
+            false,
+            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        ))
+        .unwrap()
+        .stats;
+    assert!(smooth_low.clock.total_ns() < full_low.clock.total_ns());
+}
+
+#[test]
+fn ssd_narrows_the_random_penalty() {
+    let mut hdd = Database::new(StorageConfig::default());
+    micro::install(&mut hdd, 30_000, 5).unwrap();
+    let ssd_cfg = StorageConfig { device: DeviceProfile::ssd(), ..StorageConfig::default() };
+    let mut ssd = Database::new(ssd_cfg);
+    micro::install(&mut ssd, 30_000, 5).unwrap();
+    let ratio = |db: &Database| {
+        let f = db.run(&micro::query(0.02, false, AccessPathChoice::ForceFull)).unwrap().stats;
+        let i = db.run(&micro::query(0.02, false, AccessPathChoice::ForceIndex)).unwrap().stats;
+        i.clock.total_ns() as f64 / f.clock.total_ns() as f64
+    };
+    assert!(ratio(&ssd) < ratio(&hdd), "index scans hurt relatively less on SSD");
+}
+
+#[test]
+fn skew_workload_all_paths_agree() {
+    let mut db = Database::new(StorageConfig::default());
+    skew::install(&mut db, 60_000, 3).unwrap();
+    let expected = sorted_ids(&db.run(&skew::query(AccessPathChoice::ForceFull)).unwrap().rows);
+    assert!(!expected.is_empty());
+    for access in [
+        AccessPathChoice::ForceIndex,
+        AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        AccessPathChoice::Smooth(
+            SmoothScanConfig::eager_elastic().with_policy(PolicyKind::SelectivityIncrease),
+        ),
+    ] {
+        let got = db.run(&skew::query(access.clone())).unwrap();
+        assert_eq!(sorted_ids(&got.rows), expected, "{access:?}");
+    }
+}
+
+#[test]
+fn tpch_pipeline_round_trips() {
+    let mut db = Database::new(StorageConfig::default());
+    tpch::install(&mut db, tpch::Scale::tiny()).unwrap();
+    tpch::gen::create_tuning_indexes(&mut db).unwrap();
+    // Smooth Scan inside multi-operator plans produces the same aggregates
+    // as the forced-path plans.
+    for q in tpch::queries::Fig4Query::all() {
+        let a = db.run(&q.plan(q.psql_access())).unwrap();
+        let b = db
+            .run(&q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
+            .unwrap();
+        assert_eq!(a.rows.len(), b.rows.len(), "{}", q.label());
+    }
+}
+
+#[test]
+fn stats_damage_changes_plans_not_results() {
+    let mut db = Database::new(StorageConfig::default());
+    micro::install(&mut db, 30_000, 17).unwrap();
+    let plan = micro::query(0.3, false, AccessPathChoice::Auto);
+    let honest = db.run(&plan).unwrap();
+    let honest_explain = db.explain(&plan).unwrap();
+    db.set_stats_quality(micro::TABLE, StatsQuality::FixedCardinality(5)).unwrap();
+    let fooled = db.run(&plan).unwrap();
+    let fooled_explain = db.explain(&plan).unwrap();
+    assert_ne!(honest_explain, fooled_explain, "the damaged stats must flip the plan");
+    assert_eq!(sorted_ids(&honest.rows), sorted_ids(&fooled.rows));
+    assert!(fooled.stats.clock.total_ns() > honest.stats.clock.total_ns());
+}
+
+#[test]
+fn smooth_scan_metrics_tell_the_morphing_story() {
+    let db = micro_db(40_000);
+    let spec = ScanSpec::new(micro::TABLE, micro::predicate(0.8));
+    let mut scan =
+        db.build_smooth_scan(&spec, SmoothScanConfig::eager_elastic().with_order(true)).unwrap();
+    let result = db.run_operator(&mut scan).unwrap();
+    let m = scan.metrics();
+    assert_eq!(m.tuples_emitted, result.stats.rows);
+    assert!(m.mode2_pages > m.mode1_pages, "high selectivity must flatten: {m:?}");
+    assert!(m.max_region_pages > 1);
+    assert!(m.cache.hits > 0);
+    assert!(m.morphing_accuracy().unwrap() > 0.9);
+}
