@@ -16,10 +16,14 @@ fn bench_partitions(c: &mut Criterion) {
     for parts in [1usize, 4, 16, 64] {
         let mut config = SmoothScanConfig::eager_elastic().with_order(true);
         config.result_cache_partitions = parts;
-        group.bench_with_input(BenchmarkId::new("ordered_sel_5pct", parts), &config, |b, config| {
-            let plan = micro::query(0.05, true, AccessPathChoice::Smooth(*config));
-            b.iter(|| db.run(&plan).expect("query").rows.len());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ordered_sel_5pct", parts),
+            &config,
+            |b, config| {
+                let plan = micro::query(0.05, true, AccessPathChoice::Smooth(*config));
+                b.iter(|| db.run(&plan).expect("query").rows.len());
+            },
+        );
     }
     group.finish();
 }

@@ -17,10 +17,8 @@ use crate::setup;
 pub fn run() {
     let db = setup::micro_db(DeviceProfile::hdd());
     let heap = &db.table(micro::TABLE).expect("micro").heap;
-    let geometry = TableGeometry::new(
-        heap.schema().estimated_tuple_width(16) as u64,
-        heap.tuple_count(),
-    );
+    let geometry =
+        TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count());
     let model = CostModel::new(geometry, DeviceProfile::hdd());
 
     let mut t1 = Report::new(

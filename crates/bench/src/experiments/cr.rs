@@ -25,15 +25,10 @@ pub fn run() {
         let db = setup::micro_db(device);
         let heap = &db.table(micro::TABLE).expect("micro").heap;
         let model = CostModel::new(
-            TableGeometry::new(
-                heap.schema().estimated_tuple_width(16) as u64,
-                heap.tuple_count(),
-            ),
+            TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count()),
             device,
         );
-        for policy in
-            [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic]
-        {
+        for policy in [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic] {
             let mut worst = 0.0f64;
             let mut worst_sel = 0.0f64;
             for sel in micro::selectivity_grid() {

@@ -27,10 +27,8 @@ pub fn run() {
         "switch scan cliff (exec time, virtual s)",
         &["sel_%", "full_scan", "switch_scan", "smooth_scan"],
     );
-    let grid = [
-        0.00001, 0.00005, 0.00007, 0.00008, 0.00009, 0.0001, 0.0005, 0.001, 0.01, 0.10,
-        0.50, 1.0,
-    ];
+    let grid =
+        [0.00001, 0.00005, 0.00007, 0.00008, 0.00009, 0.0001, 0.0005, 0.001, 0.01, 0.10, 0.50, 1.0];
     for sel in grid {
         let mut cells = vec![format!("{}", sel * 100.0)];
         for access in [

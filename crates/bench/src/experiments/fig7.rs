@@ -36,12 +36,9 @@ pub fn run_policies() {
     );
     for sel in fine_grid() {
         let mut cells = vec![format!("{}", sel * 100.0)];
-        for policy in
-            [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic]
-        {
-            let access = AccessPathChoice::Smooth(
-                SmoothScanConfig::eager_elastic().with_policy(policy),
-            );
+        for policy in [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic] {
+            let access =
+                AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().with_policy(policy));
             let stats = db.run(&micro::query(sel, false, access)).expect("fig7a").stats;
             cells.push(Report::secs(stats.secs()));
         }
@@ -56,10 +53,7 @@ pub fn run_triggers() {
     let rows = setup::micro_rows();
     let heap = &db.table(micro::TABLE).expect("micro").heap;
     let model = CostModel::new(
-        TableGeometry::new(
-            heap.schema().estimated_tuple_width(16) as u64,
-            heap.tuple_count(),
-        ),
+        TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count()),
         DeviceProfile::hdd(),
     );
     // The optimizer's estimate: 0.005% selectivity (the paper's 15 K of

@@ -45,11 +45,7 @@ pub fn run() {
         db.storage().reset_metrics();
         let stats = db.run(&skew::query(access)).expect("fig8 query").stats;
         let distinct = db.storage().distinct_pages_for(heap_file);
-        report.row(vec![
-            name.to_string(),
-            Report::secs(stats.secs()),
-            distinct.to_string(),
-        ]);
+        report.row(vec![name.to_string(), Report::secs(stats.secs()), distinct.to_string()]);
     }
     report.finish();
 }

@@ -28,9 +28,8 @@ pub fn run() {
     for sel in micro::selectivity_grid() {
         // Unordered run: baseline time.
         let spec = ScanSpec::new(micro::TABLE, micro::predicate(sel));
-        let mut plain = db
-            .build_smooth_scan(&spec, SmoothScanConfig::eager_elastic())
-            .expect("smooth scan");
+        let mut plain =
+            db.build_smooth_scan(&spec, SmoothScanConfig::eager_elastic()).expect("smooth scan");
         let base = db.run_operator(&mut plain).expect("unordered run").stats;
         // Ordered run: result cache engaged.
         let mut ordered = db

@@ -15,8 +15,20 @@ pub mod fig9;
 
 /// Known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig4", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
-    "fig11", "table1", "costmodel", "cr",
+    "fig1",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table1",
+    "costmodel",
+    "cr",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.

@@ -288,8 +288,7 @@ mod tests {
         let all = m.geometry.tuples;
         let overhead = m.ss_cost_ns(all) / m.fs_cost_ns();
         assert!(overhead < 1.35, "SS at 100% within 35% of FS, got {overhead}");
-        let paper_like =
-            CostModel::new(TableGeometry::new(100, 480_000), DeviceProfile::hdd());
+        let paper_like = CostModel::new(TableGeometry::new(100, 480_000), DeviceProfile::hdd());
         let overhead = paper_like.ss_cost_ns(480_000) / paper_like.fs_cost_ns();
         assert!(overhead < 1.22, "paper-shaped tuples stay under 20%: {overhead}");
         // And never above the Mode-1-only variant at high selectivity.

@@ -185,10 +185,7 @@ impl Operator for SmoothIndexNestedLoopJoin {
             };
             let matches = self.inner.probe(key)?;
             let cpu = *self.inner.storage.cpu();
-            self.inner
-                .storage
-                .clock()
-                .charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
+            self.inner.storage.clock().charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
             for m in matches.iter().rev() {
                 self.pending.push(outer_row.concat(m));
             }
@@ -232,12 +229,8 @@ mod tests {
         for rep in 0..fanout {
             for j in 0..keys {
                 let k = (j * 7919 + rep * 13) % keys;
-                l.push(&Row::new(vec![
-                    Value::Int(k),
-                    Value::Int(rep),
-                    Value::str("x".repeat(60)),
-                ]))
-                .unwrap();
+                l.push(&Row::new(vec![Value::Int(k), Value::Int(rep), Value::str("x".repeat(60))]))
+                    .unwrap();
             }
         }
         let heap = Arc::new(l.finish().unwrap());
@@ -314,13 +307,7 @@ mod tests {
         let (heap, index) = inner_table(30, 4);
         let all_keys: Vec<i64> = (0..30).collect();
         let s = storage();
-        let inner = SmoothInnerPath::new(
-            Arc::clone(&heap),
-            index,
-            s.clone(),
-            0,
-            Predicate::True,
-        );
+        let inner = SmoothInnerPath::new(Arc::clone(&heap), index, s.clone(), 0, Predicate::True);
         let mut join = SmoothIndexNestedLoopJoin::new(outer(&all_keys), 0, inner);
         collect_rows(&mut join).unwrap();
         let m = join.inner_metrics();
@@ -367,8 +354,7 @@ mod tests {
     fn residual_filters_harvested_rows() {
         let (heap, index) = inner_table(20, 4);
         let s = storage();
-        let mut inner =
-            SmoothInnerPath::new(heap, index, s, 0, Predicate::int_lt(1, 2));
+        let mut inner = SmoothInnerPath::new(heap, index, s, 0, Predicate::int_lt(1, 2));
         let rows = inner.probe(5).unwrap();
         assert_eq!(rows.len(), 2, "only v < 2 qualifies");
         assert!(rows.iter().all(|r| r.int(1).unwrap() < 2));

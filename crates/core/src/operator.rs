@@ -122,14 +122,12 @@ pub struct SmoothScanMetrics {
 impl SmoothScanMetrics {
     /// Morphing accuracy (Fig. 9b): result pages over checked pages.
     pub fn morphing_accuracy(&self) -> Option<f64> {
-        (self.pages_fetched > 0)
-            .then(|| self.pages_with_results as f64 / self.pages_fetched as f64)
+        (self.pages_fetched > 0).then(|| self.pages_with_results as f64 / self.pages_fetched as f64)
     }
 
     /// Result-Cache hit rate (Fig. 9a): hits over tuple requests.
     pub fn cache_hit_rate(&self) -> Option<f64> {
-        (self.cache.requests > 0)
-            .then(|| self.cache.hits as f64 / self.cache.requests as f64)
+        (self.cache.requests > 0).then(|| self.cache.hits as f64 / self.cache.requests as f64)
     }
 }
 
@@ -170,10 +168,8 @@ impl SmoothScan {
         residual: Predicate,
         config: SmoothScanConfig,
     ) -> Self {
-        let full_pred = Predicate::and(vec![
-            Predicate::IntRange { col: key_col, lo, hi },
-            residual.clone(),
-        ]);
+        let full_pred =
+            Predicate::and(vec![Predicate::IntRange { col: key_col, lo, hi }, residual.clone()]);
         let model = CostModel::new(
             TableGeometry::new(
                 (heap.schema().estimated_tuple_width(16) as u64).max(1),
@@ -221,9 +217,7 @@ impl SmoothScan {
     fn key_of(&self, row: &Row) -> Result<i64> {
         match row.get(self.key_col) {
             Value::Int(k) => Ok(*k),
-            other => Err(smooth_types::Error::exec(format!(
-                "non-integer index key {other}"
-            ))),
+            other => Err(smooth_types::Error::exec(format!("non-integer index key {other}"))),
         }
     }
 
@@ -310,10 +304,7 @@ impl SmoothScan {
         self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
         let row = self.heap.decode_slot(&page, tid.slot)?;
         if self.residual.eval(&row)? {
-            self.tuple_cache
-                .as_mut()
-                .expect("traditional phase has a tuple cache")
-                .insert(tid);
+            self.tuple_cache.as_mut().expect("traditional phase has a tuple cache").insert(tid);
             self.metrics.mode0_tuples += 1;
             self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
             Ok(Some(row))
@@ -513,13 +504,8 @@ mod tests {
         let s = storage(64);
         let expected = oracle(&heap, &s, 300);
         for policy in [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic] {
-            let mut ss = smooth(
-                &heap,
-                &index,
-                &s,
-                300,
-                SmoothScanConfig::default().with_policy(policy),
-            );
+            let mut ss =
+                smooth(&heap, &index, &s, 300, SmoothScanConfig::default().with_policy(policy));
             let rows = sorted_by_key(collect_rows(&mut ss).unwrap());
             assert_eq!(rows, expected, "policy {policy:?}");
         }
@@ -530,13 +516,7 @@ mod tests {
         let (heap, index) = table(3000);
         let s = storage(64);
         let expected = oracle(&heap, &s, 400);
-        let mut ss = smooth(
-            &heap,
-            &index,
-            &s,
-            400,
-            SmoothScanConfig::default().with_order(true),
-        );
+        let mut ss = smooth(&heap, &index, &s, 400, SmoothScanConfig::default().with_order(true));
         let rows = collect_rows(&mut ss).unwrap();
         let keys: Vec<i64> = rows.iter().map(|r| r.int(1).unwrap()).collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]), "key order preserved");
@@ -589,10 +569,7 @@ mod tests {
         let mut full = smooth_executor::FullTableScan::new(
             Arc::clone(&heap),
             s.clone(),
-            Predicate::And(vec![
-                Predicate::int_half_open(1, 0, 500),
-                Predicate::int_lt(0, 1000),
-            ]),
+            Predicate::And(vec![Predicate::int_half_open(1, 0, 500), Predicate::int_lt(0, 1000)]),
         );
         assert_eq!(rows.len(), collect_rows(&mut full).unwrap().len());
     }
@@ -634,8 +611,7 @@ mod tests {
     fn sla_trigger_fires_from_cost_model() {
         let (heap, index) = table(5000);
         let s = storage(16);
-        let model =
-            CostModel::new(TableGeometry::new(64, 5000), DeviceProfile::custom("t", 1, 10));
+        let model = CostModel::new(TableGeometry::new(64, 5000), DeviceProfile::custom("t", 1, 10));
         let bound = (2.0 * model.fs_cost_ns()) as u64;
         let mut ss = smooth(
             &heap,
@@ -665,8 +641,13 @@ mod tests {
     fn greedy_converges_faster_than_elastic_on_uniform_low_selectivity() {
         let (heap, index) = table(6000);
         let s1 = storage(64);
-        let mut greedy =
-            smooth(&heap, &index, &s1, 5, SmoothScanConfig::default().with_policy(PolicyKind::Greedy));
+        let mut greedy = smooth(
+            &heap,
+            &index,
+            &s1,
+            5,
+            SmoothScanConfig::default().with_policy(PolicyKind::Greedy),
+        );
         collect_rows(&mut greedy).unwrap();
         let greedy_pages = greedy.metrics().pages_fetched;
         let s2 = storage(64);

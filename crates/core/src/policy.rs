@@ -67,8 +67,7 @@ impl MorphPolicy {
     /// Global selectivity over pages seen so far (Eq. 2), or `None` before
     /// the first region.
     pub fn global_selectivity(&self) -> Option<f64> {
-        (self.pages_seen > 0)
-            .then(|| self.pages_with_results as f64 / self.pages_seen as f64)
+        (self.pages_seen > 0).then(|| self.pages_with_results as f64 / self.pages_seen as f64)
     }
 
     /// `#P_seen` so far.

@@ -55,10 +55,8 @@ impl SwitchScan {
         residual: Predicate,
         estimate: u64,
     ) -> Self {
-        let full_pred = Predicate::and(vec![
-            Predicate::IntRange { col: key_col, lo, hi },
-            residual.clone(),
-        ]);
+        let full_pred =
+            Predicate::and(vec![Predicate::IntRange { col: key_col, lo, hi }, residual.clone()]);
         SwitchScan {
             heap,
             index,
@@ -101,10 +99,8 @@ impl Operator for SwitchScan {
 
     fn open(&mut self) -> Result<()> {
         self.cursor = Some(self.index.range(&self.storage, self.lo, self.hi));
-        self.produced = Some(TupleIdCache::new(
-            self.heap.page_count(),
-            self.heap.max_slots_per_page() as u32,
-        ));
+        self.produced =
+            Some(TupleIdCache::new(self.heap.page_count(), self.heap.max_slots_per_page() as u32));
         self.produced_count = 0;
         self.switched = false;
         self.next_page = 0;

@@ -35,9 +35,7 @@ impl Trigger {
     pub fn trigger_cardinality(&self, model: &CostModel) -> Option<u64> {
         match self {
             Trigger::Eager => None,
-            Trigger::OptimizerDriven { estimated_cardinality, .. } => {
-                Some(*estimated_cardinality)
-            }
+            Trigger::OptimizerDriven { estimated_cardinality, .. } => Some(*estimated_cardinality),
             Trigger::SlaDriven { bound_ns } => {
                 Some(model.sla_trigger_cardinality(*bound_ns as f64))
             }
@@ -67,10 +65,7 @@ mod tests {
     #[test]
     fn eager_never_delays() {
         assert_eq!(Trigger::Eager.trigger_cardinality(&model()), None);
-        assert_eq!(
-            Trigger::Eager.post_trigger_policy(PolicyKind::Elastic),
-            PolicyKind::Elastic
-        );
+        assert_eq!(Trigger::Eager.post_trigger_policy(PolicyKind::Elastic), PolicyKind::Elastic);
     }
 
     #[test]
@@ -80,10 +75,7 @@ mod tests {
             policy: PolicyKind::SelectivityIncrease,
         };
         assert_eq!(t.trigger_cardinality(&model()), Some(15_000));
-        assert_eq!(
-            t.post_trigger_policy(PolicyKind::Elastic),
-            PolicyKind::SelectivityIncrease
-        );
+        assert_eq!(t.post_trigger_policy(PolicyKind::Elastic), PolicyKind::SelectivityIncrease);
     }
 
     #[test]

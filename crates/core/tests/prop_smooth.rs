@@ -40,10 +40,8 @@ fn storage(pool: usize) -> Storage {
 }
 
 fn canonical(mut rows: Vec<Row>) -> Vec<(i64, i64)> {
-    let mut v: Vec<(i64, i64)> = rows
-        .drain(..)
-        .map(|r| (r.int(1).unwrap(), r.int(0).unwrap()))
-        .collect();
+    let mut v: Vec<(i64, i64)> =
+        rows.drain(..).map(|r| (r.int(1).unwrap(), r.int(0).unwrap())).collect();
     v.sort_unstable();
     v
 }

@@ -172,8 +172,7 @@ impl Operator for HashAggregate {
         let mut order: Vec<Vec<Value>> = Vec::new();
         let cpu = *self.storage.cpu();
         while let Some(row) = self.child.next()? {
-            let key: Vec<Value> =
-                self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+            let key: Vec<Value> = self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
             self.storage
                 .clock()
                 .charge_cpu(cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64);
@@ -222,11 +221,9 @@ mod tests {
     use crate::operator::{collect_rows, ValuesOp};
 
     fn input(rows: Vec<(i64, i64)>) -> BoxedOperator {
-        let schema = Schema::new(vec![
-            Column::new("g", DataType::Int64),
-            Column::new("v", DataType::Int64),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Column::new("g", DataType::Int64), Column::new("v", DataType::Int64)])
+                .unwrap();
         Box::new(ValuesOp::new(
             schema,
             rows.into_iter().map(|(g, v)| Row::new(vec![Value::Int(g), Value::Int(v)])).collect(),
@@ -284,13 +281,9 @@ mod tests {
 
     #[test]
     fn grouped_aggregate_on_empty_input_yields_no_rows() {
-        let mut agg = HashAggregate::new(
-            input(vec![]),
-            vec![0],
-            vec![AggFunc::CountStar],
-            storage(),
-        )
-        .unwrap();
+        let mut agg =
+            HashAggregate::new(input(vec![]), vec![0], vec![AggFunc::CountStar], storage())
+                .unwrap();
         assert!(collect_rows(&mut agg).unwrap().is_empty());
     }
 

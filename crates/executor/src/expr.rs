@@ -134,17 +134,15 @@ impl Predicate {
                     )))
                 }
             },
-            Predicate::IntColLt { left, right } => {
-                match (row.get(*left), row.get(*right)) {
-                    (Value::Int(a), Value::Int(b)) => a < b,
-                    (Value::Null, _) | (_, Value::Null) => false,
-                    (a, b) => {
-                        return Err(smooth_types::Error::exec(format!(
-                            "column comparison on non-ints: {a} vs {b}"
-                        )))
-                    }
+            Predicate::IntColLt { left, right } => match (row.get(*left), row.get(*right)) {
+                (Value::Int(a), Value::Int(b)) => a < b,
+                (Value::Null, _) | (_, Value::Null) => false,
+                (a, b) => {
+                    return Err(smooth_types::Error::exec(format!(
+                        "column comparison on non-ints: {a} vs {b}"
+                    )))
                 }
-            }
+            },
             Predicate::And(ps) => {
                 for p in ps {
                     if !p.eval(row)? {
@@ -173,9 +171,7 @@ impl Predicate {
         match self {
             Predicate::IntRange { col, lo, hi } => Some((*col, *lo, *hi, Predicate::True)),
             Predicate::And(ps) => {
-                let idx = ps
-                    .iter()
-                    .position(|p| matches!(p, Predicate::IntRange { .. }))?;
+                let idx = ps.iter().position(|p| matches!(p, Predicate::IntRange { .. }))?;
                 if let Predicate::IntRange { col, lo, hi } = &ps[idx] {
                     let rest: Vec<Predicate> = ps
                         .iter()

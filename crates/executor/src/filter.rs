@@ -80,9 +80,10 @@ impl Operator for Project {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
-        Ok(self.child.next()?.map(|row| {
-            Row::new(self.columns.iter().map(|&c| row.get(c).clone()).collect())
-        }))
+        Ok(self
+            .child
+            .next()?
+            .map(|row| Row::new(self.columns.iter().map(|&c| row.get(c).clone()).collect())))
     }
 
     fn close(&mut self) -> Result<()> {
@@ -101,11 +102,9 @@ mod tests {
     use smooth_types::{Column, DataType, Value};
 
     fn input() -> BoxedOperator {
-        let schema = Schema::new(vec![
-            Column::new("a", DataType::Int64),
-            Column::new("b", DataType::Int64),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Column::new("a", DataType::Int64), Column::new("b", DataType::Int64)])
+                .unwrap();
         let rows = (0..10).map(|i| Row::new(vec![Value::Int(i), Value::Int(i * 10)])).collect();
         Box::new(ValuesOp::new(schema, rows))
     }

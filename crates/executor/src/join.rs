@@ -430,9 +430,7 @@ impl Operator for IndexNestedLoopJoin {
             let key = match outer_row.get(self.outer_col) {
                 Value::Int(k) => *k,
                 Value::Null => continue,
-                other => {
-                    return Err(Error::exec(format!("INLJ key must be integer, got {other}")))
-                }
+                other => return Err(Error::exec(format!("INLJ key must be integer, got {other}"))),
             };
             let tids = self.inner_index.probe(&self.storage, key);
             let cpu = self.storage.cpu();
@@ -585,13 +583,7 @@ mod tests {
         // Predicate: col3 (b) > col0 (a) can't be expressed directly by the
         // IntRange variants over two columns, so emulate with Or/And of
         // fixed ranges per this small domain — instead test equi via NLJ.
-        let mut j = NestedLoopJoin::new(
-            left,
-            right,
-            Predicate::True,
-            JoinType::Inner,
-            storage(),
-        );
+        let mut j = NestedLoopJoin::new(left, right, Predicate::True, JoinType::Inner, storage());
         let rows = collect_rows(&mut j).unwrap();
         assert_eq!(rows.len(), 4); // cross product under True
         assert_eq!(j.schema().len(), 4);

@@ -94,8 +94,7 @@ mod tests {
 
     #[test]
     fn values_op_roundtrip() {
-        let schema =
-            Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
+        let schema = Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
         let rows: Vec<Row> = (0..5).map(|i| Row::new(vec![Value::Int(i)])).collect();
         let mut op = ValuesOp::new(schema, rows.clone());
         assert_eq!(collect_rows(&mut op).unwrap(), rows);

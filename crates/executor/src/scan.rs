@@ -234,17 +234,17 @@ impl Operator for SortScan {
         self.runs.clear();
         self.buf.clear();
         // Phase 1 (blocking): drain the index range.
-        let mut tids: Vec<Tid> =
-            self.index.range(&self.storage, self.lo, self.hi).collect_all()
-                .into_iter()
-                .map(|(_, tid)| tid)
-                .collect();
+        let mut tids: Vec<Tid> = self
+            .index
+            .range(&self.storage, self.lo, self.hi)
+            .collect_all()
+            .into_iter()
+            .map(|(_, tid)| tid)
+            .collect();
         // Phase 2: sort TIDs in physical (page-major) order.
         let n = tids.len() as u64;
         if n > 1 {
-            self.storage
-                .clock()
-                .charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
+            self.storage.clock().charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
         }
         tids.sort_unstable();
         // Phase 3: group by page, then coalesce ascending pages whose gaps
@@ -284,8 +284,7 @@ impl Operator for SortScan {
                 return Ok(Some(row));
             }
             let Some(run) = self.runs.pop_front() else { return Ok(None) };
-            let pages =
-                self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
+            let pages = self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
             let cpu = self.storage.cpu();
             for (page_no, slots) in &run.page_slots {
                 let idx = (page_no - run.start) as usize;
@@ -356,8 +355,7 @@ mod tests {
         let (heap, index) = table();
         let s = storage();
         let pred = Predicate::int_half_open(1, 0, 120);
-        let mut full =
-            FullTableScan::new(Arc::clone(&heap), s.clone(), pred.clone());
+        let mut full = FullTableScan::new(Arc::clone(&heap), s.clone(), pred.clone());
         let expected = sorted(crate::operator::collect_rows(&mut full).unwrap());
         assert!(!expected.is_empty());
 
@@ -422,8 +420,7 @@ mod tests {
     fn full_scan_io_is_selectivity_independent() {
         let (heap, _) = table();
         let s = storage();
-        let mut narrow =
-            FullTableScan::new(Arc::clone(&heap), s.clone(), Predicate::int_eq(1, 3));
+        let mut narrow = FullTableScan::new(Arc::clone(&heap), s.clone(), Predicate::int_eq(1, 3));
         crate::operator::collect_rows(&mut narrow).unwrap();
         let narrow_io = s.io_snapshot().pages_read;
         s.reset_metrics();
@@ -490,14 +487,8 @@ mod tests {
         let (heap, index) = table();
         let s = storage();
         let residual = Predicate::int_lt(0, 1500); // on c0, not the index key
-        let mut is = IndexScan::new(
-            heap,
-            index,
-            s,
-            Bound::Included(0),
-            Bound::Excluded(1000),
-            residual,
-        );
+        let mut is =
+            IndexScan::new(heap, index, s, Bound::Included(0), Bound::Excluded(1000), residual);
         let rows = crate::operator::collect_rows(&mut is).unwrap();
         assert_eq!(rows.len(), 1500);
         assert!(rows.iter().all(|r| r.int(0).unwrap() < 1500));

@@ -60,9 +60,7 @@ impl Operator for Sort {
         self.child.close()?;
         let n = rows.len() as u64;
         if n > 1 {
-            self.storage
-                .clock()
-                .charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
+            self.storage.clock().charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
         }
         let keys = self.keys.clone();
         rows.sort_by(|a, b| {
@@ -104,11 +102,9 @@ mod tests {
     }
 
     fn input(rows: Vec<(i64, i64)>) -> BoxedOperator {
-        let schema = Schema::new(vec![
-            Column::new("a", DataType::Int64),
-            Column::new("b", DataType::Int64),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Column::new("a", DataType::Int64), Column::new("b", DataType::Int64)])
+                .unwrap();
         Box::new(ValuesOp::new(
             schema,
             rows.into_iter().map(|(a, b)| Row::new(vec![Value::Int(a), Value::Int(b)])).collect(),
@@ -117,18 +113,12 @@ mod tests {
 
     #[test]
     fn sorts_ascending_and_descending() {
-        let mut s = Sort::new(
-            input(vec![(3, 0), (1, 1), (2, 2)]),
-            storage(),
-            vec![SortKey::asc(0)],
-        );
+        let mut s =
+            Sort::new(input(vec![(3, 0), (1, 1), (2, 2)]), storage(), vec![SortKey::asc(0)]);
         let rows = collect_rows(&mut s).unwrap();
         assert_eq!(rows.iter().map(|r| r.int(0).unwrap()).collect::<Vec<_>>(), vec![1, 2, 3]);
-        let mut s = Sort::new(
-            input(vec![(3, 0), (1, 1), (2, 2)]),
-            storage(),
-            vec![SortKey::desc(0)],
-        );
+        let mut s =
+            Sort::new(input(vec![(3, 0), (1, 1), (2, 2)]), storage(), vec![SortKey::desc(0)]);
         let rows = collect_rows(&mut s).unwrap();
         assert_eq!(rows.iter().map(|r| r.int(0).unwrap()).collect::<Vec<_>>(), vec![3, 2, 1]);
     }

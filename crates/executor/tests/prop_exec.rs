@@ -47,10 +47,8 @@ fn join_oracle(left: &[(i64, i64)], right: &[(i64, i64)]) -> Vec<Vec<i64>> {
 }
 
 fn canonical(rows: Vec<Row>) -> Vec<Vec<i64>> {
-    let mut v: Vec<Vec<i64>> = rows
-        .iter()
-        .map(|r| r.values().iter().map(|x| x.as_int().unwrap()).collect())
-        .collect();
+    let mut v: Vec<Vec<i64>> =
+        rows.iter().map(|r| r.values().iter().map(|x| x.as_int().unwrap()).collect()).collect();
     v.sort();
     v
 }

@@ -102,8 +102,7 @@ impl BTreeIndex {
             while (child as usize) < level_len {
                 let end = (child as usize + fanout).min(level_len);
                 let children: Vec<u32> = (child..end as u32).collect();
-                let sep_keys: Vec<i64> =
-                    children.iter().map(|&c| level_keys[c as usize]).collect();
+                let sep_keys: Vec<i64> = children.iter().map(|&c| level_keys[c as usize]).collect();
                 new_keys.push(sep_keys[0]);
                 nodes.push(INode { sep_keys, children, page_id: next_page_id });
                 next_page_id += 1;
@@ -211,11 +210,7 @@ impl BTreeIndex {
     pub fn root_separators(&self) -> Vec<i64> {
         match self.internal_levels.last() {
             Some(root_level) => root_level[0].sep_keys.clone(),
-            None => self
-                .leaves
-                .iter()
-                .filter_map(|l| l.entries.first().map(|e| e.0))
-                .collect(),
+            None => self.leaves.iter().filter_map(|l| l.entries.first().map(|e| e.0)).collect(),
         }
     }
 
@@ -223,9 +218,7 @@ impl BTreeIndex {
     /// `>= (key, Tid::MIN)`, charging one virtual-page touch per node.
     /// Returns the leaf position.
     pub(crate) fn descend(&self, storage: &Storage, key: i64) -> usize {
-        storage.clock().charge_cpu(
-            storage.cpu().index_node_search_ns * self.height() as u64,
-        );
+        storage.clock().charge_cpu(storage.cpu().index_node_search_ns * self.height() as u64);
         let mut child: u32 = 0;
         for level in self.internal_levels.iter().rev() {
             let node = &level[child as usize];
@@ -276,7 +269,12 @@ impl BTreeIndex {
     /// A `(key, tid)`-ordered cursor over `[lo, hi]` bounds. The descent to
     /// the start leaf is charged immediately; leaf crossings are charged as
     /// the cursor advances.
-    pub fn range(self: &Arc<Self>, storage: &Storage, lo: Bound<i64>, hi: Bound<i64>) -> IndexCursor {
+    pub fn range(
+        self: &Arc<Self>,
+        storage: &Storage,
+        lo: Bound<i64>,
+        hi: Bound<i64>,
+    ) -> IndexCursor {
         IndexCursor::new(Arc::clone(self), storage.clone(), lo, hi)
     }
 
@@ -289,7 +287,7 @@ impl BTreeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smooth_storage::{StorageConfig, DeviceProfile, CpuCosts};
+    use smooth_storage::{CpuCosts, DeviceProfile, StorageConfig};
 
     fn storage() -> Storage {
         Storage::new(StorageConfig {
@@ -409,8 +407,7 @@ mod tests {
     #[test]
     fn build_from_heap_skips_nulls() {
         use smooth_types::{Column, DataType, Row, Schema};
-        let schema =
-            Schema::new(vec![Column::nullable("a", DataType::Int64)]).unwrap();
+        let schema = Schema::new(vec![Column::nullable("a", DataType::Int64)]).unwrap();
         let mut l = smooth_storage::HeapLoader::new_mem("t", schema);
         l.push(&Row::new(vec![Value::Int(1)])).unwrap();
         l.push(&Row::new(vec![Value::Null])).unwrap();

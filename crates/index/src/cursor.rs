@@ -174,10 +174,7 @@ mod tests {
         let s = storage();
         assert!(idx.range(&s, Bound::Included(200), Bound::Unbounded).collect_all().is_empty());
         assert!(idx.range(&s, Bound::Included(50), Bound::Excluded(50)).collect_all().is_empty());
-        assert!(idx
-            .range(&s, Bound::Included(-10), Bound::Excluded(0))
-            .collect_all()
-            .is_empty());
+        assert!(idx.range(&s, Bound::Included(-10), Bound::Excluded(0)).collect_all().is_empty());
     }
 
     #[test]

@@ -17,11 +17,7 @@ fn storage() -> Storage {
     })
 }
 
-fn oracle_range(
-    entries: &[(i64, Tid)],
-    lo: Bound<i64>,
-    hi: Bound<i64>,
-) -> Vec<(i64, Tid)> {
+fn oracle_range(entries: &[(i64, Tid)], lo: Bound<i64>, hi: Bound<i64>) -> Vec<(i64, Tid)> {
     let mut v: Vec<(i64, Tid)> = entries
         .iter()
         .copied()

@@ -94,15 +94,11 @@ impl Catalog {
 
     /// Look up a table.
     pub fn get(&self, table: &str) -> Result<&TableEntry> {
-        self.tables
-            .get(table)
-            .ok_or_else(|| Error::plan(format!("no table named '{table}'")))
+        self.tables.get(table).ok_or_else(|| Error::plan(format!("no table named '{table}'")))
     }
 
     fn get_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .get_mut(table)
-            .ok_or_else(|| Error::plan(format!("no table named '{table}'")))
+        self.tables.get_mut(table).ok_or_else(|| Error::plan(format!("no table named '{table}'")))
     }
 
     /// Registered table names (sorted for determinism).
@@ -120,11 +116,9 @@ mod tests {
     use smooth_types::{Column, DataType, Row, Schema, Value};
 
     fn heap(name: &str) -> Arc<HeapFile> {
-        let schema = Schema::new(vec![
-            Column::new("a", DataType::Int64),
-            Column::new("b", DataType::Int64),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Column::new("a", DataType::Int64), Column::new("b", DataType::Int64)])
+                .unwrap();
         let mut l = HeapLoader::new_mem(name, schema);
         for i in 0..500i64 {
             l.push(&Row::new(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();

@@ -13,8 +13,8 @@ use smooth_core::{SmoothScan, SmoothScanConfig, SwitchScan};
 use smooth_executor::sort::SortKey;
 use smooth_executor::{
     collect_rows, BoxedOperator, Filter, FullTableScan, HashAggregate, HashJoin,
-    IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator, Predicate, Project,
-    Sort, SortScan,
+    IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator, Predicate, Project, Sort,
+    SortScan,
 };
 use smooth_stats::StatsQuality;
 use smooth_storage::{ClockSnapshot, HeapLoader, IoStatsDelta, Storage, StorageConfig};
@@ -219,8 +219,7 @@ impl Database {
         let entry = self.catalog.get(&spec.table)?;
         let heap = Arc::clone(&entry.heap);
         let split = spec.predicate.split_index_range();
-        let indexed =
-            split.clone().filter(|(col, _, _, _)| entry.index_on(*col).is_some());
+        let indexed = split.clone().filter(|(col, _, _, _)| entry.index_on(*col).is_some());
         let choice = match &spec.access {
             AccessPathChoice::Auto => match Optimizer::choose_access_path(
                 entry,
@@ -236,17 +235,14 @@ impl Database {
         };
         let need_index = |what: &str| {
             indexed.clone().ok_or_else(|| {
-                Error::plan(format!(
-                    "{what} on '{}' needs an indexed range predicate",
-                    spec.table
-                ))
+                Error::plan(format!("{what} on '{}' needs an indexed range predicate", spec.table))
             })
         };
         let sort_wrap = |op: BoxedOperator| -> Result<BoxedOperator> {
             if spec.ordered {
-                let (col, _, _, _) = split.clone().ok_or_else(|| {
-                    Error::plan("ordered scan without a range predicate column")
-                })?;
+                let (col, _, _, _) = split
+                    .clone()
+                    .ok_or_else(|| Error::plan("ordered scan without a range predicate column"))?;
                 Ok(Box::new(Sort::new(op, self.storage.clone(), vec![SortKey::asc(col)])))
             } else {
                 Ok(op)
@@ -426,8 +422,7 @@ mod tests {
     fn all_access_paths_agree() {
         let db = db(3000);
         let reference = db.run(&q(250, AccessPathChoice::ForceFull)).unwrap();
-        let mut expected: Vec<i64> =
-            reference.rows.iter().map(|r| r.int(0).unwrap()).collect();
+        let mut expected: Vec<i64> = reference.rows.iter().map(|r| r.int(0).unwrap()).collect();
         expected.sort_unstable();
         for access in [
             AccessPathChoice::ForceIndex,
@@ -498,9 +493,8 @@ mod tests {
     #[test]
     fn explain_names_the_operators() {
         let db = db(500);
-        let text = db
-            .explain(&q(10, AccessPathChoice::Smooth(SmoothScanConfig::default())))
-            .unwrap();
+        let text =
+            db.explain(&q(10, AccessPathChoice::Smooth(SmoothScanConfig::default()))).unwrap();
         assert!(text.contains("SmoothScan"), "{text}");
         let text = db.explain(&q(900, AccessPathChoice::Auto)).unwrap();
         assert!(text.contains("FullTableScan"), "{text}");
@@ -512,8 +506,7 @@ mod tests {
         assert!(db.run(&q(10, AccessPathChoice::ForceIndex)).is_ok());
         // Predicate on a non-indexed column cannot be forced to the index.
         let bad = LogicalPlan::scan(
-            ScanSpec::new("t", Predicate::int_eq(0, 1))
-                .with_access(AccessPathChoice::ForceIndex),
+            ScanSpec::new("t", Predicate::int_eq(0, 1)).with_access(AccessPathChoice::ForceIndex),
         );
         assert!(db.run(&bad).is_err());
         let missing = LogicalPlan::scan(ScanSpec::new("nope", Predicate::True));

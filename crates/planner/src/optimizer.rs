@@ -73,10 +73,7 @@ impl Optimizer {
     /// The cost model for a table on a device.
     pub fn cost_model(entry: &TableEntry, device: DeviceProfile) -> CostModel {
         let width = entry.heap.schema().estimated_tuple_width(16) as u64;
-        CostModel::new(
-            TableGeometry::new(width.max(1), entry.heap.tuple_count().max(1)),
-            device,
-        )
+        CostModel::new(TableGeometry::new(width.max(1), entry.heap.tuple_count().max(1)), device)
     }
 
     /// Choose the access path for an `Auto` scan: price Full, Index and
@@ -89,9 +86,8 @@ impl Optimizer {
         ordered: bool,
         device: DeviceProfile,
     ) -> AccessPathKind {
-        let indexed_range = pred
-            .split_index_range()
-            .filter(|(col, _, _, _)| entry.index_on(*col).is_some());
+        let indexed_range =
+            pred.split_index_range().filter(|(col, _, _, _)| entry.index_on(*col).is_some());
         if indexed_range.is_none() {
             return AccessPathKind::FullScan;
         }
@@ -99,11 +95,8 @@ impl Optimizer {
         let est_rows = Self::estimate_scan_rows(entry, pred).max(0.0);
         let card = est_rows.round() as u64;
         // Posterior sort: n log n comparisons at the default 30 ns.
-        let sort_penalty = if ordered && card > 1 {
-            30.0 * est_rows * est_rows.log2().max(1.0)
-        } else {
-            0.0
-        };
+        let sort_penalty =
+            if ordered && card > 1 { 30.0 * est_rows * est_rows.log2().max(1.0) } else { 0.0 };
         let full = model.fs_cost_ns() + sort_penalty;
         let index = model.is_cost_ns(card);
         let tid_sort = if card > 1 { 30.0 * est_rows * est_rows.log2().max(1.0) } else { 0.0 };
@@ -214,8 +207,7 @@ impl Optimizer {
                 *e = (col, n);
             }
         }
-        let mut out: Vec<(String, usize)> =
-            best.into_iter().map(|(t, (c, _))| (t, c)).collect();
+        let mut out: Vec<(String, usize)> = best.into_iter().map(|(t, (c, _))| (t, c)).collect();
         out.sort();
         out
     }
@@ -304,10 +296,7 @@ mod tests {
         let e = c.get("t").unwrap();
         let hdd = DeviceProfile::hdd();
         let wide = Predicate::int_half_open(1, 0, 9000); // truly 90%
-        assert_eq!(
-            Optimizer::choose_access_path(e, &wide, false, hdd),
-            AccessPathKind::FullScan
-        );
+        assert_eq!(Optimizer::choose_access_path(e, &wide, false, hdd), AccessPathKind::FullScan);
         // Damage: the optimizer believes almost nothing qualifies.
         c.set_stats_quality("t", smooth_stats::StatsQuality::FixedCardinality(10)).unwrap();
         let e = c.get("t").unwrap();
@@ -339,10 +328,7 @@ mod tests {
         let inner = LogicalPlan::scan(crate::plan::ScanSpec::new("t", Predicate::True));
         // With honest statistics, ~100 random probes against a ~400-page
         // inner lose to one sequential pass: hash join.
-        assert_eq!(
-            Optimizer::choose_join_strategy(&c, &outer, &inner, 1, hdd),
-            JoinStrategy::Hash
-        );
+        assert_eq!(Optimizer::choose_join_strategy(&c, &outer, &inner, 1, hdd), JoinStrategy::Hash);
         // A correlation-blind underestimate of the outer flips the choice
         // to index-nested-loop — the Fig. 1 / Q12 failure mode.
         c.set_stats_quality("t", smooth_stats::StatsQuality::FixedCardinality(5)).unwrap();
@@ -351,10 +337,7 @@ mod tests {
             JoinStrategy::IndexNestedLoop
         );
         // No index on the join column → hash regardless.
-        assert_eq!(
-            Optimizer::choose_join_strategy(&c, &outer, &inner, 0, hdd),
-            JoinStrategy::Hash
-        );
+        assert_eq!(Optimizer::choose_join_strategy(&c, &outer, &inner, 0, hdd), JoinStrategy::Hash);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! inputs.
 
 use smooth_core::SmoothScanConfig;
-use smooth_executor::{AggFunc, JoinType, Predicate};
 use smooth_executor::sort::SortKey;
+use smooth_executor::{AggFunc, JoinType, Predicate};
 
 /// How a scan's access path is chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,12 +46,7 @@ pub struct ScanSpec {
 impl ScanSpec {
     /// An auto-planned scan.
     pub fn new(table: impl Into<String>, predicate: Predicate) -> Self {
-        ScanSpec {
-            table: table.into(),
-            predicate,
-            ordered: false,
-            access: AccessPathChoice::Auto,
-        }
+        ScanSpec { table: table.into(), predicate, ordered: false, access: AccessPathChoice::Auto }
     }
 
     /// Builder: require key order.

@@ -33,11 +33,8 @@ impl ColumnStats {
     /// Analyze with an explicit histogram resolution.
     pub fn analyze_with_buckets(values: &[i64], total_rows: u64, buckets: usize) -> Self {
         let distinct = values.iter().collect::<HashSet<_>>().len() as u64;
-        let null_fraction = if total_rows == 0 {
-            0.0
-        } else {
-            1.0 - values.len() as f64 / total_rows as f64
-        };
+        let null_fraction =
+            if total_rows == 0 { 0.0 } else { 1.0 - values.len() as f64 / total_rows as f64 };
         ColumnStats {
             min: values.iter().min().copied(),
             max: values.iter().max().copied(),

@@ -59,7 +59,8 @@ pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
 pub fn range_fraction(stats: &TableStats, pred: &RangePredicate) -> f64 {
     match stats.column(pred.column) {
         Some(col) => {
-            let point = matches!((pred.lo, pred.hi), (Bound::Included(a), Bound::Included(b)) if a == b);
+            let point =
+                matches!((pred.lo, pred.hi), (Bound::Included(a), Bound::Included(b)) if a == b);
             if point {
                 if let Bound::Included(k) = pred.lo {
                     return col.eq_selectivity(k);

@@ -85,8 +85,8 @@ impl Histogram for EquiWidthHistogram {
             let overlap_lo = blo.max(lo);
             let overlap_hi = bhi.min(hi);
             // Uniformity within the bucket.
-            let frac = (overlap_hi as f64 - overlap_lo as f64 + 1.0)
-                / (bhi as f64 - blo as f64 + 1.0);
+            let frac =
+                (overlap_hi as f64 - overlap_lo as f64 + 1.0) / (bhi as f64 - blo as f64 + 1.0);
             hit += self.counts[b] as f64 * frac;
         }
         (hit / self.total as f64).clamp(0.0, 1.0)
@@ -161,8 +161,8 @@ impl Histogram for EquiDepthHistogram {
             }
             let overlap_lo = blo.max(lo);
             let overlap_hi = bhi.min(hi);
-            let frac = (overlap_hi as f64 - overlap_lo as f64 + 1.0)
-                / (bhi as f64 - blo as f64 + 1.0);
+            let frac =
+                (overlap_hi as f64 - overlap_lo as f64 + 1.0) / (bhi as f64 - blo as f64 + 1.0);
             hit += self.depth[b] as f64 * frac;
         }
         (hit / self.total as f64).clamp(0.0, 1.0)

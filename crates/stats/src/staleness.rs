@@ -70,10 +70,9 @@ impl StaleCatalog {
                     (rows as f64 / self.stats.row_count as f64).clamp(0.0, 1.0)
                 }
             }
-            StatsQuality::Missing => preds
-                .iter()
-                .map(|_| crate::estimate::DEFAULT_RANGE_SELECTIVITY)
-                .product(),
+            StatsQuality::Missing => {
+                preds.iter().map(|_| crate::estimate::DEFAULT_RANGE_SELECTIVITY).product()
+            }
         }
     }
 
@@ -124,10 +123,7 @@ mod tests {
         let narrow = RangePredicate::point(0, 3);
         let wide = RangePredicate::half_open(0, 0, 1000);
         assert_eq!(cat.estimated_cardinality(&[narrow]), 10_000.0); // clamped to table
-        assert_eq!(
-            cat.estimated_cardinality(&[narrow]),
-            cat.estimated_cardinality(&[wide])
-        );
+        assert_eq!(cat.estimated_cardinality(&[narrow]), cat.estimated_cardinality(&[wide]));
         let cat = StaleCatalog::new(stats(), StatsQuality::FixedCardinality(32));
         assert!((cat.estimated_cardinality(&[narrow]) - 32.0).abs() < 1e-9);
     }

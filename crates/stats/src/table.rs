@@ -78,12 +78,7 @@ mod tests {
         .unwrap();
         let mut l = HeapLoader::new_mem("t", schema);
         for i in 0..2000i64 {
-            l.push(&Row::new(vec![
-                Value::Int(i),
-                Value::Int(i % 10),
-                Value::str("x"),
-            ]))
-            .unwrap();
+            l.push(&Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::str("x")])).unwrap();
         }
         let heap = l.finish().unwrap();
         let stats = TableStats::analyze(&heap).unwrap();

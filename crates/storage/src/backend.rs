@@ -152,8 +152,8 @@ mod tests {
 
     #[test]
     fn file_backend_roundtrip_and_reopen() {
-        let path = std::env::temp_dir()
-            .join(format!("smooth_fb_{}_{}", std::process::id(), line!()));
+        let path =
+            std::env::temp_dir().join(format!("smooth_fb_{}_{}", std::process::id(), line!()));
         {
             let mut f = FileBackend::create(&path).unwrap();
             f.append(page_with(b"persisted")).unwrap();
@@ -170,8 +170,8 @@ mod tests {
 
     #[test]
     fn open_rejects_unaligned_file() {
-        let path = std::env::temp_dir()
-            .join(format!("smooth_fb_bad_{}_{}", std::process::id(), line!()));
+        let path =
+            std::env::temp_dir().join(format!("smooth_fb_bad_{}_{}", std::process::id(), line!()));
         std::fs::write(&path, b"not a page").unwrap();
         assert!(FileBackend::open(&path).is_err());
         std::fs::remove_file(&path).ok();

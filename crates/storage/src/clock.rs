@@ -42,10 +42,7 @@ impl ClockSnapshot {
 
     /// Component-wise difference `self - earlier`.
     pub fn since(&self, earlier: &ClockSnapshot) -> ClockSnapshot {
-        ClockSnapshot {
-            cpu_ns: self.cpu_ns - earlier.cpu_ns,
-            io_ns: self.io_ns - earlier.io_ns,
-        }
+        ClockSnapshot { cpu_ns: self.cpu_ns - earlier.cpu_ns, io_ns: self.io_ns - earlier.io_ns }
     }
 }
 

@@ -172,11 +172,8 @@ mod tests {
     use smooth_types::{Column, DataType, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Column::new("id", DataType::Int64),
-            Column::new("pad", DataType::Text),
-        ])
-        .unwrap()
+        Schema::new(vec![Column::new("id", DataType::Int64), Column::new("pad", DataType::Text)])
+            .unwrap()
     }
 
     fn row(id: i64) -> Row {

@@ -124,10 +124,8 @@ impl<'a> PageView<'a> {
             )));
         }
         let entry = HEADER_LEN + SLOT_LEN * slot as usize;
-        let off =
-            u16::from_le_bytes([self.bytes[entry], self.bytes[entry + 1]]) as usize;
-        let len =
-            u16::from_le_bytes([self.bytes[entry + 2], self.bytes[entry + 3]]) as usize;
+        let off = u16::from_le_bytes([self.bytes[entry], self.bytes[entry + 1]]) as usize;
+        let len = u16::from_le_bytes([self.bytes[entry + 2], self.bytes[entry + 3]]) as usize;
         if off + len > PAGE_SIZE || off < HEADER_LEN {
             return Err(Error::corrupt(format!("slot {slot} points outside the page")));
         }

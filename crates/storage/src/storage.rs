@@ -47,11 +47,7 @@ pub struct StorageConfig {
 
 impl Default for StorageConfig {
     fn default() -> Self {
-        StorageConfig {
-            device: DeviceProfile::hdd(),
-            cpu: CpuCosts::default(),
-            pool_pages: 256,
-        }
+        StorageConfig { device: DeviceProfile::hdd(), cpu: CpuCosts::default(), pool_pages: 256 }
     }
 }
 

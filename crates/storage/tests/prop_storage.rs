@@ -8,11 +8,9 @@ use smooth_storage::{
 use smooth_types::{Column, DataType, PageId, Row, Schema, Value};
 
 fn heap(rows: i64) -> smooth_storage::HeapFile {
-    let schema = Schema::new(vec![
-        Column::new("id", DataType::Int64),
-        Column::new("pad", DataType::Text),
-    ])
-    .unwrap();
+    let schema =
+        Schema::new(vec![Column::new("id", DataType::Int64), Column::new("pad", DataType::Text)])
+            .unwrap();
     let mut l = HeapLoader::new_mem("t", schema);
     for i in 0..rows {
         l.push(&Row::new(vec![Value::Int(i), Value::str("p".repeat(60))])).unwrap();

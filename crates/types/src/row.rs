@@ -232,13 +232,8 @@ mod tests {
     #[test]
     fn roundtrip_with_nulls() {
         let s = schema();
-        let r = Row::new(vec![
-            Value::Int(1),
-            Value::Int(2),
-            Value::Null,
-            Value::Null,
-            Value::Int(0),
-        ]);
+        let r =
+            Row::new(vec![Value::Int(1), Value::Int(2), Value::Null, Value::Null, Value::Int(0)]);
         let bytes = r.encode(&s).unwrap();
         assert_eq!(Row::decode(&s, &bytes).unwrap(), r);
         // nulls cost zero payload bytes: bitmap(1) + 4 + 8 + 4

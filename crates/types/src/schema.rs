@@ -121,11 +121,8 @@ impl Schema {
     /// `avg_text` bytes of payload.
     pub fn estimated_tuple_width(&self, avg_text: usize) -> usize {
         let null_bitmap = self.columns.len().div_ceil(8);
-        let fields: usize = self
-            .columns
-            .iter()
-            .map(|c| c.ty.fixed_width().unwrap_or(2 + avg_text))
-            .sum();
+        let fields: usize =
+            self.columns.iter().map(|c| c.ty.fixed_width().unwrap_or(2 + avg_text)).sum();
         null_bitmap + fields
     }
 }
@@ -145,11 +142,9 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = Schema::new(vec![
-            Column::new("a", DataType::Int32),
-            Column::new("a", DataType::Int64),
-        ])
-        .unwrap_err();
+        let err =
+            Schema::new(vec![Column::new("a", DataType::Int32), Column::new("a", DataType::Int64)])
+                .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 

@@ -103,10 +103,7 @@ mod tests {
         let db = tiny_db();
         let heap = &db.table(TABLE).unwrap().heap;
         let tpp = heap.tuples_per_page();
-        assert!(
-            (80.0..120.0).contains(&tpp),
-            "≈90 B tuples → ~90–100 tuples/page, got {tpp}"
-        );
+        assert!((80.0..120.0).contains(&tpp), "≈90 B tuples → ~90–100 tuples/page, got {tpp}");
     }
 
     #[test]

@@ -39,11 +39,8 @@ pub fn rows(count: u64, seed: u64) -> impl Iterator<Item = Row> {
     let head = (count as f64 * HEAD_FRACTION) as u64;
     (0..count).map(move |i| {
         // Zero either in the dense head or as part of the sparse sprinkle.
-        let c2 = if i < head || rng.gen_bool(SPRINKLE_FRACTION) {
-            0
-        } else {
-            rng.gen_range(1..DOMAIN)
-        };
+        let c2 =
+            if i < head || rng.gen_bool(SPRINKLE_FRACTION) { 0 } else { rng.gen_range(1..DOMAIN) };
         let mut values = Vec::with_capacity(11);
         values.push(Value::Int(i as i64));
         values.push(Value::Int(c2));
@@ -95,9 +92,7 @@ mod tests {
         let got = db.run(&query(AccessPathChoice::ForceFull)).unwrap();
         assert!(got.rows.iter().all(|r| r.int(C2).unwrap() == 0));
         assert!(got.rows.len() >= 300);
-        let smooth = db
-            .run(&query(AccessPathChoice::Smooth(Default::default())))
-            .unwrap();
+        let smooth = db.run(&query(AccessPathChoice::Smooth(Default::default()))).unwrap();
         assert_eq!(smooth.rows.len(), got.rows.len());
     }
 }

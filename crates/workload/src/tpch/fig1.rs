@@ -248,15 +248,13 @@ fn q12() -> LogicalPlan {
 
 fn q13() -> LogicalPlan {
     // customer distribution
-    count_agg(
-        scan("customer", Predicate::True).join(
-            scan("orders", Predicate::True),
-            c::CUSTKEY,
-            o::CUSTKEY,
-            JoinType::Inner,
-            JoinStrategy::Auto,
-        ),
-    )
+    count_agg(scan("customer", Predicate::True).join(
+        scan("orders", Predicate::True),
+        c::CUSTKEY,
+        o::CUSTKEY,
+        JoinType::Inner,
+        JoinStrategy::Auto,
+    ))
 }
 
 fn q14() -> LogicalPlan {
@@ -307,10 +305,7 @@ fn q19() -> LogicalPlan {
         // value — the paper's ×20 regression pattern.
         Predicate::int_half_open(l::QUANTITY, 1, 20),
         Predicate::Or(vec![
-            Predicate::StrIn {
-                col: l::SHIPMODE,
-                values: vec!["AIR".into(), "REG AIR".into()],
-            },
+            Predicate::StrIn { col: l::SHIPMODE, values: vec!["AIR".into(), "REG AIR".into()] },
             Predicate::int_half_open(l::DISCOUNT, 0, 3),
         ]),
     ]);
@@ -444,9 +439,7 @@ mod tests {
         create_tuning_indexes(&mut tuned).unwrap();
         let plan = q12();
         let honest = tuned.run(&plan).unwrap().stats;
-        tuned
-            .set_stats_quality("lineitem", StatsQuality::FixedCardinality(10))
-            .unwrap();
+        tuned.set_stats_quality("lineitem", StatsQuality::FixedCardinality(10)).unwrap();
         let damaged = tuned.run(&plan).unwrap().stats;
         assert!(
             damaged.clock.total_ns() > 5 * honest.clock.total_ns(),

@@ -59,19 +59,38 @@ impl Scale {
 }
 
 /// The five market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 /// The seven ship modes.
 pub const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 /// The 25 nation names (per the spec).
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-    "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
-    "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 /// The five region names.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -170,11 +189,7 @@ pub fn install(db: &mut Database, scale: Scale) -> Result<()> {
                     Value::Int(i as i64),
                     Value::Int(rng.gen_range(1..=50)),
                     Value::Int(promo as i64),
-                    Value::str(format!(
-                        "Brand#{}{}",
-                        rng.gen_range(1..=5),
-                        rng.gen_range(1..=5)
-                    )),
+                    Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
                     Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
                 ])
             })
@@ -379,16 +394,18 @@ mod tests {
             a.table("lineitem").unwrap().heap.tuple_count(),
             b.table("lineitem").unwrap().heap.tuple_count()
         );
-        let pa = a.run(&smooth_planner::LogicalPlan::scan(smooth_planner::ScanSpec::new(
-            "lineitem",
-            smooth_executor::Predicate::int_lt(super::super::l::SHIPDATE, 500),
-        )))
-        .unwrap();
-        let pb = b.run(&smooth_planner::LogicalPlan::scan(smooth_planner::ScanSpec::new(
-            "lineitem",
-            smooth_executor::Predicate::int_lt(super::super::l::SHIPDATE, 500),
-        )))
-        .unwrap();
+        let pa = a
+            .run(&smooth_planner::LogicalPlan::scan(smooth_planner::ScanSpec::new(
+                "lineitem",
+                smooth_executor::Predicate::int_lt(super::super::l::SHIPDATE, 500),
+            )))
+            .unwrap();
+        let pb = b
+            .run(&smooth_planner::LogicalPlan::scan(smooth_planner::ScanSpec::new(
+                "lineitem",
+                smooth_executor::Predicate::int_lt(super::super::l::SHIPDATE, 500),
+            )))
+            .unwrap();
         assert_eq!(pa.rows.len(), pb.rows.len());
     }
 }

@@ -118,11 +118,8 @@ pub fn q4(access: AccessPathChoice) -> LogicalPlan {
         Predicate::int_half_open(l::SHIPDATE, 0, DATE_MAX + 200),
         Predicate::IntColLt { left: l::COMMITDATE, right: l::RECEIPTDATE },
     ]);
-    let orders_in_quarter = Predicate::int_half_open(
-        o::ORDERDATE,
-        knobs::Q4_QUARTER.0,
-        knobs::Q4_QUARTER.1,
-    );
+    let orders_in_quarter =
+        Predicate::int_half_open(o::ORDERDATE, knobs::Q4_QUARTER.0, knobs::Q4_QUARTER.1);
     lineitem_scan(late, access)
         .join(
             LogicalPlan::Scan(ScanSpec::new("orders", orders_in_quarter)),
@@ -150,8 +147,7 @@ pub fn q6(access: AccessPathChoice) -> LogicalPlan {
 /// ≈ 30%) → orders (PK) → customer → supplier → nation×2, FRANCE/GERMANY
 /// pairs, revenue by nation pair.
 pub fn q7(access: AccessPathChoice) -> LogicalPlan {
-    let pred =
-        Predicate::int_half_open(l::SHIPDATE, knobs::Q7_YEARS.0, knobs::Q7_YEARS.1);
+    let pred = Predicate::int_half_open(l::SHIPDATE, knobs::Q7_YEARS.0, knobs::Q7_YEARS.1);
     // Column offsets as the join tree concatenates schemas.
     let o_base = l::WIDTH; // orders joined after lineitem
     let c_base = o_base + o::WIDTH;
@@ -215,8 +211,7 @@ pub fn q7(access: AccessPathChoice) -> LogicalPlan {
 /// TPC-H Q14 (simplified): one shipdate month (≈ 1.25%) joined to PART by
 /// PK, revenue split by promo flag.
 pub fn q14(access: AccessPathChoice) -> LogicalPlan {
-    let pred =
-        Predicate::int_half_open(l::SHIPDATE, knobs::Q14_MONTH.0, knobs::Q14_MONTH.1);
+    let pred = Predicate::int_half_open(l::SHIPDATE, knobs::Q14_MONTH.0, knobs::Q14_MONTH.1);
     lineitem_scan(pred, access)
         .join(
             LogicalPlan::Scan(ScanSpec::new("part", Predicate::True)),
@@ -254,12 +249,7 @@ mod tests {
             let smooth = db
                 .run(&q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
                 .unwrap();
-            assert_eq!(
-                psql.rows.len(),
-                smooth.rows.len(),
-                "{}: row counts must match",
-                q.label()
-            );
+            assert_eq!(psql.rows.len(), smooth.rows.len(), "{}: row counts must match", q.label());
             // Aggregates: compare value multisets (group order may differ).
             let mut a: Vec<String> =
                 psql.rows.iter().map(|r| format!("{:?}", r.values())).collect();
@@ -276,8 +266,7 @@ mod tests {
         let db = db();
         let total = db.table("lineitem").unwrap().heap.tuple_count() as f64;
         let count = |pred: Predicate| {
-            let plan =
-                LogicalPlan::Scan(ScanSpec::new("lineitem", pred));
+            let plan = LogicalPlan::Scan(ScanSpec::new("lineitem", pred));
             db.run(&plan).unwrap().rows.len() as f64 / total
         };
         let q1 = count(Predicate::int_le(l::SHIPDATE, knobs::Q1_SHIPDATE));
@@ -288,17 +277,10 @@ mod tests {
             Predicate::int_lt(l::QUANTITY, 24),
         ]));
         assert!((0.005..0.05).contains(&q6), "Q6 ≈ 2%, got {q6}");
-        let q7 = count(Predicate::int_half_open(
-            l::SHIPDATE,
-            knobs::Q7_YEARS.0,
-            knobs::Q7_YEARS.1,
-        ));
+        let q7 = count(Predicate::int_half_open(l::SHIPDATE, knobs::Q7_YEARS.0, knobs::Q7_YEARS.1));
         assert!((0.2..0.4).contains(&q7), "Q7 ≈ 30%, got {q7}");
-        let q14 = count(Predicate::int_half_open(
-            l::SHIPDATE,
-            knobs::Q14_MONTH.0,
-            knobs::Q14_MONTH.1,
-        ));
+        let q14 =
+            count(Predicate::int_half_open(l::SHIPDATE, knobs::Q14_MONTH.0, knobs::Q14_MONTH.1));
         assert!((0.004..0.03).contains(&q14), "Q14 ≈ 1%, got {q14}");
     }
 
@@ -308,10 +290,8 @@ mod tests {
         // Scan — the paper reports a factor of 10 prevented.
         let db = db();
         let slow = db.run(&q6(AccessPathChoice::ForceIndex)).unwrap().stats;
-        let smooth = db
-            .run(&q6(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
-            .unwrap()
-            .stats;
+        let smooth =
+            db.run(&q6(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()))).unwrap().stats;
         assert!(
             slow.clock.total_ns() > 2 * smooth.clock.total_ns(),
             "index {} vs smooth {}",

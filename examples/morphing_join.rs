@@ -36,15 +36,17 @@ fn main() {
         for j in 0..keys {
             let k = (j.wrapping_mul(7919) + rep * 13) % keys;
             loader
-                .push(&Row::new(vec![Value::Int(k), Value::Int(rep * 100), Value::str("·".repeat(40))]))
+                .push(&Row::new(vec![
+                    Value::Int(k),
+                    Value::Int(rep * 100),
+                    Value::str("·".repeat(40)),
+                ]))
                 .unwrap();
         }
     }
     let heap = Arc::new(loader.finish().unwrap());
     let index = Arc::new(BTreeIndex::build_from_heap("fk_idx", &heap, 0).unwrap());
-    let storage_for = || {
-        Storage::new(StorageConfig { pool_pages: 64, ..StorageConfig::default() })
-    };
+    let storage_for = || Storage::new(StorageConfig { pool_pages: 64, ..StorageConfig::default() });
     println!(
         "inner: {} rows over {} pages; outer: every key probed twice\n",
         heap.tuple_count(),

@@ -44,9 +44,7 @@ fn main() {
         ("SortScan (bitmap)", AccessPathChoice::ForceSort),
         ("SmoothScan (no decision!)", AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())),
     ] {
-        let plan = LogicalPlan::scan(
-            ScanSpec::new("events", pred.clone()).with_access(access),
-        );
+        let plan = LogicalPlan::scan(ScanSpec::new("events", pred.clone()).with_access(access));
         let r = db.run(&plan).unwrap();
         println!(
             "{:<28} {:>12.3} {:>12} {:>12.1}",

@@ -17,10 +17,7 @@ fn q12_style_plan(access: AccessPathChoice) -> LogicalPlan {
     // Q12's shape: a correlated conjunction on lineitem, then a PK join.
     let pred = Predicate::And(vec![
         Predicate::int_half_open(l::RECEIPTDATE, 1095, 1460), // one year
-        Predicate::StrIn {
-            col: l::SHIPMODE,
-            values: vec!["MAIL".into(), "SHIP".into()],
-        },
+        Predicate::StrIn { col: l::SHIPMODE, values: vec!["MAIL".into(), "SHIP".into()] },
         Predicate::IntColLt { left: l::COMMITDATE, right: l::RECEIPTDATE },
     ]);
     LogicalPlan::scan(ScanSpec::new("lineitem", pred).with_access(access))
@@ -41,24 +38,38 @@ fn main() {
 
     // Honest statistics: the optimizer keeps the full scan.
     let honest = db.run(&q12_style_plan(AccessPathChoice::Auto)).unwrap();
-    println!("honest stats, Auto plan     : {:>8.3}s  ({} rows)", honest.stats.secs(), honest.rows.len());
+    println!(
+        "honest stats, Auto plan     : {:>8.3}s  ({} rows)",
+        honest.stats.secs(),
+        honest.rows.len()
+    );
     println!("  plan: {}\n", db.explain(&q12_style_plan(AccessPathChoice::Auto)).unwrap());
 
     // Stale stats: the optimizer now believes ~10 rows qualify.
     db.set_stats_quality("lineitem", StatsQuality::FixedCardinality(10)).unwrap();
     let fooled = db.run(&q12_style_plan(AccessPathChoice::Auto)).unwrap();
-    println!("stale stats, Auto plan      : {:>8.3}s  ({} rows)", fooled.stats.secs(), fooled.rows.len());
+    println!(
+        "stale stats, Auto plan      : {:>8.3}s  ({} rows)",
+        fooled.stats.secs(),
+        fooled.rows.len()
+    );
     println!("  plan: {}\n", db.explain(&q12_style_plan(AccessPathChoice::Auto)).unwrap());
 
     // Same stale stats — but the scan is a Smooth Scan. The estimate is
     // irrelevant: the operator adapts to what it actually sees.
     let smooth_access = AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic());
     let smooth = db.run(&q12_style_plan(smooth_access.clone())).unwrap();
-    println!("stale stats, Smooth Scan    : {:>8.3}s  ({} rows)", smooth.stats.secs(), smooth.rows.len());
+    println!(
+        "stale stats, Smooth Scan    : {:>8.3}s  ({} rows)",
+        smooth.stats.secs(),
+        smooth.rows.len()
+    );
     println!("  plan: {}\n", db.explain(&q12_style_plan(smooth_access)).unwrap());
 
     let cliff = fooled.stats.secs() / honest.stats.secs();
     let saved = fooled.stats.secs() / smooth.stats.secs();
-    println!("the stale-statistics cliff cost {cliff:.0}x; Smooth Scan gives {saved:.0}x of it back");
+    println!(
+        "the stale-statistics cliff cost {cliff:.0}x; Smooth Scan gives {saved:.0}x of it back"
+    );
     assert_eq!(honest.rows.len(), smooth.rows.len());
 }

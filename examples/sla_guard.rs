@@ -32,11 +32,8 @@ fn main() {
 
     println!("{:<8} {:>12} {:>12} {:>10}", "sel %", "index (s)", "sla-ss (s)", "bound ok");
     for sel in [0.0001, 0.001, 0.01, 0.10, 0.50, 1.0] {
-        let index = db
-            .run(&micro::query(sel, false, AccessPathChoice::ForceIndex))
-            .unwrap()
-            .stats
-            .secs();
+        let index =
+            db.run(&micro::query(sel, false, AccessPathChoice::ForceIndex)).unwrap().stats.secs();
         let guarded = db
             .run(&micro::query(
                 sel,

@@ -63,8 +63,8 @@ pub mod prelude {
         CostModel, PolicyKind, SmoothScan, SmoothScanConfig, SmoothScanMetrics, SwitchScan,
         TableGeometry, Trigger,
     };
-    pub use smooth_executor::{collect_rows, AggFunc, JoinType, Operator, Predicate};
     pub use smooth_executor::sort::SortKey;
+    pub use smooth_executor::{collect_rows, AggFunc, JoinType, Operator, Predicate};
     pub use smooth_planner::{
         AccessPathChoice, Database, JoinStrategy, LogicalPlan, QueryResult, RunStats, ScanSpec,
     };

@@ -32,8 +32,7 @@ fn every_access_path_returns_identical_results_across_selectivities() {
                 SmoothScanConfig::eager_elastic().with_policy(PolicyKind::Greedy),
             ),
             AccessPathChoice::Smooth(
-                SmoothScanConfig::eager_elastic()
-                    .with_policy(PolicyKind::SelectivityIncrease),
+                SmoothScanConfig::eager_elastic().with_policy(PolicyKind::SelectivityIncrease),
             ),
             AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().mode1_only()),
             AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic().with_order(true)),
@@ -63,9 +62,8 @@ fn ordered_queries_respect_key_order_on_every_path() {
 #[test]
 fn triggers_agree_with_eager_results() {
     let db = micro_db(30_000);
-    let expected = sorted_ids(
-        &db.run(&micro::query(0.05, false, AccessPathChoice::ForceFull)).unwrap().rows,
-    );
+    let expected =
+        sorted_ids(&db.run(&micro::query(0.05, false, AccessPathChoice::ForceFull)).unwrap().rows);
     let heap = &db.table(micro::TABLE).unwrap().heap;
     let model = CostModel::new(
         TableGeometry::new(heap.schema().estimated_tuple_width(16) as u64, heap.tuple_count()),
@@ -94,18 +92,13 @@ fn smooth_scan_is_robust_where_index_scan_collapses() {
     let full = db.run(&micro::query(0.5, false, AccessPathChoice::ForceFull)).unwrap().stats;
     let index = db.run(&micro::query(0.5, false, AccessPathChoice::ForceIndex)).unwrap().stats;
     let smooth = db
-        .run(&micro::query(
-            0.5,
-            false,
-            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
-        ))
+        .run(&micro::query(0.5, false, AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
         .unwrap()
         .stats;
     assert!(index.clock.total_ns() > 10 * full.clock.total_ns());
     assert!(smooth.clock.total_ns() < index.clock.total_ns() / 5);
     // And at very low selectivity, Smooth stays close to the index scan.
-    let full_low =
-        db.run(&micro::query(0.0001, false, AccessPathChoice::ForceFull)).unwrap().stats;
+    let full_low = db.run(&micro::query(0.0001, false, AccessPathChoice::ForceFull)).unwrap().stats;
     let smooth_low = db
         .run(&micro::query(
             0.0001,
@@ -159,9 +152,8 @@ fn tpch_pipeline_round_trips() {
     // as the forced-path plans.
     for q in tpch::queries::Fig4Query::all() {
         let a = db.run(&q.plan(q.psql_access())).unwrap();
-        let b = db
-            .run(&q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())))
-            .unwrap();
+        let b =
+            db.run(&q.plan(AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()))).unwrap();
         assert_eq!(a.rows.len(), b.rows.len(), "{}", q.label());
     }
 }

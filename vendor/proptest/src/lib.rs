@@ -1,0 +1,623 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container has no registry access, so this path dependency implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! strategies for integer and float ranges, tuples, `Vec<S>`, `Just`,
+//! `any::<T>()`, simple `[class]{m,n}` string patterns,
+//! `proptest::collection::vec`, weighted `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its seed and case number but
+//!   is not minimised.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name (override with `PROPTEST_SEED`), so runs are reproducible
+//!   across machines.
+//! - Default case count is 64 (override with `PROPTEST_CASES` or
+//!   `ProptestConfig::with_cases`), keeping `cargo test -q` fast.
+
+pub mod test_runner {
+    /// Error produced inside a `proptest!` body by the `prop_assert*` and
+    /// `prop_assume!` macros.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The generated inputs do not satisfy a `prop_assume!` guard; the
+        /// case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Per-test configuration (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The RNG handed to strategies by the `proptest!` runner.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+    }
+
+    /// Seed for a named test: `PROPTEST_SEED` if set, else a stable hash
+    /// of the test name (FNV-1a), so failures reproduce across runs.
+    pub fn for_test(name: &str) -> (Self, u64) {
+        let seed =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            });
+        (Self::from_seed(seed), seed)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value` (generate-only; no
+    /// shrinking, unlike real proptest).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, whence, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy (`Strategy::boxed`).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 candidates in a row", self.whence)
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms.last().unwrap().1.generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// A `Vec` of strategies generates element-wise (one value per entry).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// String patterns: a `&'static str` is interpreted as a tiny regex
+    /// subset — literal characters and `[class]` atoms, each optionally
+    /// followed by `{m}` or `{m,n}` repetition. Anything unparseable is
+    /// emitted literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn expand_class(body: &str) -> Vec<char> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                match chars[i..].iter().position(|&c| c == ']') {
+                    Some(end) => {
+                        let body: String = chars[i + 1..i + end].iter().collect();
+                        i += end + 1;
+                        expand_class(&body)
+                    }
+                    None => {
+                        out.push(chars[i]);
+                        i += 1;
+                        continue;
+                    }
+                }
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional {m} / {m,n} repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                match chars[i..].iter().position(|&c| c == '}') {
+                    Some(end) => {
+                        let body: String = chars[i + 1..i + end].iter().collect();
+                        i += end + 1;
+                        let mut parts = body.splitn(2, ',');
+                        let m: usize =
+                            parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+                        let n: usize =
+                            parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(m);
+                        (m, n.max(m))
+                    }
+                    None => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = rng.gen_range(min..=max);
+            for _ in 0..reps {
+                if !alphabet.is_empty() {
+                    out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Raw bit patterns: exercises subnormals, infinities and NaN,
+            // like real proptest's full-range f64 strategy.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if !(*__pt_left == *__pt_right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                            __pt_left, __pt_right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if *__pt_left == *__pt_right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `left != right`\n  both: `{:?}`", __pt_left),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            let (mut __pt_rng, __pt_seed) = $crate::TestRng::for_test(stringify!($name));
+            let __pt_strats = ($($strat,)+);
+            for __pt_case in 0..__pt_config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__pt_strats, &mut __pt_rng);
+                let __pt_outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __pt_outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}/{} (seed {}):\n{}",
+                            stringify!($name),
+                            __pt_case + 1,
+                            __pt_config.cases,
+                            __pt_seed,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = i64> {
+        (0i64..500).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps((a, b) in (0i64..10, arb_even()), flag in any::<bool>()) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b % 2, 0);
+            prop_assert_eq!(flag as u8 & 0xFE, 0);
+        }
+
+        #[test]
+        fn collections_and_oneof(
+            v in crate::collection::vec(prop_oneof![2 => Just(1u8), 1 => Just(2u8)], 3..30),
+            s in "[a-c]{2,5}",
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 30);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}
