@@ -1,6 +1,7 @@
 //! One module per paper artifact. See DESIGN.md §3 for the experiment
 //! index mapping each module to its figure/table, workload and parameters.
 
+pub mod batch;
 pub mod costmodel;
 pub mod cr;
 pub mod fig1;
@@ -29,6 +30,7 @@ pub const ALL: &[&str] = &[
     "table1",
     "costmodel",
     "cr",
+    "batch",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -47,6 +49,7 @@ pub fn run(id: &str) -> bool {
         "fig11" => fig11::run(),
         "table1" | "costmodel" => costmodel::run(),
         "cr" => cr::run(),
+        "batch" => batch::run(),
         _ => return false,
     }
     true

@@ -1,8 +1,10 @@
-//! Aligned-table printing and CSV emission for experiment results.
+//! Aligned-table printing, CSV emission, and the machine-readable JSON
+//! perf report (`BENCH_smoke.json`) that CI records and gates on.
 
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// One experiment's tabular output.
 pub struct Report {
@@ -97,6 +99,286 @@ impl Report {
     }
 }
 
+/// One measured quantity in the perf-smoke JSON report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable identifier, e.g. `batch.fullscan.sel10.speedup`.
+    pub id: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label, e.g. `x`, `virtual_s`, `wall_s`, `krows_per_s`.
+    pub unit: String,
+    /// Direction of goodness.
+    pub higher_is_better: bool,
+    /// Whether the CI baseline comparison gates on this metric. Gate only
+    /// what is comparable across machines: virtual-clock times (fully
+    /// deterministic) and same-machine ratios like speedups — never raw
+    /// wall-clock numbers.
+    pub gate: bool,
+    /// Optional absolute floor (higher-is-better metrics): the gate fails
+    /// when `value < floor` even if no baseline entry exists.
+    pub floor: Option<f64>,
+}
+
+impl Metric {
+    /// An ungated, informational metric.
+    pub fn info(id: impl Into<String>, value: f64, unit: &str, higher_is_better: bool) -> Self {
+        Metric {
+            id: id.into(),
+            value,
+            unit: unit.into(),
+            higher_is_better,
+            gate: false,
+            floor: None,
+        }
+    }
+
+    /// A gated metric compared against the committed baseline.
+    pub fn gated(id: impl Into<String>, value: f64, unit: &str, higher_is_better: bool) -> Self {
+        Metric { gate: true, ..Metric::info(id, value, unit, higher_is_better) }
+    }
+
+    /// Builder: add an absolute floor to a gated metric.
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+}
+
+/// The machine-readable perf report: the unit CI uploads as an artifact
+/// and diffs against the committed `BENCH_smoke.json` trajectory point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonReport {
+    /// Suite label (e.g. `perf-smoke`).
+    pub suite: String,
+    /// Workload scale knobs the run used (`micro_rows`, `tpch_sf`, …).
+    pub scales: Vec<(String, f64)>,
+    /// The measurements.
+    pub metrics: Vec<Metric>,
+}
+
+/// Relative slowdown tolerated by the baseline gate (25%).
+pub const GATE_TOLERANCE: f64 = 1.25;
+
+impl JsonReport {
+    /// An empty report for `suite`.
+    pub fn new(suite: impl Into<String>) -> Self {
+        JsonReport { suite: suite.into(), scales: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Record one scale knob.
+    pub fn scale(&mut self, key: &str, value: f64) {
+        self.scales.push((key.to_string(), value));
+    }
+
+    /// Record one metric.
+    pub fn push(&mut self, metric: Metric) {
+        self.metrics.push(metric);
+    }
+
+    /// Serialize. One metric object per line, so the report diffs cleanly
+    /// in git and parses with [`JsonReport::load`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        out.push_str("  \"scales\": {");
+        let scales: Vec<String> =
+            self.scales.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), num(*v))).collect();
+        out.push_str(&scales.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let floor = match m.floor {
+                Some(f) => format!(", \"floor\": {}", num(f)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"value\": {}, \"unit\": \"{}\", \
+                 \"higher_is_better\": {}, \"gate\": {}{}}}{}\n",
+                escape(&m.id),
+                num(m.value),
+                escape(&m.unit),
+                m.higher_is_better,
+                m.gate,
+                floor,
+                if i + 1 < self.metrics.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the report to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Parse a report previously written by [`JsonReport::save`] (the
+    /// one-metric-per-line shape; not a general JSON parser).
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let body = fs::read_to_string(path)?;
+        let mut report = JsonReport::default();
+        for line in body.lines() {
+            let line = line.trim();
+            if let Some(suite) = line.strip_prefix("\"suite\":").map(str::trim) {
+                report.suite = unquote(suite.trim_end_matches(','));
+            }
+            if line.starts_with("\"scales\":") {
+                if let (Some(a), Some(b)) = (line.find('{'), line.rfind('}')) {
+                    for pair in line[a + 1..b].split(',') {
+                        if let Some((k, v)) = pair.split_once(':') {
+                            if let Ok(v) = v.trim().parse::<f64>() {
+                                report.scales.push((unquote(k.trim()), v));
+                            }
+                        }
+                    }
+                }
+            }
+            if line.starts_with("{\"id\":") {
+                let field = |key: &str| -> Option<String> {
+                    let tag = format!("\"{key}\":");
+                    let start = line.find(&tag)? + tag.len();
+                    let rest = line[start..].trim_start();
+                    let end = rest.find([',', '}'])?;
+                    Some(rest[..end].trim().to_string())
+                };
+                let (Some(id), Some(value)) = (field("id"), field("value")) else { continue };
+                let Ok(value) = value.parse::<f64>() else { continue };
+                report.metrics.push(Metric {
+                    id: unquote(&id),
+                    value,
+                    unit: field("unit").map(|u| unquote(&u)).unwrap_or_default(),
+                    higher_is_better: field("higher_is_better").as_deref() == Some("true"),
+                    gate: field("gate").as_deref() == Some("true"),
+                    floor: field("floor").and_then(|f| f.parse().ok()),
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Compare against a `baseline` report: the workload scales must
+    /// match (virtual-clock metrics are only comparable at identical
+    /// scale), every gated metric present in both must not regress by
+    /// more than [`GATE_TOLERANCE`], every metric with a floor must meet
+    /// it, and every gated or floored baseline metric must still be
+    /// reported (a vanished metric would otherwise disarm the gate
+    /// silently). Gate and floor flags are taken from whichever side
+    /// declares them, so neither dropping a metric nor downgrading it to
+    /// informational can sneak past the committed baseline. Returns
+    /// human-readable failures (empty = pass).
+    pub fn regressions(&self, baseline: &JsonReport) -> Vec<String> {
+        let mut failures = Vec::new();
+        for (key, base_value) in &baseline.scales {
+            match self.scales.iter().find(|(k, _)| k == key) {
+                Some((_, v)) if v == base_value => {}
+                Some((_, v)) => failures.push(format!(
+                    "scale mismatch: {key} = {v} here vs {base_value} in the baseline — \
+                     set the baseline's env knobs (or regenerate the baseline) before gating"
+                )),
+                None => {
+                    failures.push(format!("scale mismatch: {key} missing from this run's report"))
+                }
+            }
+        }
+        if !failures.is_empty() {
+            // Metric comparisons across different scales are meaningless;
+            // report only the mismatch.
+            return failures;
+        }
+        for base in &baseline.metrics {
+            if (base.gate || base.floor.is_some()) && !self.metrics.iter().any(|m| m.id == base.id)
+            {
+                failures.push(format!(
+                    "{}: gated/floored baseline metric missing from this run (rename it in \
+                     the baseline too, or the gate is disarmed)",
+                    base.id
+                ));
+            }
+        }
+        for m in &self.metrics {
+            let base = baseline.metrics.iter().find(|b| b.id == m.id);
+            // Gate and floor flags are honored from *either* side: a code
+            // change that downgrades a metric to informational cannot
+            // disarm the committed baseline's gate.
+            let floor = match (m.floor, base.and_then(|b| b.floor)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            if let Some(floor) = floor {
+                if m.value < floor {
+                    failures.push(format!(
+                        "{}: {:.4} {} is below the required floor {:.4}",
+                        m.id, m.value, m.unit, floor
+                    ));
+                }
+            }
+            let Some(base) = base else { continue };
+            if !m.gate && !base.gate {
+                continue;
+            }
+            let ok = if base.higher_is_better {
+                m.value >= base.value / GATE_TOLERANCE
+            } else {
+                m.value <= base.value * GATE_TOLERANCE
+            };
+            if !ok {
+                failures.push(format!(
+                    "{}: {:.4} {} regressed >{}% vs baseline {:.4}",
+                    m.id,
+                    m.value,
+                    m.unit,
+                    ((GATE_TOLERANCE - 1.0) * 100.0).round(),
+                    base.value
+                ));
+            }
+        }
+        failures
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+/// JSON-safe number formatting (f64 `Display` round-trips; non-finite
+/// values are not valid JSON and collapse to 0).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Process-wide sink the experiments contribute metrics to while the
+/// driver runs with `--json`.
+static JSON_SINK: Mutex<Option<JsonReport>> = Mutex::new(None);
+
+/// Start collecting metrics into a fresh report.
+pub fn json_begin(report: JsonReport) {
+    *JSON_SINK.lock().unwrap() = Some(report);
+}
+
+/// Record a metric if a collection is active (no-op otherwise, so
+/// experiments behave identically when run without `--json`).
+pub fn json_metric(metric: Metric) {
+    if let Some(report) = JSON_SINK.lock().unwrap().as_mut() {
+        report.push(metric);
+    }
+}
+
+/// Finish collecting and take the report.
+pub fn json_take() -> Option<JsonReport> {
+    JSON_SINK.lock().unwrap().take()
+}
+
 /// `results/` under the workspace root when detectable, else under CWD.
 fn workspace_results_dir() -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
@@ -119,6 +401,99 @@ fn workspace_results_dir() -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample() -> JsonReport {
+        let mut r = JsonReport::new("perf-smoke");
+        r.scale("micro_rows", 40000.0);
+        r.scale("tpch_sf", 0.005);
+        r.push(Metric::gated("batch.speedup", 3.25, "x", true).with_floor(1.5));
+        r.push(Metric::gated("virtual.full.secs", 12.5, "virtual_s", false));
+        r.push(Metric::info("wall.batch.secs", 0.8, "wall_s", false));
+        r
+    }
+
+    #[test]
+    fn json_report_roundtrips() {
+        let r = sample();
+        let dir = std::env::temp_dir().join("smoothscan_report_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        r.save(&path).unwrap();
+        let loaded = JsonReport::load(&path).unwrap();
+        assert_eq!(loaded, r);
+    }
+
+    #[test]
+    fn gate_tolerates_small_regressions_and_flags_big_ones() {
+        let base = sample();
+        let mut ok = sample();
+        ok.metrics[1].value = 12.5 * 1.2; // +20% virtual time: inside tolerance
+        ok.metrics[0].value = 3.25 / 1.2;
+        assert!(ok.regressions(&base).is_empty(), "{:?}", ok.regressions(&base));
+        let mut slow = sample();
+        slow.metrics[1].value = 12.5 * 1.3; // +30%: fails
+        assert_eq!(slow.regressions(&base).len(), 1);
+        let mut slower_ratio = sample();
+        slower_ratio.metrics[0].value = 3.25 / 1.4; // speedup collapsed: fails
+        assert_eq!(slower_ratio.regressions(&base).len(), 1);
+        // floor applies even without a matching baseline entry
+        let mut floored = JsonReport::new("perf-smoke");
+        floored.push(Metric::gated("batch.speedup", 1.2, "x", true).with_floor(1.5));
+        assert_eq!(floored.regressions(&JsonReport::new("empty")).len(), 1);
+        // ungated wall metrics never fail the gate
+        let mut wall = sample();
+        wall.metrics[2].value = 100.0;
+        assert!(wall.regressions(&base).is_empty());
+        // a gated baseline metric that vanished from the fresh run fails
+        let mut dropped = sample();
+        dropped.metrics.remove(1);
+        assert_eq!(dropped.regressions(&base).len(), 1);
+        // a floored (even if ungated) baseline metric that vanished fails too
+        let mut base_floored = sample();
+        base_floored.metrics[0].gate = false;
+        let mut dropped_floor = base_floored.clone();
+        dropped_floor.metrics.remove(0);
+        assert_eq!(dropped_floor.regressions(&base_floored).len(), 1);
+        // but dropping an ungated, unfloored metric is fine
+        let mut dropped_info = sample();
+        dropped_info.metrics.remove(2);
+        assert!(dropped_info.regressions(&base).is_empty());
+        // downgrading a gated/floored metric to informational in code
+        // does not disarm the baseline's gate or floor
+        let mut downgraded = sample();
+        downgraded.metrics[0].gate = false;
+        downgraded.metrics[0].floor = None;
+        downgraded.metrics[0].value = 1.2; // below the baseline's 1.5 floor
+        downgraded.metrics[1].gate = false;
+        downgraded.metrics[1].value = 12.5 * 1.3; // >25% virtual regression
+        // metric 0 fails its floor AND the baseline's relative gate;
+        // metric 1 fails the baseline's relative gate: three failures.
+        assert_eq!(downgraded.regressions(&base).len(), 3);
+    }
+
+    #[test]
+    fn gate_refuses_cross_scale_comparison() {
+        let base = sample();
+        let mut other_scale = sample();
+        other_scale.scales[0].1 = 480000.0; // paper scale vs smoke baseline
+        let failures = other_scale.regressions(&base);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("scale mismatch"));
+        let mut missing_scale = sample();
+        missing_scale.scales.clear();
+        assert_eq!(missing_scale.regressions(&base).len(), 2);
+    }
+
+    #[test]
+    fn json_sink_collects_only_when_active() {
+        json_metric(Metric::info("dropped", 1.0, "x", true));
+        assert!(json_take().is_none());
+        json_begin(JsonReport::new("s"));
+        json_metric(Metric::info("kept", 1.0, "x", true));
+        let got = json_take().unwrap();
+        assert_eq!(got.metrics.len(), 1);
+        assert_eq!(got.metrics[0].id, "kept");
+    }
 
     #[test]
     fn report_accumulates_and_formats() {

@@ -21,10 +21,10 @@ use std::collections::VecDeque;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use smooth_executor::{Operator, Predicate};
+use smooth_executor::{Operator, Predicate, ScanFilter};
 use smooth_index::{BTreeIndex, IndexCursor};
 use smooth_storage::{HeapFile, PageView, Storage};
-use smooth_types::{PageId, Result, Row, Schema, Tid, Value};
+use smooth_types::{PageId, Result, Row, RowBatch, Schema, Tid, Value};
 
 use crate::cost_model::{CostModel, TableGeometry};
 use crate::page_cache::PageIdCache;
@@ -140,7 +140,8 @@ pub struct SmoothScan {
     lo: Bound<i64>,
     hi: Bound<i64>,
     residual: Predicate,
-    full_pred: Predicate,
+    /// Compiled `key range AND residual` filter, probed on encoded tuples.
+    filter: ScanFilter,
     config: SmoothScanConfig,
     model: CostModel,
     // run-time state
@@ -170,6 +171,7 @@ impl SmoothScan {
     ) -> Self {
         let full_pred =
             Predicate::and(vec![Predicate::IntRange { col: key_col, lo, hi }, residual.clone()]);
+        let filter = ScanFilter::new(full_pred, heap.schema());
         let model = CostModel::new(
             TableGeometry::new(
                 (heap.schema().estimated_tuple_width(16) as u64).max(1),
@@ -186,7 +188,7 @@ impl SmoothScan {
             lo,
             hi,
             residual,
-            full_pred,
+            filter,
             config,
             model,
             cursor: None,
@@ -226,6 +228,12 @@ impl SmoothScan {
     /// In ordered mode the driving tuple (if it qualifies) is returned and
     /// other finds go to the Result Cache; in unordered mode everything is
     /// queued in `out_buf`.
+    ///
+    /// Region processing is vectorized: the predicate is probed on the
+    /// encoded tuples (only the key/residual columns are decoded for
+    /// non-qualifiers) and the virtual clock is charged once per page
+    /// rather than per tuple, with totals identical to the per-tuple
+    /// accounting.
     fn process_region(&mut self, driving: Tid, len: u32) -> Result<Option<Row>> {
         let end = (driving.page.0 + len).min(self.heap.page_count());
         let cpu = *self.storage.cpu();
@@ -245,21 +253,24 @@ impl SmoothScan {
                 self.page_cache.insert(*pid);
                 let mut had_result = false;
                 let view = PageView::new(buf)?;
+                let mut bitmap_ops = 0u64;
+                let mut inspected = 0u64;
+                let mut emitted = 0u64;
                 for slot in 0..view.slot_count() {
                     let tid = Tid { page: *pid, slot };
                     if let Some(tc) = &self.tuple_cache {
-                        self.storage.clock().charge_cpu(cpu.bitmap_op_ns);
+                        bitmap_ops += 1;
                         if tc.contains(tid) {
                             continue; // already produced by Mode 0
                         }
                     }
-                    self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
-                    let row = self.heap.decode_slot(buf, slot)?;
-                    if !self.full_pred.eval(&row)? {
+                    inspected += 1;
+                    let bytes = view.get(slot)?;
+                    let Some(row) = self.filter.filter_decode(self.heap.schema(), bytes)? else {
                         continue;
-                    }
+                    };
                     had_result = true;
-                    self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
+                    emitted += 1;
                     if self.config.ordered {
                         if tid == driving {
                             driving_row = Some(row);
@@ -274,6 +285,11 @@ impl SmoothScan {
                         self.out_buf.push_back(row);
                     }
                 }
+                self.storage.clock().charge_cpu(
+                    cpu.bitmap_op_ns * bitmap_ops
+                        + cpu.inspect_tuple_ns * inspected
+                        + cpu.emit_tuple_ns * emitted,
+                );
                 pages_processed += 1;
                 if had_result {
                     pages_with_results += 1;
@@ -295,6 +311,56 @@ impl SmoothScan {
             self.policy.observe_region(pages_processed, pages_with_results);
         }
         Ok(driving_row)
+    }
+
+    /// Advance the driving cursor by one probe. Any rows this produces —
+    /// a Mode-0 tuple, a Result-Cache hit, the ordered driving tuple, or a
+    /// whole region's worth of unordered finds — are queued in `out_buf`
+    /// (empty whenever this is called). Returns `false` at cursor
+    /// exhaustion.
+    fn advance(&mut self) -> Result<bool> {
+        debug_assert!(self.out_buf.is_empty(), "advance with undrained output");
+        let Some((key, tid)) = self.cursor.as_mut().expect("opened").next() else {
+            return Ok(false);
+        };
+        if let Some(rc) = self.result_cache.as_mut() {
+            rc.advance_to(key);
+        }
+        // Mode 0: traditional index scan until the trigger fires.
+        if let Some(limit) = self.traditional_until {
+            if self.metrics.mode0_tuples >= limit {
+                self.traditional_until = None;
+                self.metrics.triggered = true;
+            } else {
+                if let Some(row) = self.mode0_step(tid)? {
+                    self.out_buf.push_back(row);
+                }
+                return Ok(true);
+            }
+        }
+        // Smooth phase.
+        if self.config.ordered {
+            let cached = self
+                .result_cache
+                .as_mut()
+                .expect("ordered mode has a result cache")
+                .probe(&self.storage, key, tid);
+            if let Some(row) = cached {
+                self.out_buf.push_back(row);
+                return Ok(true);
+            }
+        }
+        self.storage.clock().charge_cpu(self.storage.cpu().bitmap_op_ns);
+        if self.page_cache.contains(tid.page) {
+            // Page fully examined before: the tuple either did not
+            // qualify or was already produced.
+            return Ok(true);
+        }
+        let region = self.policy.region_pages();
+        if let Some(row) = self.process_region(tid, region)? {
+            self.out_buf.push_back(row);
+        }
+        Ok(true)
     }
 
     /// One traditional (Mode 0) index-scan step for the driving TID.
@@ -356,51 +422,29 @@ impl Operator for SmoothScan {
                 self.metrics.tuples_emitted += 1;
                 return Ok(Some(row));
             }
-            let Some((key, tid)) = self.cursor.as_mut().expect("opened").next() else {
+            if !self.advance()? {
                 return Ok(None);
-            };
-            if let Some(rc) = self.result_cache.as_mut() {
-                rc.advance_to(key);
-            }
-            // Mode 0: traditional index scan until the trigger fires.
-            if let Some(limit) = self.traditional_until {
-                if self.metrics.mode0_tuples >= limit {
-                    self.traditional_until = None;
-                    self.metrics.triggered = true;
-                } else {
-                    match self.mode0_step(tid)? {
-                        Some(row) => {
-                            self.metrics.tuples_emitted += 1;
-                            return Ok(Some(row));
-                        }
-                        None => continue,
-                    }
-                }
-            }
-            // Smooth phase.
-            if self.config.ordered {
-                let cached = self
-                    .result_cache
-                    .as_mut()
-                    .expect("ordered mode has a result cache")
-                    .probe(&self.storage, key, tid);
-                if let Some(row) = cached {
-                    self.metrics.tuples_emitted += 1;
-                    return Ok(Some(row));
-                }
-            }
-            self.storage.clock().charge_cpu(self.storage.cpu().bitmap_op_ns);
-            if self.page_cache.contains(tid.page) {
-                // Page fully examined before: the tuple either did not
-                // qualify or was already produced.
-                continue;
-            }
-            let region = self.policy.region_pages();
-            if let Some(row) = self.process_region(tid, region)? {
-                self.metrics.tuples_emitted += 1;
-                return Ok(Some(row));
             }
         }
+    }
+
+    /// Batched Smooth Scan: cursor probes run until the output buffer has
+    /// rows, then a whole morsel leaves in one call. Morphing decisions
+    /// (trigger cardinality, region growth) still advance per probe — the
+    /// batch boundary never coarsens the switch logic, it only amortizes
+    /// emission.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        let mut rows = Vec::new();
+        while rows.len() < max {
+            if let Some(row) = self.out_buf.pop_front() {
+                self.metrics.tuples_emitted += 1;
+                rows.push(row);
+            } else if !self.advance()? {
+                break;
+            }
+        }
+        Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
     fn close(&mut self) -> Result<()> {

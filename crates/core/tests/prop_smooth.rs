@@ -2,17 +2,46 @@
 //! filter returns — same multiset, no duplicates, no losses — for every
 //! policy, trigger, order mode, selectivity, data distribution and buffer
 //! pool size. This is the paper's correctness obligation: morphing is an
-//! execution-strategy change only, never a semantics change.
+//! execution-strategy change only, never a semantics change. The batched
+//! iterator protocol carries the same obligation: `next_batch` must yield
+//! the identical row sequence as `next`, including across mode switches.
 
 use std::ops::Bound;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use smooth_core::{PolicyKind, SmoothScan, SmoothScanConfig, Trigger};
-use smooth_executor::{collect_rows, FullTableScan, Predicate};
+use smooth_executor::{collect_rows, collect_rows_volcano, FullTableScan, Operator, Predicate};
 use smooth_index::BTreeIndex;
 use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, Storage, StorageConfig};
 use smooth_types::{Column, DataType, Row, Schema, Value};
+
+/// Drain through `next_batch(max)` only, checking the batch contract.
+fn collect_batched(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(batch) = op.next_batch(max).unwrap() {
+        assert!(!batch.is_empty() && batch.len() <= max);
+        rows.extend(batch.into_rows());
+    }
+    op.close().unwrap();
+    rows
+}
+
+/// Drain alternating `next()` and `next_batch(max)` on one stream.
+fn collect_interleaved(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(row) = op.next().unwrap() {
+        rows.push(row);
+        match op.next_batch(max).unwrap() {
+            Some(batch) => rows.extend(batch.into_rows()),
+            None => break,
+        }
+    }
+    op.close().unwrap();
+    rows
+}
 
 fn build_table(keys: &[i64]) -> (Arc<HeapFile>, Arc<BTreeIndex>) {
     let schema = Schema::new(vec![
@@ -164,5 +193,103 @@ proptest! {
         let ks: Vec<i64> = rows.iter().map(|r| r.int(1).unwrap()).collect();
         prop_assert!(ks.windows(2).all(|w| w[0] <= w[1]));
         prop_assert_eq!(canonical(rows), expected);
+    }
+
+    /// `next_batch` ≡ `next` for Smooth Scan across every policy, order
+    /// mode and trigger — in particular across the Mode-0 → morphing
+    /// switch an OptimizerDriven trigger fires mid-scan — and for Switch
+    /// Scan across its index → full-scan cliff.
+    #[test]
+    fn batch_protocol_equals_row_protocol_across_mode_switches(
+        keys in proptest::collection::vec(0i64..150, 50..1000),
+        lo in 0i64..150,
+        width in 0i64..170,
+        policy in arb_policy(),
+        ordered in any::<bool>(),
+        trigger_card in prop_oneof![Just(None), (0u64..200).prop_map(Some)],
+        estimate in 0u64..300,
+        max in 1usize..90,
+    ) {
+        let (heap, index) = build_table(&keys);
+        let s = storage(24);
+        let hi = lo + width;
+        let trigger = match trigger_card {
+            None => Trigger::Eager,
+            Some(c) => Trigger::OptimizerDriven {
+                estimated_cardinality: c,
+                policy: PolicyKind::Elastic,
+            },
+        };
+        let config = SmoothScanConfig::default()
+            .with_policy(policy)
+            .with_order(ordered)
+            .with_trigger(trigger);
+        let mut ss = SmoothScan::new(
+            Arc::clone(&heap),
+            Arc::clone(&index),
+            s.clone(),
+            1,
+            Bound::Included(lo),
+            Bound::Excluded(hi),
+            Predicate::True,
+            config,
+        );
+        let volcano = collect_rows_volcano(&mut ss).unwrap();
+        prop_assert_eq!(&collect_batched(&mut ss, max), &volcano);
+        prop_assert_eq!(&collect_interleaved(&mut ss, max), &volcano);
+        // The emission counter counts each tuple once under either protocol.
+        prop_assert_eq!(ss.metrics().tuples_emitted as usize, volcano.len());
+
+        let mut sw = smooth_core::SwitchScan::new(
+            Arc::clone(&heap),
+            Arc::clone(&index),
+            s.clone(),
+            1,
+            Bound::Included(lo),
+            Bound::Excluded(hi),
+            Predicate::True,
+            estimate,
+        );
+        let volcano = collect_rows_volcano(&mut sw).unwrap();
+        prop_assert_eq!(&collect_batched(&mut sw, max), &volcano);
+        prop_assert_eq!(&collect_interleaved(&mut sw, max), &volcano);
+    }
+
+    /// `next_batch` ≡ `next` for the morphing INLJ (Section IV-B inner
+    /// path), whose harvest cache state evolves with probe order.
+    #[test]
+    fn morphing_join_batch_protocol_equals_row_protocol(
+        fks in proptest::collection::vec(0i64..60, 0..150),
+        max in 1usize..50,
+    ) {
+        let inner_keys: Vec<i64> = (0..200).map(|i| (i * 7919) % 50).collect();
+        let (heap, index) = build_table(&inner_keys);
+        let outer_schema =
+            Schema::new(vec![Column::new("fk", DataType::Int64)]).unwrap();
+        let outer_rows: Vec<Row> =
+            fks.iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        let mk_join = |s: &Storage| {
+            let inner = smooth_core::SmoothInnerPath::new(
+                Arc::clone(&heap),
+                Arc::clone(&index),
+                s.clone(),
+                1,
+                Predicate::True,
+            );
+            smooth_core::SmoothIndexNestedLoopJoin::new(
+                Box::new(smooth_executor::operator::ValuesOp::new(
+                    outer_schema.clone(),
+                    outer_rows.clone(),
+                )),
+                0,
+                inner,
+            )
+        };
+        // Fresh join per drain: the harvest cache is cumulative state that
+        // a reopen deliberately does not reset.
+        let s = storage(8);
+        let volcano = collect_rows_volcano(&mut mk_join(&s)).unwrap();
+        prop_assert_eq!(&collect_batched(&mut mk_join(&storage(8)), max), &volcano);
+        prop_assert_eq!(&collect_interleaved(&mut mk_join(&storage(8)), max), &volcano);
     }
 }

@@ -5,9 +5,9 @@
 
 use std::collections::HashMap;
 
-use smooth_types::{Column, DataType, Result, Row, Schema, Value};
+use smooth_types::{Column, DataType, Result, Row, RowBatch, Schema, Value};
 
-use crate::operator::{BoxedOperator, Operator};
+use crate::operator::{batch_size, BoxedOperator, Operator};
 
 /// Supported aggregate functions over one child column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,17 +171,21 @@ impl Operator for HashAggregate {
         // Stable output: remember first-seen order of groups.
         let mut order: Vec<Vec<Value>> = Vec::new();
         let cpu = *self.storage.cpu();
-        while let Some(row) = self.child.next()? {
-            let key: Vec<Value> = self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
-            self.storage
-                .clock()
-                .charge_cpu(cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64);
-            let accs = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key);
-                self.aggs.iter().map(Acc::new).collect()
-            });
-            for (acc, f) in accs.iter_mut().zip(&self.aggs) {
-                acc.update(f, &row)?;
+        // Drain the input through the batch protocol: one virtual call and
+        // one clock charge per batch rather than per tuple.
+        while let Some(batch) = self.child.next_batch(batch_size())? {
+            self.storage.clock().charge_cpu(
+                (cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64) * batch.len() as u64,
+            );
+            for row in &batch {
+                let key: Vec<Value> = self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    self.aggs.iter().map(Acc::new).collect()
+                });
+                for (acc, f) in accs.iter_mut().zip(&self.aggs) {
+                    acc.update(f, row)?;
+                }
             }
         }
         self.child.close()?;
@@ -203,6 +207,13 @@ impl Operator for HashAggregate {
 
     fn next(&mut self) -> Result<Option<Row>> {
         Ok(self.output.as_mut().and_then(|it| it.next()))
+    }
+
+    /// Emit the aggregated groups in chunks of `max`.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let Some(it) = self.output.as_mut() else { return Ok(None) };
+        let rows: Vec<Row> = it.take(max.max(1)).collect();
+        Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -9,7 +9,7 @@
 
 use std::ops::Bound;
 
-use smooth_types::{Result, Row, Value};
+use smooth_types::{Result, Row, Schema, Value};
 
 /// A boolean predicate over one row.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,10 +94,19 @@ impl Predicate {
     }
 
     /// Evaluate against a row. Comparisons against NULL are false.
+    #[inline]
     pub fn eval(&self, row: &Row) -> Result<bool> {
+        self.eval_values(row.values())
+    }
+
+    /// Evaluate against a value slice indexed by column ordinal. Only the
+    /// ordinals the predicate references are read, so a scan may pass a
+    /// scratch slice where unreferenced slots hold stale placeholders
+    /// (see [`Row::decode_columns_into`]).
+    pub fn eval_values(&self, values: &[Value]) -> Result<bool> {
         Ok(match self {
             Predicate::True => true,
-            Predicate::IntRange { col, lo, hi } => match row.get(*col) {
+            Predicate::IntRange { col, lo, hi } => match &values[*col] {
                 Value::Int(v) => {
                     (match lo {
                         Bound::Unbounded => true,
@@ -116,7 +125,7 @@ impl Predicate {
                     )))
                 }
             },
-            Predicate::StrEq { col, value } => match row.get(*col) {
+            Predicate::StrEq { col, value } => match &values[*col] {
                 Value::Str(s) => s == value,
                 Value::Null => false,
                 other => {
@@ -125,8 +134,8 @@ impl Predicate {
                     )))
                 }
             },
-            Predicate::StrIn { col, values } => match row.get(*col) {
-                Value::Str(s) => values.iter().any(|v| v == s),
+            Predicate::StrIn { col, values: accepted } => match &values[*col] {
+                Value::Str(s) => accepted.iter().any(|v| v == s),
                 Value::Null => false,
                 other => {
                     return Err(smooth_types::Error::exec(format!(
@@ -134,7 +143,7 @@ impl Predicate {
                     )))
                 }
             },
-            Predicate::IntColLt { left, right } => match (row.get(*left), row.get(*right)) {
+            Predicate::IntColLt { left, right } => match (&values[*left], &values[*right]) {
                 (Value::Int(a), Value::Int(b)) => a < b,
                 (Value::Null, _) | (_, Value::Null) => false,
                 (a, b) => {
@@ -145,7 +154,7 @@ impl Predicate {
             },
             Predicate::And(ps) => {
                 for p in ps {
-                    if !p.eval(row)? {
+                    if !p.eval_values(values)? {
                         return Ok(false);
                     }
                 }
@@ -153,14 +162,38 @@ impl Predicate {
             }
             Predicate::Or(ps) => {
                 for p in ps {
-                    if p.eval(row)? {
+                    if p.eval_values(values)? {
                         return Ok(true);
                     }
                 }
                 false
             }
-            Predicate::Not(p) => !p.eval(row)?,
+            Predicate::Not(p) => !p.eval_values(values)?,
         })
+    }
+
+    /// Collect the column ordinals this predicate reads, ascending and
+    /// deduplicated.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        fn walk(p: &Predicate, out: &mut Vec<usize>) {
+            match p {
+                Predicate::True => {}
+                Predicate::IntRange { col, .. }
+                | Predicate::StrEq { col, .. }
+                | Predicate::StrIn { col, .. } => out.push(*col),
+                Predicate::IntColLt { left, right } => {
+                    out.push(*left);
+                    out.push(*right);
+                }
+                Predicate::And(ps) | Predicate::Or(ps) => ps.iter().for_each(|p| walk(p, out)),
+                Predicate::Not(p) => walk(p, out),
+            }
+        }
+        let mut cols = Vec::new();
+        walk(self, &mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
     }
 
     /// If this predicate constrains exactly one integer column with a range
@@ -186,6 +219,74 @@ impl Predicate {
             }
             _ => None,
         }
+    }
+}
+
+/// A predicate compiled against one scan schema, able to filter *encoded*
+/// tuples by decoding only the columns the predicate reads.
+///
+/// This is the vectorized scan's selection pushdown: for non-qualifying
+/// tuples the full [`Row::decode`] (one `Vec<Value>` plus a string
+/// allocation per text field) is skipped — the probe walks the tuple
+/// without materializing anything, so corrupt tuples still error exactly
+/// as under a full decode. Because a qualifying tuple is parsed twice
+/// under probing (probe, then decode), the filter is *adaptive*: it
+/// tracks the observed match rate, statistics-oblivious style, and
+/// switches to single-pass full decode once most tuples qualify. Probing
+/// is also skipped when the predicate reads every column.
+pub struct ScanFilter {
+    predicate: Predicate,
+    /// Referenced ordinals (ascending); probing is possible when this is
+    /// a strict subset of the schema.
+    cols: Vec<usize>,
+    probe_possible: bool,
+    scratch: Vec<Value>,
+    probed: u64,
+    matched: u64,
+}
+
+/// Tuples examined before the match-rate heuristic may disable probing.
+const PROBE_WARMUP: u64 = 256;
+
+impl ScanFilter {
+    /// Compile `predicate` for tuples of `schema`.
+    pub fn new(predicate: Predicate, schema: &Schema) -> Self {
+        let cols = predicate.referenced_columns();
+        let probe_possible = cols.len() < schema.len();
+        let scratch = vec![Value::Null; schema.len()];
+        ScanFilter { predicate, cols, probe_possible, scratch, probed: 0, matched: 0 }
+    }
+
+    /// The compiled predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Probe-first pays off while fewer than half the tuples qualify;
+    /// past that, double-parsing qualifiers costs more than it saves.
+    fn probe_pays(&self) -> bool {
+        self.probe_possible && (self.probed < PROBE_WARMUP || self.matched * 2 < self.probed)
+    }
+
+    /// Decode the encoded tuple `bytes` if it qualifies; `None` otherwise.
+    pub fn filter_decode(&mut self, schema: &Schema, bytes: &[u8]) -> Result<Option<Row>> {
+        if matches!(self.predicate, Predicate::True) {
+            return Ok(Some(Row::decode(schema, bytes)?));
+        }
+        let matched = if self.probe_pays() {
+            Row::decode_columns_into(schema, bytes, &self.cols, &mut self.scratch)?;
+            let matched = self.predicate.eval_values(&self.scratch)?;
+            self.probed += 1;
+            self.matched += u64::from(matched);
+            matched.then(|| Row::decode(schema, bytes)).transpose()?
+        } else {
+            let row = Row::decode(schema, bytes)?;
+            let matched = self.predicate.eval(&row)?;
+            self.probed += 1;
+            self.matched += u64::from(matched);
+            matched.then_some(row)
+        };
+        Ok(matched)
     }
 }
 
@@ -263,6 +364,58 @@ mod tests {
         assert_eq!(Predicate::and(vec![Predicate::True]), Predicate::True);
         let p = Predicate::int_eq(0, 1);
         assert_eq!(Predicate::and(vec![Predicate::True, p.clone()]), p);
+    }
+
+    #[test]
+    fn referenced_columns_are_sorted_and_deduped() {
+        let p = Predicate::And(vec![
+            Predicate::StrEq { col: 3, value: "x".into() },
+            Predicate::Or(vec![Predicate::int_eq(1, 5), Predicate::IntColLt { left: 3, right: 0 }]),
+        ]);
+        assert_eq!(p.referenced_columns(), vec![0, 1, 3]);
+        assert!(Predicate::True.referenced_columns().is_empty());
+        assert_eq!(Predicate::Not(Box::new(Predicate::int_eq(2, 0))).referenced_columns(), vec![2]);
+    }
+
+    #[test]
+    fn scan_filter_agrees_with_row_eval() {
+        use smooth_types::{Column, DataType};
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::nullable("b", DataType::Int64),
+            Column::new("s", DataType::Text),
+        ])
+        .unwrap();
+        let rows = [
+            Row::new(vec![Value::Int(1), Value::Int(10), Value::str("x")]),
+            Row::new(vec![Value::Int(2), Value::Null, Value::str("y")]),
+            Row::new(vec![Value::Int(3), Value::Int(-4), Value::str("x")]),
+        ];
+        let preds = [
+            Predicate::True,
+            Predicate::int_ge(1, 0),
+            Predicate::And(vec![
+                Predicate::int_lt(0, 3),
+                Predicate::StrEq { col: 2, value: "x".into() },
+            ]),
+            // references every column → full-decode fallback
+            Predicate::And(vec![
+                Predicate::int_ge(0, 0),
+                Predicate::int_ge(1, -100),
+                Predicate::StrIn { col: 2, values: vec!["x".into(), "y".into()] },
+            ]),
+        ];
+        for pred in preds {
+            let mut filter = ScanFilter::new(pred.clone(), &schema);
+            for r in &rows {
+                let bytes = r.encode(&schema).unwrap();
+                let got = filter.filter_decode(&schema, &bytes).unwrap();
+                assert_eq!(got.is_some(), pred.eval(r).unwrap(), "{pred:?} on {r:?}");
+                if let Some(decoded) = got {
+                    assert_eq!(&decoded, r);
+                }
+            }
+        }
     }
 
     #[test]

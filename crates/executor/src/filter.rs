@@ -1,6 +1,6 @@
 //! Row-level Filter and Project operators.
 
-use smooth_types::{Result, Row, Schema};
+use smooth_types::{Result, Row, RowBatch, Schema};
 
 use crate::expr::Predicate;
 use crate::operator::{BoxedOperator, Operator};
@@ -34,6 +34,18 @@ impl Operator for Filter {
             }
         }
         Ok(None)
+    }
+
+    /// Vectorized filter: pull a child batch, compact it in place.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let predicate = &self.predicate;
+        loop {
+            let Some(mut batch) = self.child.next_batch(max)? else { return Ok(None) };
+            batch.try_retain(|row| predicate.eval(row))?;
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
     }
 
     fn close(&mut self) -> Result<()> {
@@ -84,6 +96,14 @@ impl Operator for Project {
             .child
             .next()?
             .map(|row| Row::new(self.columns.iter().map(|&c| row.get(c).clone()).collect())))
+    }
+
+    /// Vectorized projection: rewrite a child batch in place.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let Some(mut batch) = self.child.next_batch(max)? else { return Ok(None) };
+        let columns = &self.columns;
+        batch.try_map(|row| Ok(Row::new(columns.iter().map(|&c| row.get(c).clone()).collect())))?;
+        Ok(Some(batch))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -6,15 +6,15 @@
 //! situation where Smooth Scan's order preservation matters (Section IV-B,
 //! "Interaction with Other Operators").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use smooth_index::BTreeIndex;
 use smooth_storage::{HeapFile, Storage};
-use smooth_types::{Error, Result, Row, Schema, Value};
+use smooth_types::{Error, Result, Row, RowBatch, Schema, Value};
 
 use crate::expr::Predicate;
-use crate::operator::{BoxedOperator, Operator};
+use crate::operator::{batch_size, BoxedOperator, Operator};
 
 /// Supported join semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,8 @@ pub struct HashJoin {
     schema: Schema,
     table: HashMap<Value, Vec<Row>>,
     pending: Vec<Row>,
+    /// Probe-side rows pulled in batches, consumed front-to-back.
+    left_buf: VecDeque<Row>,
 }
 
 impl HashJoin {
@@ -68,7 +70,44 @@ impl HashJoin {
             schema,
             table: HashMap::new(),
             pending: Vec::new(),
+            left_buf: VecDeque::new(),
         }
+    }
+
+    /// Next probe row: buffered batch first, then the child row protocol.
+    fn next_left(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.left_buf.pop_front() {
+            return Ok(Some(row));
+        }
+        self.left.next()
+    }
+
+    /// Probe one left row against the build table. Inner matches queue in
+    /// `pending` (reversed, so `pop()` preserves build order); a semi match
+    /// returns the left row directly.
+    fn probe(&mut self, left_row: Row) -> Result<Option<Row>> {
+        self.storage.clock().charge_cpu(self.storage.cpu().hash_op_ns);
+        let key = left_row.get(self.left_col);
+        if key.is_null() {
+            return Ok(None);
+        }
+        if let Some(matches) = self.table.get(key) {
+            match self.ty {
+                JoinType::Inner => {
+                    self.storage
+                        .clock()
+                        .charge_cpu(self.storage.cpu().emit_tuple_ns * matches.len() as u64);
+                    for m in matches.iter().rev() {
+                        self.pending.push(left_row.concat(m));
+                    }
+                }
+                JoinType::LeftSemi => {
+                    self.storage.clock().charge_cpu(self.storage.cpu().emit_tuple_ns);
+                    return Ok(Some(left_row));
+                }
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -82,12 +121,16 @@ impl Operator for HashJoin {
         self.right.open()?;
         self.table.clear();
         self.pending.clear();
+        self.left_buf.clear();
         let cpu_hash = self.storage.cpu().hash_op_ns;
-        while let Some(row) = self.right.next()? {
-            self.storage.clock().charge_cpu(cpu_hash);
-            let key = row.get(self.right_col).clone();
-            if !key.is_null() {
-                self.table.entry(key).or_default().push(row);
+        // Blocking build, drained batch-at-a-time with bulk clock charges.
+        while let Some(batch) = self.right.next_batch(batch_size())? {
+            self.storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
+            for row in batch.into_rows() {
+                let key = row.get(self.right_col).clone();
+                if !key.is_null() {
+                    self.table.entry(key).or_default().push(row);
+                }
             }
         }
         self.right.close()?;
@@ -99,35 +142,46 @@ impl Operator for HashJoin {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(left_row) = self.left.next()? else { return Ok(None) };
-            self.storage.clock().charge_cpu(self.storage.cpu().hash_op_ns);
-            let key = left_row.get(self.left_col);
-            if key.is_null() {
-                continue;
-            }
-            if let Some(matches) = self.table.get(key) {
-                match self.ty {
-                    JoinType::Inner => {
-                        self.storage
-                            .clock()
-                            .charge_cpu(self.storage.cpu().emit_tuple_ns * matches.len() as u64);
-                        // reverse so pop() preserves build order
-                        for m in matches.iter().rev() {
-                            self.pending.push(left_row.concat(m));
-                        }
-                    }
-                    JoinType::LeftSemi => {
-                        self.storage.clock().charge_cpu(self.storage.cpu().emit_tuple_ns);
-                        return Ok(Some(left_row));
-                    }
-                }
+            let Some(left_row) = self.next_left()? else { return Ok(None) };
+            if let Some(row) = self.probe(left_row)? {
+                return Ok(Some(row));
             }
         }
+    }
+
+    /// Vectorized probe: pull left rows in batches, emit up to `max`
+    /// concatenated matches per call.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        let mut out = Vec::new();
+        loop {
+            while out.len() < max {
+                match self.pending.pop() {
+                    Some(row) => out.push(row),
+                    None => break,
+                }
+            }
+            if out.len() >= max {
+                break;
+            }
+            if self.left_buf.is_empty() {
+                match self.left.next_batch(max)? {
+                    Some(batch) => self.left_buf.extend(batch.into_rows()),
+                    None => break,
+                }
+            }
+            let Some(left_row) = self.left_buf.pop_front() else { break };
+            if let Some(row) = self.probe(left_row)? {
+                out.push(row);
+            }
+        }
+        Ok((!out.is_empty()).then(|| RowBatch::from_rows(out)))
     }
 
     fn close(&mut self) -> Result<()> {
         self.table.clear();
         self.pending.clear();
+        self.left_buf.clear();
         self.left.close()
     }
 
@@ -137,6 +191,11 @@ impl Operator for HashJoin {
 }
 
 /// Merge join over inputs already sorted on their join columns (inner only).
+///
+/// Keeps the default (row-looping) `next_batch`: the merge frontier
+/// advances one key group at a time, so there is no page- or batch-shaped
+/// unit of work to amortize — vectorizing it would only buffer rows it
+/// already buffers.
 pub struct MergeJoin {
     left: BoxedOperator,
     right: BoxedOperator,
@@ -320,8 +379,8 @@ impl Operator for NestedLoopJoin {
         self.left.open()?;
         self.right.open()?;
         self.right_rows.clear();
-        while let Some(r) = self.right.next()? {
-            self.right_rows.push(r);
+        while let Some(batch) = self.right.next_batch(batch_size())? {
+            self.right_rows.extend(batch.into_rows());
         }
         self.right.close()?;
         self.left_row = None;
@@ -382,6 +441,8 @@ pub struct IndexNestedLoopJoin {
     storage: Storage,
     schema: Schema,
     pending: Vec<Row>,
+    /// Outer rows pulled in batches, consumed front-to-back.
+    outer_buf: VecDeque<Row>,
 }
 
 impl IndexNestedLoopJoin {
@@ -406,6 +467,59 @@ impl IndexNestedLoopJoin {
             storage,
             schema,
             pending: Vec::new(),
+            outer_buf: VecDeque::new(),
+        }
+    }
+
+    /// Next outer row: buffered batch first, then the child row protocol.
+    fn next_outer(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.outer_buf.pop_front() {
+            return Ok(Some(row));
+        }
+        self.outer.next()
+    }
+
+    /// Probe the inner index for one outer row. Inner matches queue in
+    /// `pending` (reversed, so `pop()` preserves TID order); a semi match
+    /// returns the outer row directly.
+    fn probe(&mut self, outer_row: Row) -> Result<Option<Row>> {
+        let key = match outer_row.get(self.outer_col) {
+            Value::Int(k) => *k,
+            Value::Null => return Ok(None),
+            other => return Err(Error::exec(format!("INLJ key must be integer, got {other}"))),
+        };
+        let tids = self.inner_index.probe(&self.storage, key);
+        let cpu = *self.storage.cpu();
+        let mut matched = false;
+        let mut matches: Vec<Row> = Vec::new();
+        for tid in tids {
+            let page = self.storage.read_heap_page(&self.inner_heap, tid.page)?;
+            self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
+            let inner_row = self.inner_heap.decode_slot(&page, tid.slot)?;
+            if self.inner_residual.eval(&inner_row)? {
+                matched = true;
+                if self.ty == JoinType::LeftSemi {
+                    break;
+                }
+                self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
+                matches.push(outer_row.concat(&inner_row));
+            }
+        }
+        match self.ty {
+            JoinType::Inner => {
+                debug_assert!(self.pending.is_empty(), "probe with undrained pending rows");
+                matches.reverse();
+                self.pending = matches;
+                Ok(None)
+            }
+            JoinType::LeftSemi => {
+                if matched {
+                    self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
+                    Ok(Some(outer_row))
+                } else {
+                    Ok(None)
+                }
+            }
         }
     }
 }
@@ -418,6 +532,7 @@ impl Operator for IndexNestedLoopJoin {
     fn open(&mut self) -> Result<()> {
         self.outer.open()?;
         self.pending.clear();
+        self.outer_buf.clear();
         Ok(())
     }
 
@@ -426,46 +541,45 @@ impl Operator for IndexNestedLoopJoin {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(outer_row) = self.outer.next()? else { return Ok(None) };
-            let key = match outer_row.get(self.outer_col) {
-                Value::Int(k) => *k,
-                Value::Null => continue,
-                other => return Err(Error::exec(format!("INLJ key must be integer, got {other}"))),
-            };
-            let tids = self.inner_index.probe(&self.storage, key);
-            let cpu = self.storage.cpu();
-            let mut matched = false;
-            let mut matches: Vec<Row> = Vec::new();
-            for tid in tids {
-                let page = self.storage.read_heap_page(&self.inner_heap, tid.page)?;
-                self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
-                let inner_row = self.inner_heap.decode_slot(&page, tid.slot)?;
-                if self.inner_residual.eval(&inner_row)? {
-                    matched = true;
-                    if self.ty == JoinType::LeftSemi {
-                        break;
-                    }
-                    self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
-                    matches.push(outer_row.concat(&inner_row));
-                }
-            }
-            match self.ty {
-                JoinType::Inner => {
-                    matches.reverse();
-                    self.pending = matches;
-                }
-                JoinType::LeftSemi => {
-                    if matched {
-                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
-                        return Ok(Some(outer_row));
-                    }
-                }
+            let Some(outer_row) = self.next_outer()? else { return Ok(None) };
+            if let Some(row) = self.probe(outer_row)? {
+                return Ok(Some(row));
             }
         }
     }
 
+    /// Vectorized probe loop: outer rows arrive in batches, join output
+    /// leaves in batches of up to `max`.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        let mut out = Vec::new();
+        loop {
+            while out.len() < max {
+                match self.pending.pop() {
+                    Some(row) => out.push(row),
+                    None => break,
+                }
+            }
+            if out.len() >= max {
+                break;
+            }
+            if self.outer_buf.is_empty() {
+                match self.outer.next_batch(max)? {
+                    Some(batch) => self.outer_buf.extend(batch.into_rows()),
+                    None => break,
+                }
+            }
+            let Some(outer_row) = self.outer_buf.pop_front() else { break };
+            if let Some(row) = self.probe(outer_row)? {
+                out.push(row);
+            }
+        }
+        Ok((!out.is_empty()).then(|| RowBatch::from_rows(out)))
+    }
+
     fn close(&mut self) -> Result<()> {
         self.pending.clear();
+        self.outer_buf.clear();
         self.outer.close()
     }
 

@@ -17,6 +17,14 @@
 //! counters measure real executed access patterns. The Smooth Scan operator
 //! itself lives in `smooth-core` and plugs into the same [`Operator`]
 //! protocol.
+//!
+//! Operators speak two interchangeable protocols: the classic Volcano
+//! `next()` and the vectorized `next_batch()` ([`smooth_types::RowBatch`]
+//! per call). The batched scans additionally push predicate evaluation
+//! down onto the encoded tuples via [`ScanFilter`], skipping the full
+//! decode of non-qualifying rows. [`collect_rows`] drives plans through
+//! the batch protocol; [`collect_rows_volcano`] is the row-at-a-time
+//! reference driver.
 
 pub mod agg;
 pub mod expr;
@@ -27,9 +35,9 @@ pub mod scan;
 pub mod sort;
 
 pub use agg::{AggFunc, HashAggregate};
-pub use expr::Predicate;
+pub use expr::{Predicate, ScanFilter};
 pub use filter::{Filter, Project};
 pub use join::{HashJoin, IndexNestedLoopJoin, JoinType, MergeJoin, NestedLoopJoin};
-pub use operator::{collect_rows, BoxedOperator, Operator};
+pub use operator::{batch_size, collect_rows, collect_rows_volcano, BoxedOperator, Operator};
 pub use scan::{FullTableScan, IndexScan, SortScan};
 pub use sort::Sort;

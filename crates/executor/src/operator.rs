@@ -1,12 +1,22 @@
-//! The Volcano iterator protocol.
+//! The iterator protocol: row-at-a-time and batched.
 //!
-//! `open → next* → close`, one row at a time — the pipeline model whose
-//! preservation is one of Smooth Scan's selling points over Sort Scan
-//! ("Smooth Scan adheres to the pipelining model, which is important since
-//! the access path operators are executed first and can stall the rest of
-//! the stack", Section VI-C).
+//! `open → next* → close`, the pipeline model whose preservation is one of
+//! Smooth Scan's selling points over Sort Scan ("Smooth Scan adheres to the
+//! pipelining model, which is important since the access path operators are
+//! executed first and can stall the rest of the stack", Section VI-C).
+//!
+//! On top of the classic Volcano `next()` the trait offers a *vectorized*
+//! [`Operator::next_batch`]: up to `max` rows per virtual call. The default
+//! implementation loops `next()`, so every operator keeps working
+//! unchanged; hot operators override it to amortize dynamic dispatch,
+//! per-tuple `Result`/`Option` traffic and virtual-clock charges across a
+//! whole page or batch. The two protocols may be interleaved freely on the
+//! same operator — both consume the same underlying stream and together
+//! produce the exact row sequence either one would alone.
 
-use smooth_types::{Result, Row, Schema};
+use std::sync::OnceLock;
+
+use smooth_types::{Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
 
 /// A physical operator producing rows.
 pub trait Operator {
@@ -19,6 +29,25 @@ pub trait Operator {
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self) -> Result<Option<Row>>;
 
+    /// Produce up to `max` rows in one call, or `None` when exhausted.
+    ///
+    /// Contract: a returned batch is non-empty and holds at most `max`
+    /// rows; short batches do *not* signal exhaustion (operators emit at
+    /// natural morsel boundaries such as a heap page run), only `None`
+    /// does. The row sequence across calls is identical to what repeated
+    /// `next()` calls would produce.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        let mut batch = RowBatch::with_capacity(max.min(DEFAULT_BATCH_SIZE));
+        while batch.len() < max {
+            match self.next()? {
+                Some(row) => batch.push(row),
+                None => break,
+            }
+        }
+        Ok((!batch.is_empty()).then_some(batch))
+    }
+
     /// Release resources. Idempotent.
     fn close(&mut self) -> Result<()>;
 
@@ -29,12 +58,44 @@ pub trait Operator {
 /// Owned operator trees.
 pub type BoxedOperator = Box<dyn Operator>;
 
-/// Run an operator to completion and collect its output.
+/// Rows per `next_batch` request used by the pipeline drivers: the
+/// `SMOOTH_BATCH_ROWS` environment variable when set (minimum 1), else
+/// [`DEFAULT_BATCH_SIZE`]. The variable is read **once per process** and
+/// latched; changing it after the first query has run has no effect
+/// (callers sweeping batch sizes should pass `max` to `next_batch`
+/// directly instead).
+pub fn batch_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("SMOOTH_BATCH_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(1))
+            .unwrap_or(DEFAULT_BATCH_SIZE)
+    })
+}
+
+/// Run an operator to completion through the batch protocol and collect
+/// its output.
 pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Row>> {
     op.open()?;
     let mut rows = Vec::new();
-    while let Some(r) = op.next()? {
-        rows.push(r);
+    let max = batch_size();
+    while let Some(batch) = op.next_batch(max)? {
+        rows.extend(batch.into_rows());
+    }
+    op.close()?;
+    Ok(rows)
+}
+
+/// Run an operator to completion through the row-at-a-time protocol.
+/// Kept as the Volcano reference driver (and the baseline the perf-smoke
+/// benchmark measures the batch path against).
+pub fn collect_rows_volcano(op: &mut dyn Operator) -> Result<Vec<Row>> {
+    op.open()?;
+    let mut rows = Vec::new();
+    while let Some(row) = op.next()? {
+        rows.push(row);
     }
     op.close()?;
     Ok(rows)
@@ -77,6 +138,17 @@ impl Operator for ValuesOp {
         }
     }
 
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        debug_assert!(self.opened, "next_batch() before open()");
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + max.max(1)).min(self.rows.len());
+        let batch = RowBatch::from_rows(self.rows[self.pos..end].to_vec());
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
     fn close(&mut self) -> Result<()> {
         self.opened = false;
         Ok(())
@@ -101,5 +173,52 @@ mod tests {
         // reopening restarts
         assert_eq!(collect_rows(&mut op).unwrap(), rows);
         assert!(op.label().contains("5 rows"));
+    }
+
+    #[test]
+    fn volcano_and_batch_drivers_agree() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
+        let rows: Vec<Row> = (0..17).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut op = ValuesOp::new(schema, rows.clone());
+        assert_eq!(collect_rows_volcano(&mut op).unwrap(), rows);
+        assert_eq!(collect_rows(&mut op).unwrap(), rows);
+    }
+
+    #[test]
+    fn batches_respect_max_and_signal_exhaustion() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
+        let rows: Vec<Row> = (0..7).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut op = ValuesOp::new(schema, rows.clone());
+        op.open().unwrap();
+        let mut seen = Vec::new();
+        while let Some(b) = op.next_batch(3).unwrap() {
+            assert!(!b.is_empty() && b.len() <= 3);
+            seen.extend(b.into_rows());
+        }
+        assert_eq!(seen, rows);
+        assert!(op.next_batch(3).unwrap().is_none());
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn protocols_interleave_on_one_stream() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
+        let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut op = ValuesOp::new(schema, rows.clone());
+        op.open().unwrap();
+        let mut seen = Vec::new();
+        seen.push(op.next().unwrap().unwrap());
+        seen.extend(op.next_batch(4).unwrap().unwrap().into_rows());
+        seen.push(op.next().unwrap().unwrap());
+        while let Some(b) = op.next_batch(4).unwrap() {
+            seen.extend(b.into_rows());
+        }
+        assert_eq!(seen, rows);
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn batch_size_knob_defaults() {
+        assert!(batch_size() >= 1);
     }
 }

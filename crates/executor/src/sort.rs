@@ -6,9 +6,9 @@
 
 use std::cmp::Ordering;
 
-use smooth_types::{Result, Row, Schema};
+use smooth_types::{Result, Row, RowBatch, Schema};
 
-use crate::operator::{BoxedOperator, Operator};
+use crate::operator::{batch_size, BoxedOperator, Operator};
 
 /// One sort key: column ordinal and direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +54,8 @@ impl Operator for Sort {
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
         let mut rows = Vec::new();
-        while let Some(r) = self.child.next()? {
-            rows.push(r);
+        while let Some(batch) = self.child.next_batch(batch_size())? {
+            rows.extend(batch.into_rows());
         }
         self.child.close()?;
         let n = rows.len() as u64;
@@ -79,6 +79,13 @@ impl Operator for Sort {
 
     fn next(&mut self) -> Result<Option<Row>> {
         Ok(self.sorted.as_mut().and_then(|it| it.next()))
+    }
+
+    /// Emit the sorted output in chunks of `max`.
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let Some(it) = self.sorted.as_mut() else { return Ok(None) };
+        let rows: Vec<Row> = it.take(max.max(1)).collect();
+        Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -1,17 +1,59 @@
 //! Property tests for the executor: join operators must agree with a
-//! nested-loop oracle for arbitrary inputs, and every access path must
-//! return the same multiset as a filtered full scan.
+//! nested-loop oracle for arbitrary inputs, every access path must
+//! return the same multiset as a filtered full scan, and the batched
+//! iterator protocol must produce the exact row sequence of the
+//! row-at-a-time protocol for every operator.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use smooth_executor::sort::SortKey;
 use smooth_executor::{
-    collect_rows, operator::ValuesOp, FullTableScan, HashJoin, IndexScan, JoinType, MergeJoin,
-    Predicate, SortScan,
+    collect_rows, collect_rows_volcano, operator::ValuesOp, AggFunc, Filter, FullTableScan,
+    HashAggregate, HashJoin, IndexScan, JoinType, MergeJoin, NestedLoopJoin, Operator, Predicate,
+    Project, Sort, SortScan,
 };
 use smooth_index::BTreeIndex;
 use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, Storage, StorageConfig};
 use smooth_types::{Column, DataType, Row, Schema, Value};
+
+/// Drain an operator through `next_batch(max)` only.
+fn collect_batched(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(batch) = op.next_batch(max).unwrap() {
+        assert!(!batch.is_empty(), "empty batch violates the protocol");
+        assert!(batch.len() <= max, "batch exceeds max");
+        rows.extend(batch.into_rows());
+    }
+    assert!(op.next_batch(max).unwrap().is_none(), "None must be sticky");
+    op.close().unwrap();
+    rows
+}
+
+/// Drain an operator alternating `next()` and `next_batch(max)` calls —
+/// the two protocols share one stream and must compose.
+fn collect_interleaved(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(row) = op.next().unwrap() {
+        rows.push(row);
+        match op.next_batch(max).unwrap() {
+            Some(batch) => rows.extend(batch.into_rows()),
+            None => break,
+        }
+    }
+    op.close().unwrap();
+    rows
+}
+
+/// The protocol-equivalence obligation: row-at-a-time, batched, and
+/// interleaved drains of (reopenable) `op` yield the identical sequence.
+fn assert_protocols_equivalent(op: &mut dyn Operator, max: usize) {
+    let volcano = collect_rows_volcano(op).unwrap();
+    assert_eq!(collect_batched(op, max), volcano, "batched ≠ row-at-a-time (max={max})");
+    assert_eq!(collect_interleaved(op, max), volcano, "interleaved ≠ row-at-a-time (max={max})");
+}
 
 fn storage() -> Storage {
     Storage::new(StorageConfig {
@@ -157,5 +199,105 @@ proptest! {
             Predicate::True,
         );
         prop_assert_eq!(canonical(collect_rows(&mut ss).unwrap()), expected);
+    }
+
+    /// `next_batch` ≡ `next` for every access path, for arbitrary data,
+    /// ranges, residuals and batch sizes.
+    #[test]
+    fn scan_batch_protocol_equals_row_protocol(
+        keys in proptest::collection::vec(0i64..100, 1..500),
+        lo in 0i64..100,
+        width in 0i64..110,
+        residual_hi in 0i64..600,
+        max in 1usize..80,
+    ) {
+        let schema = two_col_schema("c0", "c1");
+        let mut loader = HeapLoader::new_mem("t", schema);
+        for (i, &k) in keys.iter().enumerate() {
+            loader.push(&Row::new(vec![Value::Int(i as i64), Value::Int(k)])).unwrap();
+        }
+        let heap: Arc<HeapFile> = Arc::new(loader.finish().unwrap());
+        let index = Arc::new(BTreeIndex::build_from_heap("i", &heap, 1).unwrap());
+        let s = storage();
+        let hi = lo + width;
+        let residual = Predicate::int_lt(0, residual_hi);
+        let mut full = FullTableScan::new(
+            Arc::clone(&heap),
+            s.clone(),
+            Predicate::and(vec![Predicate::int_half_open(1, lo, hi), residual.clone()]),
+        );
+        assert_protocols_equivalent(&mut full, max);
+        let mut is = IndexScan::new(
+            Arc::clone(&heap),
+            Arc::clone(&index),
+            s.clone(),
+            std::ops::Bound::Included(lo),
+            std::ops::Bound::Excluded(hi),
+            residual.clone(),
+        );
+        assert_protocols_equivalent(&mut is, max);
+        let mut ss = SortScan::new(
+            Arc::clone(&heap),
+            Arc::clone(&index),
+            s.clone(),
+            std::ops::Bound::Included(lo),
+            std::ops::Bound::Excluded(hi),
+            residual.clone(),
+        );
+        assert_protocols_equivalent(&mut ss, max);
+        for ty in [JoinType::Inner, JoinType::LeftSemi] {
+            let outer_rows: Vec<(i64, i64)> =
+                (0..40).map(|i| (i, (i * 13) % 120)).collect();
+            let mut inlj = smooth_executor::IndexNestedLoopJoin::new(
+                values_op("a", "fk", &outer_rows),
+                1,
+                Arc::clone(&heap),
+                Arc::clone(&index),
+                residual.clone(),
+                ty,
+                s.clone(),
+            );
+            assert_protocols_equivalent(&mut inlj, max);
+        }
+    }
+
+    /// `next_batch` ≡ `next` for the relational operators (filter,
+    /// projection, sort, aggregation, all joins) over arbitrary inputs.
+    #[test]
+    fn relational_batch_protocol_equals_row_protocol(
+        left in proptest::collection::vec((0i64..25, -50i64..50), 0..80),
+        right in proptest::collection::vec((0i64..25, -50i64..50), 0..80),
+        max in 1usize..40,
+    ) {
+        let mk_left = || values_op("lk", "lv", &left);
+        let mk_right = || values_op("rk", "rv", &right);
+        let mut filter = Filter::new(mk_left(), Predicate::int_ge(1, 0));
+        assert_protocols_equivalent(&mut filter, max);
+        let mut project = Project::new(mk_left(), vec![1, 0]).unwrap();
+        assert_protocols_equivalent(&mut project, max);
+        let mut sort = Sort::new(mk_left(), storage(), vec![SortKey::asc(0), SortKey::desc(1)]);
+        assert_protocols_equivalent(&mut sort, max);
+        let mut agg = HashAggregate::new(
+            mk_left(),
+            vec![0],
+            vec![AggFunc::CountStar, AggFunc::Sum(1), AggFunc::Min(1)],
+            storage(),
+        )
+        .unwrap();
+        assert_protocols_equivalent(&mut agg, max);
+        for ty in [JoinType::Inner, JoinType::LeftSemi] {
+            let mut hj = HashJoin::new(mk_left(), mk_right(), 0, 0, ty, storage());
+            assert_protocols_equivalent(&mut hj, max);
+            let mut nlj =
+                NestedLoopJoin::new(mk_left(), mk_right(), Predicate::int_ge(1, 0), ty, storage());
+            assert_protocols_equivalent(&mut nlj, max);
+        }
+        let mut ls = left.clone();
+        ls.sort();
+        let mut rs = right.clone();
+        rs.sort();
+        let mut mj =
+            MergeJoin::new(values_op("lk", "lv", &ls), values_op("rk", "rv", &rs), 0, 0, storage());
+        assert_protocols_equivalent(&mut mj, max);
     }
 }

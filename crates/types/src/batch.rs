@@ -1,0 +1,170 @@
+//! Row batches: the unit of the vectorized iterator protocol.
+//!
+//! A [`RowBatch`] is an ordered run of rows handed across one operator
+//! boundary in a single virtual call. Batching amortizes the Volcano tax —
+//! one dynamic dispatch, one `Result`/`Option` round trip and two atomic
+//! clock charges per *tuple* become per *batch* (or per page) — while
+//! keeping the morsel-at-a-time granularity the Smooth Scan switch logic
+//! reasons about. Batches are row-major (`Vec<Row>`); columnar batches are
+//! a ROADMAP follow-on.
+
+use crate::error::Result;
+use crate::row::Row;
+
+/// Default number of rows per batch request. Large enough to amortize
+/// per-call overhead, small enough to stay cache-resident and to keep
+/// morphing decisions fine-grained (a heap page holds ~90 tuples, so this
+/// is ~11 pages worth of output).
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// An ordered run of rows produced by one `next_batch` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowBatch {
+    rows: Vec<Row>,
+}
+
+impl RowBatch {
+    /// An empty batch.
+    #[inline]
+    pub fn new() -> Self {
+        RowBatch { rows: Vec::new() }
+    }
+
+    /// An empty batch with room for `cap` rows.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        RowBatch { rows: Vec::with_capacity(cap) }
+    }
+
+    /// Wrap an existing row vector (no copy).
+    #[inline]
+    pub fn from_rows(rows: Vec<Row>) -> Self {
+        RowBatch { rows }
+    }
+
+    /// Number of rows in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the batch holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one row.
+    #[inline]
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Borrow the rows.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume into the underlying vector (no copy).
+    #[inline]
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Keep only rows for which `keep` returns `Ok(true)`, preserving
+    /// order; the first error aborts and propagates.
+    pub fn try_retain(&mut self, mut keep: impl FnMut(&Row) -> Result<bool>) -> Result<()> {
+        let mut out = 0usize;
+        for i in 0..self.rows.len() {
+            if keep(&self.rows[i])? {
+                if out != i {
+                    self.rows.swap(out, i);
+                }
+                out += 1;
+            }
+        }
+        self.rows.truncate(out);
+        Ok(())
+    }
+
+    /// Map every row in place (projection).
+    pub fn try_map(&mut self, mut f: impl FnMut(&Row) -> Result<Row>) -> Result<()> {
+        for row in &mut self.rows {
+            *row = f(row)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Row>> for RowBatch {
+    fn from(rows: Vec<Row>) -> Self {
+        RowBatch { rows }
+    }
+}
+
+impl IntoIterator for RowBatch {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RowBatch {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::value::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn push_len_and_into_rows() {
+        let mut b = RowBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(row(1));
+        b.push(row(2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.rows()[1], row(2));
+        let v = b.into_rows();
+        assert_eq!(v, vec![row(1), row(2)]);
+    }
+
+    #[test]
+    fn try_retain_keeps_order_and_propagates_errors() {
+        let mut b = RowBatch::from_rows((0..6).map(row).collect());
+        b.try_retain(|r| Ok(r.int(0)? % 2 == 0)).unwrap();
+        assert_eq!(b.into_rows(), vec![row(0), row(2), row(4)]);
+        let mut b = RowBatch::from_rows((0..3).map(row).collect());
+        assert!(b.try_retain(|_| Err(Error::exec("boom"))).is_err());
+    }
+
+    #[test]
+    fn try_map_projects_in_place() {
+        let mut b = RowBatch::from_rows((0..3).map(row).collect());
+        b.try_map(|r| Ok(row(r.int(0)? * 10))).unwrap();
+        assert_eq!(b.into_rows(), vec![row(0), row(10), row(20)]);
+    }
+
+    #[test]
+    fn iteration_both_ways() {
+        let b = RowBatch::from_rows((0..3).map(row).collect());
+        let borrowed: Vec<i64> = (&b).into_iter().map(|r| r.int(0).unwrap()).collect();
+        assert_eq!(borrowed, vec![0, 1, 2]);
+        let owned: Vec<Row> = b.into_iter().collect();
+        assert_eq!(owned.len(), 3);
+    }
+}

@@ -10,12 +10,14 @@
 //! TIDs. Keeping these types in a leaf crate lets the storage engine, the
 //! B+-tree, the executor and the Smooth Scan operator evolve independently.
 
+pub mod batch;
 pub mod error;
 pub mod row;
 pub mod schema;
 pub mod tid;
 pub mod value;
 
+pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Column, Schema};

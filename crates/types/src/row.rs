@@ -137,55 +137,149 @@ impl Row {
 
     /// Decode a row of `schema` from `bytes`.
     pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Row> {
-        let bitmap_len = schema.len().div_ceil(8);
-        if bytes.len() < bitmap_len {
-            return Err(Error::corrupt("tuple shorter than its null bitmap"));
-        }
-        let (bitmap, mut rest) = bytes.split_at(bitmap_len);
+        let (bitmap, mut rest) = split_bitmap(schema, bytes)?;
         let mut values = Vec::with_capacity(schema.len());
         for (i, c) in schema.columns().iter().enumerate() {
-            let is_null = bitmap[i / 8] & (1 << (i % 8)) != 0;
-            if is_null {
+            if is_null(bitmap, i) {
                 values.push(Value::Null);
-                continue;
+            } else {
+                values.push(decode_field(&mut rest, c.ty)?);
             }
-            let take = |rest: &mut &[u8], n: usize| -> Result<Vec<u8>> {
-                if rest.len() < n {
-                    return Err(Error::corrupt("tuple truncated"));
-                }
-                let (head, tail) = rest.split_at(n);
-                *rest = tail;
-                Ok(head.to_vec())
-            };
-            let v = match c.ty {
-                DataType::Int32 | DataType::Date => {
-                    let b = take(&mut rest, 4)?;
-                    Value::Int(i32::from_le_bytes(b.try_into().unwrap()) as i64)
-                }
-                DataType::Int64 => {
-                    let b = take(&mut rest, 8)?;
-                    Value::Int(i64::from_le_bytes(b.try_into().unwrap()))
-                }
-                DataType::Float64 => {
-                    let b = take(&mut rest, 8)?;
-                    Value::Float(f64::from_le_bytes(b.try_into().unwrap()))
-                }
-                DataType::Text => {
-                    let b = take(&mut rest, 2)?;
-                    let len = u16::from_le_bytes(b.try_into().unwrap()) as usize;
-                    let s = take(&mut rest, len)?;
-                    Value::Str(
-                        String::from_utf8(s).map_err(|_| Error::corrupt("non-utf8 text field"))?,
-                    )
-                }
-            };
-            values.push(v);
         }
         if !rest.is_empty() {
             return Err(Error::corrupt("trailing bytes after tuple"));
         }
         Ok(Row { values })
     }
+
+    /// Decode only the columns listed in `cols` (ascending ordinals) into
+    /// `scratch[col]`, skipping the payload bytes of every other field
+    /// without materializing them. `scratch` must be `schema.len()` long;
+    /// slots not listed in `cols` are left untouched.
+    ///
+    /// This is the scan-side predicate pushdown primitive: a batched scan
+    /// probes just the predicate columns of each on-page tuple and pays the
+    /// full [`Row::decode`] only for qualifying tuples. The whole tuple is
+    /// still structurally validated — every field is walked and trailing
+    /// bytes are rejected — so a corrupt tuple errors here exactly as it
+    /// would under [`Row::decode`], keeping the batch and row protocols
+    /// behaviorally identical on bad pages.
+    pub fn decode_columns_into(
+        schema: &Schema,
+        bytes: &[u8],
+        cols: &[usize],
+        scratch: &mut [Value],
+    ) -> Result<()> {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be ascending");
+        debug_assert_eq!(scratch.len(), schema.len());
+        let (bitmap, mut rest) = split_bitmap(schema, bytes)?;
+        let mut wanted = cols.iter().copied().peekable();
+        // Unreferenced fixed-width fields accumulate into one deferred
+        // skip, flushed only when an exact position is needed.
+        let mut pending_skip = 0usize;
+        for (i, c) in schema.columns().iter().enumerate() {
+            let want = wanted.peek() == Some(&i);
+            if want {
+                wanted.next();
+            }
+            if is_null(bitmap, i) {
+                if want {
+                    scratch[i] = Value::Null;
+                }
+                continue;
+            }
+            if !want {
+                if let Some(w) = c.ty.fixed_width() {
+                    pending_skip += w;
+                    continue;
+                }
+            }
+            if pending_skip > 0 {
+                take(&mut rest, pending_skip)?;
+                pending_skip = 0;
+            }
+            if want {
+                scratch[i] = decode_field(&mut rest, c.ty)?;
+            } else {
+                skip_field(&mut rest, c.ty)?;
+            }
+        }
+        if pending_skip > 0 {
+            take(&mut rest, pending_skip)?;
+        }
+        if !rest.is_empty() {
+            return Err(Error::corrupt("trailing bytes after tuple"));
+        }
+        Ok(())
+    }
+}
+
+/// Split `bytes` into the null bitmap and the payload under `schema`.
+fn split_bitmap<'a>(schema: &Schema, bytes: &'a [u8]) -> Result<(&'a [u8], &'a [u8])> {
+    let bitmap_len = schema.len().div_ceil(8);
+    if bytes.len() < bitmap_len {
+        return Err(Error::corrupt("tuple shorter than its null bitmap"));
+    }
+    Ok(bytes.split_at(bitmap_len))
+}
+
+#[inline]
+fn is_null(bitmap: &[u8], i: usize) -> bool {
+    bitmap[i / 8] & (1 << (i % 8)) != 0
+}
+
+/// Advance `rest` past `n` bytes, returning them as a borrowed slice.
+#[inline]
+fn take<'a>(rest: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if rest.len() < n {
+        return Err(Error::corrupt("tuple truncated"));
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Ok(head)
+}
+
+/// Decode one non-null field of type `ty` from the front of `rest`.
+#[inline]
+fn decode_field(rest: &mut &[u8], ty: DataType) -> Result<Value> {
+    Ok(match ty {
+        DataType::Int32 | DataType::Date => {
+            let b = take(rest, 4)?;
+            Value::Int(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+        }
+        DataType::Int64 => {
+            let b = take(rest, 8)?;
+            Value::Int(i64::from_le_bytes(b.try_into().unwrap()))
+        }
+        DataType::Float64 => {
+            let b = take(rest, 8)?;
+            Value::Float(f64::from_le_bytes(b.try_into().unwrap()))
+        }
+        DataType::Text => {
+            let b = take(rest, 2)?;
+            let len = u16::from_le_bytes(b.try_into().unwrap()) as usize;
+            let s = take(rest, len)?;
+            Value::Str(
+                std::str::from_utf8(s)
+                    .map_err(|_| Error::corrupt("non-utf8 text field"))?
+                    .to_owned(),
+            )
+        }
+    })
+}
+
+/// Skip one non-null field of type `ty` without materializing it.
+#[inline]
+fn skip_field(rest: &mut &[u8], ty: DataType) -> Result<()> {
+    let n = match ty.fixed_width() {
+        Some(w) => w,
+        None => {
+            let b = take(rest, 2)?;
+            u16::from_le_bytes(b.try_into().unwrap()) as usize
+        }
+    };
+    take(rest, n)?;
+    Ok(())
 }
 
 impl From<Vec<Value>> for Row {
@@ -262,6 +356,38 @@ mod tests {
         extra.push(0);
         assert!(Row::decode(&s, &extra).is_err());
         assert!(Row::decode(&s, &[]).is_err());
+    }
+
+    #[test]
+    fn decode_columns_probes_without_full_decode() {
+        let s = schema();
+        let r = row();
+        let bytes = r.encode(&s).unwrap();
+        let mut scratch = vec![Value::Null; s.len()];
+        Row::decode_columns_into(&s, &bytes, &[1, 3], &mut scratch).unwrap();
+        assert_eq!(scratch[1], Value::Int(1 << 40));
+        assert_eq!(scratch[3], Value::Float(2.5));
+        // untouched slots keep their previous contents
+        assert_eq!(scratch[0], Value::Null);
+        // columns after a variable-width field decode correctly
+        Row::decode_columns_into(&s, &bytes, &[4], &mut scratch).unwrap();
+        assert_eq!(scratch[4], Value::Int(19000));
+        // nulls decode as Null
+        let withnull =
+            Row::new(vec![Value::Int(1), Value::Int(2), Value::Null, Value::Null, Value::Int(0)]);
+        let bytes = withnull.encode(&s).unwrap();
+        Row::decode_columns_into(&s, &bytes, &[2, 4], &mut scratch).unwrap();
+        assert_eq!(scratch[2], Value::Null);
+        assert_eq!(scratch[4], Value::Int(0));
+        // truncation surfaces as an error
+        assert!(Row::decode_columns_into(&s, &bytes[..2], &[4], &mut scratch).is_err());
+        // … even when the damage is past the last referenced column, and
+        // trailing bytes are rejected — same strictness as Row::decode
+        let full = row().encode(&s).unwrap();
+        assert!(Row::decode_columns_into(&s, &full[..full.len() - 1], &[0], &mut scratch).is_err());
+        let mut extra = full.clone();
+        extra.push(0);
+        assert!(Row::decode_columns_into(&s, &extra, &[0], &mut scratch).is_err());
     }
 
     #[test]

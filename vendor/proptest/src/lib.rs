@@ -2,7 +2,8 @@
 //!
 //! The container has no registry access, so this path dependency implements
 //! the subset of proptest the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `boxed`,
 //! strategies for integer and float ranges, tuples, `Vec<S>`, `Just`,
 //! `any::<T>()`, simple `[class]{m,n}` string patterns,
 //! `proptest::collection::vec`, weighted `prop_oneof!`, and the
