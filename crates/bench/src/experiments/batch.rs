@@ -1,19 +1,28 @@
-//! Vectorized vs Volcano execution on the micro-benchmark table.
+//! Vectorized (row-batch) vs Volcano execution on the micro-benchmark
+//! table.
 //!
 //! Not a paper figure: this experiment records the engine's own execution
 //! overhead. It drives the identical `FullTableScan` over the identical
 //! data through the row-at-a-time protocol (`collect_rows_volcano`) and
-//! the batch protocol (`collect_rows`), reporting wall-clock throughput
-//! and the speedup — the quantity the CI perf-smoke gate holds a ≥1.5×
-//! floor on at 10% selectivity. It also records deterministic
-//! virtual-clock times for the four access paths, the cross-machine
-//! trajectory numbers.
+//! the row-major batch protocol (`collect_rows_batch`), reporting
+//! wall-clock throughput and the speedup.
+//!
+//! Historical note: PR 2 gated a ≥1.5× floor on this ratio, back when the
+//! Volcano path decoded and filtered tuple-at-a-time. The columnar data
+//! plane moved the page fill (encoded-tuple probe + decode into column
+//! vectors) *underneath all three protocols*, which made the Volcano
+//! driver itself ~1.8× faster and collapsed this ratio toward 1 — the
+//! Volcano tax is now paid only at the driver boundary. The ratio stays
+//! reported for the record; the enforced wall-clock floor lives in the
+//! sibling `columnar` experiment (columnar vs row-batch driver). The
+//! deterministic virtual-clock times for the four access paths remain the
+//! gated cross-machine trajectory numbers.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use smooth_core::SmoothScanConfig;
-use smooth_executor::{collect_rows, collect_rows_volcano, FullTableScan};
+use smooth_executor::{collect_rows_batch, collect_rows_volcano, FullTableScan};
 use smooth_planner::AccessPathChoice;
 use smooth_storage::DeviceProfile;
 use smooth_workload::micro;
@@ -21,17 +30,13 @@ use smooth_workload::micro;
 use crate::report::{json_metric, Metric, Report};
 use crate::setup;
 
-/// Wall-clock speedup floor the perf-smoke gate enforces at 10%
-/// selectivity (the PR-2 acceptance bar).
-pub const SPEEDUP_FLOOR: f64 = 1.5;
-
 /// Timed runs per measurement; the best (minimum) is reported to shave
 /// scheduler noise on shared CI runners. Smoke-scale scans take only a
 /// few milliseconds each, so the minimum over several runs (plus one
 /// untimed warmup) is what keeps the gated speedup ratio stable.
-const RUNS: usize = 5;
+pub(crate) const RUNS: usize = 5;
 
-fn best_wall_secs(mut run: impl FnMut() -> usize) -> (f64, usize) {
+pub(crate) fn best_wall_secs(mut run: impl FnMut() -> usize) -> (f64, usize) {
     let mut best = f64::INFINITY;
     let mut rows = run(); // warmup: pool and allocator in steady state
     for _ in 0..RUNS {
@@ -51,7 +56,7 @@ pub fn run() {
 
     let mut wall = Report::new(
         "batch",
-        format!("Volcano vs vectorized FullTableScan (wall clock, best of {RUNS})"),
+        format!("Volcano vs row-batch FullTableScan (wall clock, best of {RUNS})"),
         &["sel_pct", "rows_out", "volcano_krows_s", "batch_krows_s", "speedup"],
     );
     for sel in [0.1, 1.0] {
@@ -62,7 +67,7 @@ pub fn run() {
         });
         let (batch_s, n_batch) = best_wall_secs(|| {
             let mut op = FullTableScan::new(Arc::clone(&heap), storage.clone(), pred.clone());
-            collect_rows(&mut op).expect("batch scan").len()
+            collect_rows_batch(&mut op).expect("batch scan").len()
         });
         assert_eq!(n_volcano, n_batch, "protocols must agree on the result set");
         let speedup = volcano_s / batch_s.max(1e-12);
@@ -74,11 +79,10 @@ pub fn run() {
             format!("{:.0}", rows_total / batch_s.max(1e-12) / 1e3),
             Report::factor(speedup),
         ]);
-        // The speedup is a same-machine ratio but still wall-clock-noisy,
-        // so it is not compared against the (possibly different-hardware)
-        // baseline; at 10% selectivity it must clear the absolute floor.
-        let metric = Metric::info(format!("batch.fullscan.{tag}.speedup"), speedup, "x", true);
-        json_metric(if sel == 0.1 { metric.with_floor(SPEEDUP_FLOOR) } else { metric });
+        // Informational: the shared columnar fill collapsed this ratio
+        // toward 1 (see the module docs); the enforced wall-clock floor is
+        // the columnar experiment's.
+        json_metric(Metric::info(format!("batch.fullscan.{tag}.speedup"), speedup, "x", true));
         json_metric(Metric::info(
             format!("batch.fullscan.{tag}.volcano_krows_s"),
             rows_total / volcano_s.max(1e-12) / 1e3,
@@ -95,10 +99,12 @@ pub fn run() {
     wall.finish();
 
     // Deterministic virtual-clock trajectory: the four access paths on the
-    // 10%-selectivity micro query, executed through the batch pipeline.
+    // 10%-selectivity micro query, executed through the default (columnar)
+    // pipeline driver. The `columnar` experiment asserts these totals are
+    // byte-for-byte identical under the row-batch driver.
     let mut virt = Report::new(
         "batch_virtual",
-        "Access paths at 10% selectivity (virtual s, batch pipeline)",
+        "Access paths at 10% selectivity (virtual s, columnar pipeline)",
         &["path", "virtual_s", "cpu_s", "io_s"],
     );
     let paths: [(&str, AccessPathChoice); 4] = [
@@ -150,6 +156,6 @@ mod tests {
         let pred = Predicate::int_half_open(1, 0, 10);
         let mut a = FullTableScan::new(Arc::clone(&heap), s.clone(), pred.clone());
         let mut b = FullTableScan::new(heap, s, pred);
-        assert_eq!(collect_rows_volcano(&mut a).unwrap(), collect_rows(&mut b).unwrap());
+        assert_eq!(collect_rows_volcano(&mut a).unwrap(), collect_rows_batch(&mut b).unwrap());
     }
 }

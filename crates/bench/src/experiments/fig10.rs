@@ -4,13 +4,16 @@
 //! paths viable deeper into the selectivity range — Index Scan stays
 //! competitive until ~0.1% (vs 0.01% on HDD), Smooth Scan beats Sort Scan
 //! above ~0.1% and ends within ~10% of Full Scan at 100%.
+//!
+//! Under `--json` the virtual-clock series is folded into the perf report
+//! as gated metrics, like the Fig. 5 sweeps (see `fig5.rs`).
 
 use smooth_core::SmoothScanConfig;
 use smooth_planner::AccessPathChoice;
 use smooth_storage::DeviceProfile;
 use smooth_workload::micro;
 
-use crate::report::Report;
+use crate::report::{json_metric, sel_tag, Metric, Report};
 use crate::setup;
 
 /// Run the SSD sweep (without ORDER BY, as in the paper's Fig. 10).
@@ -23,15 +26,21 @@ pub fn run() {
     );
     for sel in micro::selectivity_grid() {
         let mut cells = vec![format!("{}", sel * 100.0)];
-        for access in [
-            AccessPathChoice::ForceFull,
-            AccessPathChoice::ForceIndex,
-            AccessPathChoice::ForceSort,
-            AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic()),
+        for (name, access) in [
+            ("full", AccessPathChoice::ForceFull),
+            ("index", AccessPathChoice::ForceIndex),
+            ("sort", AccessPathChoice::ForceSort),
+            ("smooth", AccessPathChoice::Smooth(SmoothScanConfig::eager_elastic())),
         ] {
             let plan = micro::query(sel, false, access);
             let stats = db.run(&plan).expect("fig10 query").stats;
             cells.push(Report::secs(stats.secs()));
+            json_metric(Metric::gated(
+                format!("virtual.fig10.{}.{name}.secs", sel_tag(sel)),
+                stats.secs(),
+                "virtual_s",
+                false,
+            ));
         }
         report.row(cells);
     }

@@ -2,6 +2,7 @@
 //! index mapping each module to its figure/table, workload and parameters.
 
 pub mod batch;
+pub mod columnar;
 pub mod costmodel;
 pub mod cr;
 pub mod fig1;
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "costmodel",
     "cr",
     "batch",
+    "columnar",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -50,6 +52,7 @@ pub fn run(id: &str) -> bool {
         "table1" | "costmodel" => costmodel::run(),
         "cr" => cr::run(),
         "batch" => batch::run(),
+        "columnar" => columnar::run(),
         _ => return false,
     }
     true

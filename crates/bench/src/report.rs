@@ -357,6 +357,16 @@ fn num(v: f64) -> String {
     }
 }
 
+/// A selectivity expressed as a metric-id-safe percent tag: `0.001` →
+/// `sel0p1`, `1.0` → `sel100` (decimal points become `p`, which keeps the
+/// one-metric-per-line JSON grep-friendly). Rounded to 4 decimals of a
+/// percent so float noise never changes a metric id.
+pub fn sel_tag(selectivity: f64) -> String {
+    let pct = format!("{:.4}", selectivity * 100.0);
+    let pct = pct.trim_end_matches('0').trim_end_matches('.');
+    format!("sel{}", pct.replace('.', "p"))
+}
+
 /// Process-wide sink the experiments contribute metrics to while the
 /// driver runs with `--json`.
 static JSON_SINK: Mutex<Option<JsonReport>> = Mutex::new(None);
@@ -466,8 +476,8 @@ mod tests {
         downgraded.metrics[0].value = 1.2; // below the baseline's 1.5 floor
         downgraded.metrics[1].gate = false;
         downgraded.metrics[1].value = 12.5 * 1.3; // >25% virtual regression
-        // metric 0 fails its floor AND the baseline's relative gate;
-        // metric 1 fails the baseline's relative gate: three failures.
+                                                  // metric 0 fails its floor AND the baseline's relative gate;
+                                                  // metric 1 fails the baseline's relative gate: three failures.
         assert_eq!(downgraded.regressions(&base).len(), 3);
     }
 
@@ -493,6 +503,17 @@ mod tests {
         let got = json_take().unwrap();
         assert_eq!(got.metrics.len(), 1);
         assert_eq!(got.metrics[0].id, "kept");
+    }
+
+    #[test]
+    fn sel_tags_are_stable_and_id_safe() {
+        assert_eq!(sel_tag(0.0), "sel0");
+        assert_eq!(sel_tag(0.00001), "sel0p001");
+        assert_eq!(sel_tag(0.001), "sel0p1");
+        assert_eq!(sel_tag(0.05), "sel5");
+        assert_eq!(sel_tag(0.1), "sel10");
+        assert_eq!(sel_tag(0.75), "sel75");
+        assert_eq!(sel_tag(1.0), "sel100");
     }
 
     #[test]

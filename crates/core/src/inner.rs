@@ -19,7 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use smooth_executor::{BoxedOperator, Operator, Predicate};
+use smooth_executor::{BoxedOperator, Operator, Predicate, ScanFilter};
 use smooth_index::BTreeIndex;
 use smooth_storage::{HeapFile, PageView, Storage};
 use smooth_types::{PageId, Result, Row, RowBatch, Schema, Value};
@@ -48,7 +48,10 @@ pub struct SmoothInnerPath {
     index: Arc<BTreeIndex>,
     storage: Storage,
     key_col: usize,
-    residual: Predicate,
+    /// Compiled residual, probed on *encoded* tuples during the harvest —
+    /// non-qualifiers are never fully decoded (the PR 2 `ScanFilter`
+    /// selection pushdown, applied to the morphing INLJ).
+    filter: ScanFilter,
     visited: PageIdCache,
     harvested: HashMap<i64, Vec<Row>>,
     metrics: InnerPathMetrics,
@@ -65,12 +68,13 @@ impl SmoothInnerPath {
         residual: Predicate,
     ) -> Self {
         let pages = heap.page_count();
+        let filter = ScanFilter::new(residual, heap.schema());
         SmoothInnerPath {
             heap,
             index,
             storage,
             key_col,
-            residual,
+            filter,
             visited: PageIdCache::new(pages),
             harvested: HashMap::new(),
             metrics: InnerPathMetrics::default(),
@@ -88,19 +92,25 @@ impl SmoothInnerPath {
         self.metrics.pages_fetched += 1;
         let cpu = *self.storage.cpu();
         let view = PageView::new(&page)?;
-        for slot in 0..view.slot_count() {
-            self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
-            let row = self.heap.decode_slot(&page, slot)?;
-            if !self.residual.eval(&row)? {
+        let slots = view.slot_count();
+        let mut hash_ops = 0u64;
+        for slot in 0..slots {
+            let bytes = view.get(slot)?;
+            let Some(row) = self.filter.filter_decode(self.heap.schema(), bytes)? else {
                 continue;
-            }
+            };
             if let Value::Int(k) = row.get(self.key_col) {
                 let k = *k;
-                self.storage.clock().charge_cpu(cpu.hash_op_ns);
+                hash_ops += 1;
                 self.harvested.entry(k).or_default().push(row);
                 self.metrics.rows_harvested += 1;
             }
         }
+        // Bulk per-page charge, identical totals to the per-tuple path:
+        // one inspect per slot, one hash op per harvested row.
+        self.storage
+            .clock()
+            .charge_cpu(cpu.inspect_tuple_ns * slots as u64 + cpu.hash_op_ns * hash_ops);
         Ok(())
     }
 

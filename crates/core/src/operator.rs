@@ -17,14 +17,13 @@
 //! ahead of the cursor wait in the partitioned Result Cache; without one,
 //! they are emitted the moment they are found (Section IV-B).
 
-use std::collections::VecDeque;
 use std::ops::Bound;
 use std::sync::Arc;
 
 use smooth_executor::{Operator, Predicate, ScanFilter};
 use smooth_index::{BTreeIndex, IndexCursor};
 use smooth_storage::{HeapFile, PageView, Storage};
-use smooth_types::{PageId, Result, Row, RowBatch, Schema, Tid, Value};
+use smooth_types::{ColumnBatch, ColumnBuffer, PageId, Result, Row, RowBatch, Schema, Tid, Value};
 
 use crate::cost_model::{CostModel, TableGeometry};
 use crate::page_cache::PageIdCache;
@@ -151,7 +150,11 @@ pub struct SmoothScan {
     result_cache: Option<ResultCache>,
     policy: MorphPolicy,
     traditional_until: Option<u64>,
-    out_buf: VecDeque<Row>,
+    /// Pending output: a columnar FIFO all three iterator protocols drain.
+    /// Unordered morphing regions decode their qualifiers straight into
+    /// it (no per-row materialization); Mode-0 tuples, Result-Cache hits
+    /// and ordered driving tuples append row-wise.
+    out: ColumnBuffer,
     metrics: SmoothScanMetrics,
 }
 
@@ -180,6 +183,7 @@ impl SmoothScan {
             storage.device(),
         );
         let pages = heap.page_count();
+        let out = ColumnBuffer::for_schema(heap.schema());
         SmoothScan {
             heap,
             index,
@@ -197,7 +201,7 @@ impl SmoothScan {
             result_cache: None,
             policy: MorphPolicy::new(config.policy, config.max_region_pages),
             traditional_until: None,
-            out_buf: VecDeque::new(),
+            out,
             metrics: SmoothScanMetrics::default(),
         }
     }
@@ -227,13 +231,17 @@ impl SmoothScan {
     /// mark them visited, collect qualifying tuples, update the policy.
     /// In ordered mode the driving tuple (if it qualifies) is returned and
     /// other finds go to the Result Cache; in unordered mode everything is
-    /// queued in `out_buf`.
+    /// queued in the columnar output buffer.
     ///
     /// Region processing is vectorized: the predicate is probed on the
     /// encoded tuples (only the key/residual columns are decoded for
     /// non-qualifiers) and the virtual clock is charged once per page
     /// rather than per tuple, with totals identical to the per-tuple
-    /// accounting.
+    /// accounting. In unordered mode the qualifiers additionally decode
+    /// *straight into column vectors* — the whole morphing region becomes
+    /// a columnar morsel without a single `Row` materializing. Ordered
+    /// mode stays row-wise (the Result Cache stores rows keyed by
+    /// `(key, tid)`), with identical clock totals either way.
     fn process_region(&mut self, driving: Tid, len: u32) -> Result<Option<Row>> {
         let end = (driving.page.0 + len).min(self.heap.page_count());
         let cpu = *self.storage.cpu();
@@ -251,27 +259,29 @@ impl SmoothScan {
             let pages = self.storage.read_heap_run(&self.heap, PageId(p), run)?;
             for (pid, buf) in &pages {
                 self.page_cache.insert(*pid);
-                let mut had_result = false;
+                let had_result;
                 let view = PageView::new(buf)?;
                 let mut bitmap_ops = 0u64;
-                let mut inspected = 0u64;
-                let mut emitted = 0u64;
-                for slot in 0..view.slot_count() {
-                    let tid = Tid { page: *pid, slot };
-                    if let Some(tc) = &self.tuple_cache {
-                        bitmap_ops += 1;
-                        if tc.contains(tid) {
-                            continue; // already produced by Mode 0
+                if self.config.ordered {
+                    let mut inspected = 0u64;
+                    let mut emitted = 0u64;
+                    let mut any = false;
+                    for slot in 0..view.slot_count() {
+                        let tid = Tid { page: *pid, slot };
+                        if let Some(tc) = &self.tuple_cache {
+                            bitmap_ops += 1;
+                            if tc.contains(tid) {
+                                continue; // already produced by Mode 0
+                            }
                         }
-                    }
-                    inspected += 1;
-                    let bytes = view.get(slot)?;
-                    let Some(row) = self.filter.filter_decode(self.heap.schema(), bytes)? else {
-                        continue;
-                    };
-                    had_result = true;
-                    emitted += 1;
-                    if self.config.ordered {
+                        inspected += 1;
+                        let bytes = view.get(slot)?;
+                        let Some(row) = self.filter.filter_decode(self.heap.schema(), bytes)?
+                        else {
+                            continue;
+                        };
+                        any = true;
+                        emitted += 1;
                         if tid == driving {
                             driving_row = Some(row);
                         } else {
@@ -281,15 +291,33 @@ impl SmoothScan {
                                 .expect("ordered mode has a result cache")
                                 .insert(&self.storage, key, tid, row);
                         }
-                    } else {
-                        self.out_buf.push_back(row);
                     }
+                    had_result = any;
+                    self.storage.clock().charge_cpu(
+                        cpu.bitmap_op_ns * bitmap_ops
+                            + cpu.inspect_tuple_ns * inspected
+                            + cpu.emit_tuple_ns * emitted,
+                    );
+                } else {
+                    let mut tuples: Vec<&[u8]> = Vec::with_capacity(view.slot_count() as usize);
+                    for slot in 0..view.slot_count() {
+                        if let Some(tc) = &self.tuple_cache {
+                            bitmap_ops += 1;
+                            if tc.contains(Tid { page: *pid, slot }) {
+                                continue; // already produced by Mode 0
+                            }
+                        }
+                        tuples.push(view.get(slot)?);
+                    }
+                    let (inspected, emitted) =
+                        self.filter.fill_columns(self.heap.schema(), &tuples, self.out.fill())?;
+                    had_result = emitted > 0;
+                    self.storage.clock().charge_cpu(
+                        cpu.bitmap_op_ns * bitmap_ops
+                            + cpu.inspect_tuple_ns * inspected
+                            + cpu.emit_tuple_ns * emitted,
+                    );
                 }
-                self.storage.clock().charge_cpu(
-                    cpu.bitmap_op_ns * bitmap_ops
-                        + cpu.inspect_tuple_ns * inspected
-                        + cpu.emit_tuple_ns * emitted,
-                );
                 pages_processed += 1;
                 if had_result {
                     pages_with_results += 1;
@@ -315,16 +343,17 @@ impl SmoothScan {
 
     /// Advance the driving cursor by one probe. Any rows this produces —
     /// a Mode-0 tuple, a Result-Cache hit, the ordered driving tuple, or a
-    /// whole region's worth of unordered finds — are queued in `out_buf`
-    /// (empty whenever this is called). Returns `false` at cursor
+    /// whole region's worth of unordered finds — append to the columnar
+    /// output buffer in emission order. Returns `false` at cursor
     /// exhaustion.
     fn advance(&mut self) -> Result<bool> {
-        debug_assert!(self.out_buf.is_empty(), "advance with undrained output");
         let Some((key, tid)) = self.cursor.as_mut().expect("opened").next() else {
             return Ok(false);
         };
         if let Some(rc) = self.result_cache.as_mut() {
-            rc.advance_to(key);
+            // Record the cursor position; the eviction sweep runs once
+            // per emitted batch (see `flush_cache_eviction`), not per key.
+            rc.defer_advance(key);
         }
         // Mode 0: traditional index scan until the trigger fires.
         if let Some(limit) = self.traditional_until {
@@ -333,7 +362,7 @@ impl SmoothScan {
                 self.metrics.triggered = true;
             } else {
                 if let Some(row) = self.mode0_step(tid)? {
-                    self.out_buf.push_back(row);
+                    self.out.fill().push_owned_row(row)?;
                 }
                 return Ok(true);
             }
@@ -346,7 +375,7 @@ impl SmoothScan {
                 .expect("ordered mode has a result cache")
                 .probe(&self.storage, key, tid);
             if let Some(row) = cached {
-                self.out_buf.push_back(row);
+                self.out.fill().push_owned_row(row)?;
                 return Ok(true);
             }
         }
@@ -358,9 +387,17 @@ impl SmoothScan {
         }
         let region = self.policy.region_pages();
         if let Some(row) = self.process_region(tid, region)? {
-            self.out_buf.push_back(row);
+            self.out.fill().push_owned_row(row)?;
         }
         Ok(true)
+    }
+
+    /// Batch-boundary Result-Cache sweep: applied once per protocol call,
+    /// so ordered-mode eviction bookkeeping amortizes over whole morsels.
+    fn flush_cache_eviction(&mut self) {
+        if let Some(rc) = self.result_cache.as_mut() {
+            rc.flush_advance();
+        }
     }
 
     /// One traditional (Mode 0) index-scan step for the driving TID.
@@ -388,7 +425,7 @@ impl Operator for SmoothScan {
     fn open(&mut self) -> Result<()> {
         self.cursor = Some(self.index.range(&self.storage, self.lo, self.hi));
         self.page_cache = PageIdCache::new(self.heap.page_count());
-        self.out_buf.clear();
+        self.out.reset();
         self.metrics = SmoothScanMetrics::default();
         self.traditional_until = self.config.trigger.trigger_cardinality(&self.model);
         self.tuple_cache = self.traditional_until.map(|_| {
@@ -417,8 +454,9 @@ impl Operator for SmoothScan {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
+        self.flush_cache_eviction();
         loop {
-            if let Some(row) = self.out_buf.pop_front() {
+            if let Some(row) = self.out.pop_row() {
                 self.metrics.tuples_emitted += 1;
                 return Ok(Some(row));
             }
@@ -428,23 +466,41 @@ impl Operator for SmoothScan {
         }
     }
 
-    /// Batched Smooth Scan: cursor probes run until the output buffer has
-    /// rows, then a whole morsel leaves in one call. Morphing decisions
-    /// (trigger cardinality, region growth) still advance per probe — the
-    /// batch boundary never coarsens the switch logic, it only amortizes
+    /// Batched Smooth Scan: cursor probes run until a whole morsel is
+    /// buffered, then it leaves in one call. Morphing decisions (trigger
+    /// cardinality, region growth) still advance per probe — the batch
+    /// boundary never coarsens the switch logic, it only amortizes
     /// emission.
     fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        self.flush_cache_eviction();
         let max = max.max(1);
-        let mut rows = Vec::new();
-        while rows.len() < max {
-            if let Some(row) = self.out_buf.pop_front() {
-                self.metrics.tuples_emitted += 1;
-                rows.push(row);
-            } else if !self.advance()? {
+        while self.out.pending() < max {
+            if !self.advance()? {
                 break;
             }
         }
+        let rows = self.out.pop_rows(max);
+        self.metrics.tuples_emitted += rows.len() as u64;
         Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
+    }
+
+    /// Columnar Smooth Scan: unordered morphing regions leave as columnar
+    /// morsels whose qualifiers never materialized as rows; per-page
+    /// clock-charge totals are unchanged, so all mode-switch logic and
+    /// region accounting survive byte-for-byte.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        self.flush_cache_eviction();
+        let max = max.max(1);
+        while self.out.pending() < max {
+            if !self.advance()? {
+                break;
+            }
+        }
+        let batch = self.out.pop_columns(max);
+        if let Some(b) = &batch {
+            self.metrics.tuples_emitted += b.len() as u64;
+        }
+        Ok(batch)
     }
 
     fn close(&mut self) -> Result<()> {
@@ -455,7 +511,7 @@ impl Operator for SmoothScan {
         if let Some(rc) = self.result_cache.as_mut() {
             rc.clear();
         }
-        self.out_buf.clear();
+        self.out.reset();
         Ok(())
     }
 

@@ -11,7 +11,11 @@
 //!   value distributions");
 //! * emission probes by exact `(key, tid)`;
 //! * deletion is **bulk**: once the cursor passes a partition's upper
-//!   boundary, the whole partition is dropped at once;
+//!   boundary, the whole partition is dropped at once — and the cursor
+//!   bookkeeping itself is *batch-aware*: Ordered Smooth Scan records the
+//!   cursor position per probe ([`ResultCache::defer_advance`]) but the
+//!   eviction sweep runs once per emitted batch
+//!   ([`ResultCache::flush_advance`]), not once per cursor key;
 //! * under memory pressure, partitions whose key ranges are furthest from
 //!   the cursor spill to overflow files and are charged sequential I/O to
 //!   write and later re-read.
@@ -58,6 +62,8 @@ pub struct ResultCache {
     parts: Vec<Partition>,
     /// Lowest partition not yet evicted (cursor position).
     current: usize,
+    /// Highest cursor key recorded since the last eviction sweep.
+    pending_advance: Option<i64>,
     /// Spill when resident tuples exceed this (None = unlimited).
     spill_threshold: Option<usize>,
     /// Approximate bytes per row for spill I/O accounting.
@@ -85,6 +91,7 @@ impl ResultCache {
             bounds,
             parts: (0..nparts).map(|_| Partition::default()).collect(),
             current: 0,
+            pending_advance: None,
             spill_threshold: None,
             row_bytes: row_bytes.max(1),
             stats: ResultCacheStats::default(),
@@ -144,6 +151,25 @@ impl ResultCache {
         row
     }
 
+    /// Record the cursor position without sweeping. Probes and inserts
+    /// are unaffected by a deferred advance (a key never evicts its own
+    /// partition), so the sweep can wait for the next batch boundary.
+    pub fn defer_advance(&mut self, key: i64) {
+        self.pending_advance = Some(match self.pending_advance {
+            Some(prev) => prev.max(key),
+            None => key,
+        });
+    }
+
+    /// Run the eviction sweep for every cursor position recorded since
+    /// the last flush — the batch-boundary amortization of the per-key
+    /// partition bookkeeping.
+    pub fn flush_advance(&mut self) {
+        if let Some(key) = self.pending_advance.take() {
+            self.advance_to(key);
+        }
+    }
+
     /// Advance the cursor to `key`, bulk-dropping every partition whose key
     /// range lies entirely behind it.
     pub fn advance_to(&mut self, key: i64) {
@@ -160,6 +186,7 @@ impl ResultCache {
 
     /// Drop everything (operator close).
     pub fn clear(&mut self) {
+        self.pending_advance = None;
         for part in &mut self.parts {
             let n = part.rows.len() as u64;
             self.stats.evicted += n;
@@ -267,6 +294,29 @@ mod tests {
         // Items at/ahead of the cursor survive.
         assert_eq!(c.probe(&s, 25, Tid::new(0, 2)), Some(row(25)));
         assert_eq!(c.probe(&s, 35, Tid::new(0, 3)), Some(row(35)));
+    }
+
+    #[test]
+    fn deferred_advance_sweeps_once_at_flush() {
+        let s = storage();
+        let mut c = ResultCache::new(&[10, 20, 30], 4, 64);
+        c.insert(&s, 5, Tid::new(0, 0), row(5));
+        c.insert(&s, 15, Tid::new(0, 1), row(15));
+        c.insert(&s, 25, Tid::new(0, 2), row(25));
+        // Recording cursor keys evicts nothing yet …
+        c.defer_advance(12);
+        c.defer_advance(22);
+        assert_eq!(c.stats().evicted, 0);
+        // … and a deferred advance never hides a probe of the current key.
+        assert_eq!(c.probe(&s, 25, Tid::new(0, 2)), Some(row(25)));
+        // The flush sweeps to the highest recorded key.
+        c.flush_advance();
+        let st = c.stats();
+        assert_eq!(st.evicted, 2);
+        assert_eq!(st.resident, 1);
+        // A second flush is a no-op.
+        c.flush_advance();
+        assert_eq!(c.stats().evicted, 2);
     }
 
     #[test]

@@ -8,14 +8,13 @@
 //! `estimate + 1` is therefore the index time for `estimate` tuples *plus*
 //! an entire full scan — the performance cliff of Fig. 11.
 
-use std::collections::VecDeque;
 use std::ops::Bound;
 use std::sync::Arc;
 
 use smooth_executor::{Operator, Predicate, ScanFilter};
 use smooth_index::{BTreeIndex, IndexCursor};
 use smooth_storage::{HeapFile, PageView, Storage};
-use smooth_types::{PageId, Result, Row, RowBatch, Schema, Tid};
+use smooth_types::{ColumnBatch, ColumnBuffer, PageId, Result, Row, RowBatch, Schema, Tid};
 
 use crate::tuple_cache::TupleIdCache;
 
@@ -40,7 +39,9 @@ pub struct SwitchScan {
     produced_count: u64,
     switched: bool,
     next_page: u32,
-    buf: VecDeque<Row>,
+    /// Phase-2 output: full-scan refills decode qualifiers straight into
+    /// this columnar FIFO, which all three protocols drain.
+    out: ColumnBuffer,
 }
 
 impl SwitchScan {
@@ -59,6 +60,7 @@ impl SwitchScan {
         let full_pred =
             Predicate::and(vec![Predicate::IntRange { col: key_col, lo, hi }, residual.clone()]);
         let filter = ScanFilter::new(full_pred, heap.schema());
+        let out = ColumnBuffer::for_schema(heap.schema());
         SwitchScan {
             heap,
             index,
@@ -74,7 +76,7 @@ impl SwitchScan {
             produced_count: 0,
             switched: false,
             next_page: 0,
-            buf: VecDeque::new(),
+            out,
         }
     }
 
@@ -93,11 +95,12 @@ impl SwitchScan {
         self.key_col
     }
 
-    /// Phase-2 refill: read one readahead run into `buf`, skipping tuples
-    /// the index phase already produced. Vectorized — the predicate is
-    /// probed on the encoded tuples and the clock charged per page, with
-    /// totals identical to per-tuple accounting. Returns `false` once the
-    /// heap is exhausted.
+    /// Phase-2 refill: read one readahead run into the columnar output
+    /// buffer, skipping tuples the index phase already produced.
+    /// Vectorized — the predicate is probed on the encoded tuples,
+    /// qualifiers decode straight into column vectors, and the clock is
+    /// charged per page with totals identical to per-tuple accounting.
+    /// Returns `false` once the heap is exhausted.
     fn fill_phase2(&mut self) -> Result<bool> {
         let total = self.heap.page_count();
         if self.next_page >= total {
@@ -108,23 +111,18 @@ impl SwitchScan {
         let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
         self.next_page += len;
         let produced = self.produced.as_ref().expect("opened");
-        let schema = self.heap.schema();
         for (pid, page) in &pages {
             let view = PageView::new(page)?;
             let slots = view.slot_count();
-            let mut inspected = 0u64;
-            let mut emitted = 0u64;
+            let mut tuples: Vec<&[u8]> = Vec::with_capacity(slots as usize);
             for slot in 0..slots {
                 if produced.contains(Tid { page: *pid, slot }) {
                     continue;
                 }
-                inspected += 1;
-                let bytes = view.get(slot)?;
-                if let Some(row) = self.filter.filter_decode(schema, bytes)? {
-                    emitted += 1;
-                    self.buf.push_back(row);
-                }
+                tuples.push(view.get(slot)?);
             }
+            let (inspected, emitted) =
+                self.filter.fill_columns(self.heap.schema(), &tuples, self.out.fill())?;
             self.storage.clock().charge_cpu(
                 cpu.bitmap_op_ns * slots as u64
                     + cpu.inspect_tuple_ns * inspected
@@ -147,7 +145,7 @@ impl Operator for SwitchScan {
         self.produced_count = 0;
         self.switched = false;
         self.next_page = 0;
-        self.buf.clear();
+        self.out.reset();
         Ok(())
     }
 
@@ -178,7 +176,7 @@ impl Operator for SwitchScan {
         }
         // Phase 2: full scan, skipping already-produced tuples.
         loop {
-            if let Some(row) = self.buf.pop_front() {
+            if let Some(row) = self.out.pop_row() {
                 return Ok(Some(row));
             }
             if !self.fill_phase2()? {
@@ -199,8 +197,8 @@ impl Operator for SwitchScan {
                     Some(row) => rows.push(row),
                     None => break,
                 }
-            } else if let Some(row) = self.buf.pop_front() {
-                rows.push(row);
+            } else if !self.out.is_drained() {
+                rows.extend(self.out.pop_rows(max - rows.len()));
             } else if !self.fill_phase2()? {
                 break;
             }
@@ -208,9 +206,39 @@ impl Operator for SwitchScan {
         Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
+    /// Columnar Switch Scan: the index phase still runs per-row (the
+    /// cliff must fire at the exact tuple), the full-scan phase emits
+    /// columnar morsels straight off the refill buffer.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let max = max.max(1);
+        if !self.switched {
+            let mut out = ColumnBatch::for_schema(self.heap.schema());
+            while out.physical_rows() < max && !self.switched {
+                match self.next()? {
+                    Some(row) => out.push_owned_row(row)?,
+                    None => break,
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+            if !self.switched {
+                return Ok(None); // exhausted within the index phase
+            }
+        }
+        loop {
+            if let Some(batch) = self.out.pop_columns(max) {
+                return Ok(Some(batch));
+            }
+            if !self.fill_phase2()? {
+                return Ok(None);
+            }
+        }
+    }
+
     fn close(&mut self) -> Result<()> {
         self.cursor = None;
-        self.buf.clear();
+        self.out.reset();
         Ok(())
     }
 

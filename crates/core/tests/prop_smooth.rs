@@ -3,8 +3,10 @@
 //! policy, trigger, order mode, selectivity, data distribution and buffer
 //! pool size. This is the paper's correctness obligation: morphing is an
 //! execution-strategy change only, never a semantics change. The batched
-//! iterator protocol carries the same obligation: `next_batch` must yield
-//! the identical row sequence as `next`, including across mode switches.
+//! and columnar iterator protocols carry the same obligation: both
+//! `next_batch` and `next_columns` must yield the identical row sequence
+//! as `next`, including across mode switches and with all three protocols
+//! interleaved on one stream.
 
 use std::ops::Bound;
 use std::sync::Arc;
@@ -28,15 +30,32 @@ fn collect_batched(op: &mut dyn Operator, max: usize) -> Vec<Row> {
     rows
 }
 
-/// Drain alternating `next()` and `next_batch(max)` on one stream.
+/// Drain through `next_columns(max)` only, checking the batch contract.
+fn collect_columnar(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(batch) = op.next_columns(max).unwrap() {
+        assert!(!batch.is_empty() && batch.len() <= max);
+        rows.extend(batch.into_rows());
+    }
+    op.close().unwrap();
+    rows
+}
+
+/// Drain rotating `next()`, `next_batch(max)` and `next_columns(max)` on
+/// one stream.
 fn collect_interleaved(op: &mut dyn Operator, max: usize) -> Vec<Row> {
     op.open().unwrap();
     let mut rows = Vec::new();
-    while let Some(row) = op.next().unwrap() {
+    'outer: while let Some(row) = op.next().unwrap() {
         rows.push(row);
         match op.next_batch(max).unwrap() {
             Some(batch) => rows.extend(batch.into_rows()),
-            None => break,
+            None => break 'outer,
+        }
+        match op.next_columns(max).unwrap() {
+            Some(batch) => rows.extend(batch.into_rows()),
+            None => break 'outer,
         }
     }
     op.close().unwrap();
@@ -236,8 +255,9 @@ proptest! {
         );
         let volcano = collect_rows_volcano(&mut ss).unwrap();
         prop_assert_eq!(&collect_batched(&mut ss, max), &volcano);
+        prop_assert_eq!(&collect_columnar(&mut ss, max), &volcano);
         prop_assert_eq!(&collect_interleaved(&mut ss, max), &volcano);
-        // The emission counter counts each tuple once under either protocol.
+        // The emission counter counts each tuple once under every protocol.
         prop_assert_eq!(ss.metrics().tuples_emitted as usize, volcano.len());
 
         let mut sw = smooth_core::SwitchScan::new(
@@ -252,6 +272,7 @@ proptest! {
         );
         let volcano = collect_rows_volcano(&mut sw).unwrap();
         prop_assert_eq!(&collect_batched(&mut sw, max), &volcano);
+        prop_assert_eq!(&collect_columnar(&mut sw, max), &volcano);
         prop_assert_eq!(&collect_interleaved(&mut sw, max), &volcano);
     }
 
@@ -290,6 +311,7 @@ proptest! {
         let s = storage(8);
         let volcano = collect_rows_volcano(&mut mk_join(&s)).unwrap();
         prop_assert_eq!(&collect_batched(&mut mk_join(&storage(8)), max), &volcano);
+        prop_assert_eq!(&collect_columnar(&mut mk_join(&storage(8)), max), &volcano);
         prop_assert_eq!(&collect_interleaved(&mut mk_join(&storage(8)), max), &volcano);
     }
 }

@@ -5,7 +5,7 @@
 
 use std::collections::HashMap;
 
-use smooth_types::{Column, DataType, Result, Row, RowBatch, Schema, Value};
+use smooth_types::{Column, ColumnBatch, DataType, Result, Row, RowBatch, Schema, Value};
 
 use crate::operator::{batch_size, BoxedOperator, Operator};
 
@@ -68,40 +68,47 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, f: &AggFunc, row: &Row) -> Result<()> {
+    /// Read the physical row `phys` straight off the typed column
+    /// vectors — no `Row` and no `Value` materialize unless a MIN/MAX
+    /// extremum actually improves.
+    fn update_columns(&mut self, f: &AggFunc, batch: &ColumnBatch, phys: usize) -> Result<()> {
         match (self, f) {
             (Acc::Count(n), AggFunc::CountStar) => *n += 1,
             (Acc::Count(n), AggFunc::Count(c)) => {
-                if !row.get(*c).is_null() {
+                if !batch.column(*c).is_null(phys) {
                     *n += 1;
                 }
             }
             (Acc::Sum(s), AggFunc::Sum(c)) => {
-                if !row.get(*c).is_null() {
-                    *s += row.float(*c)?;
+                if !batch.column(*c).is_null(phys) {
+                    *s += batch.column(*c).float(phys)?;
                 }
             }
             (Acc::Sum(s), AggFunc::SumProduct(a, b)) => {
-                if !row.get(*a).is_null() && !row.get(*b).is_null() {
-                    *s += row.float(*a)? * row.float(*b)?;
+                if !batch.column(*a).is_null(phys) && !batch.column(*b).is_null(phys) {
+                    *s += batch.column(*a).float(phys)? * batch.column(*b).float(phys)?;
                 }
             }
             (Acc::Avg { sum, n }, AggFunc::Avg(c)) => {
-                if !row.get(*c).is_null() {
-                    *sum += row.float(*c)?;
+                if !batch.column(*c).is_null(phys) {
+                    *sum += batch.column(*c).float(phys)?;
                     *n += 1;
                 }
             }
             (Acc::Min(m), AggFunc::Min(c)) => {
-                let v = row.get(*c);
-                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt()) {
-                    *m = Some(v.clone());
+                let col = batch.column(*c);
+                if !col.is_null(phys)
+                    && m.as_ref().is_none_or(|cur| col.cmp_value(phys, cur).is_lt())
+                {
+                    *m = Some(col.value(phys));
                 }
             }
             (Acc::Max(m), AggFunc::Max(c)) => {
-                let v = row.get(*c);
-                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt()) {
-                    *m = Some(v.clone());
+                let col = batch.column(*c);
+                if !col.is_null(phys)
+                    && m.as_ref().is_none_or(|cur| col.cmp_value(phys, cur).is_gt())
+                {
+                    *m = Some(col.value(phys));
                 }
             }
             _ => unreachable!("accumulator/function mismatch"),
@@ -171,20 +178,23 @@ impl Operator for HashAggregate {
         // Stable output: remember first-seen order of groups.
         let mut order: Vec<Vec<Value>> = Vec::new();
         let cpu = *self.storage.cpu();
-        // Drain the input through the batch protocol: one virtual call and
-        // one clock charge per batch rather than per tuple.
-        while let Some(batch) = self.child.next_batch(batch_size())? {
+        // Drain the input through the columnar protocol: one virtual call
+        // and one clock charge per batch rather than per tuple, group keys
+        // and aggregate inputs read vector-at-a-time off the typed column
+        // vectors (no row ever materializes on the way in).
+        while let Some(batch) = self.child.next_columns(batch_size())? {
             self.storage.clock().charge_cpu(
                 (cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64) * batch.len() as u64,
             );
-            for row in &batch {
-                let key: Vec<Value> = self.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+            for phys in batch.live_rows() {
+                let key: Vec<Value> =
+                    self.group_cols.iter().map(|&c| batch.column(c).value(phys)).collect();
                 let accs = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
                     self.aggs.iter().map(Acc::new).collect()
                 });
                 for (acc, f) in accs.iter_mut().zip(&self.aggs) {
-                    acc.update(f, row)?;
+                    acc.update_columns(f, &batch, phys)?;
                 }
             }
         }

@@ -9,7 +9,28 @@
 
 use std::ops::Bound;
 
-use smooth_types::{Result, Row, Schema, Value};
+use smooth_types::columns::decode_columns_append;
+use smooth_types::{ColumnBatch, ColumnValues, ColumnVector, Result, Row, Schema, Value};
+
+/// The rows a vectorized kernel evaluates: every physical row of the
+/// batch (dense, no index indirection — the auto-vectorizable shape) or
+/// an explicit list of physical indices (a selection vector).
+#[derive(Clone, Copy)]
+enum RowSet<'a> {
+    /// Rows `0..n`.
+    Dense(usize),
+    /// The listed physical rows, in order.
+    Sparse(&'a [u32]),
+}
+
+impl RowSet<'_> {
+    fn len(&self) -> usize {
+        match self {
+            RowSet::Dense(n) => *n,
+            RowSet::Sparse(idx) => idx.len(),
+        }
+    }
+}
 
 /// A boolean predicate over one row.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,6 +193,207 @@ impl Predicate {
         })
     }
 
+    /// Vectorized evaluation: compute the boolean outcome for each row of
+    /// `rows` into `out` (`out[k]` answers the `k`-th listed row), reading
+    /// column vectors through `col`. Kernels are tight, branch-light loops
+    /// over a single typed vector; the dense case iterates the vectors
+    /// directly (no index indirection), the auto-vectorizable shape the
+    /// columnar layout exists for. NULL comparisons are false, as in the
+    /// row path.
+    ///
+    /// Type errors surface per *column* here (a vector is uniformly
+    /// typed), where the row path surfaces them per value; on well-typed
+    /// plans the two agree exactly.
+    fn eval_mask<'a, F>(&self, col: &F, rows: RowSet<'_>, out: &mut Vec<bool>) -> Result<()>
+    where
+        F: Fn(usize) -> Result<&'a ColumnVector>,
+    {
+        out.clear();
+        /// Expand one kernel body for both row-set shapes.
+        macro_rules! fill {
+            (|$i:ident| $body:expr) => {
+                match rows {
+                    RowSet::Dense(n) => out.extend((0..n).map(|$i| $body)),
+                    RowSet::Sparse(idx) => out.extend(idx.iter().map(|&x| {
+                        let $i = x as usize;
+                        $body
+                    })),
+                }
+            };
+        }
+        match self {
+            Predicate::True => out.resize(rows.len(), true),
+            Predicate::IntRange { col: c, lo, hi } => {
+                let v = col(*c)?;
+                let ColumnValues::Int(ints) = v.values() else {
+                    return Err(smooth_types::Error::exec("int predicate on non-int column"));
+                };
+                let nulls = v.nulls();
+                // Normalize the bounds once; an overflowing exclusive
+                // bound can match nothing.
+                let lo_v = match lo {
+                    Bound::Unbounded => Some(i64::MIN),
+                    Bound::Included(l) => Some(*l),
+                    Bound::Excluded(l) => l.checked_add(1),
+                };
+                let hi_v = match hi {
+                    Bound::Unbounded => Some(i64::MAX),
+                    Bound::Included(h) => Some(*h),
+                    Bound::Excluded(h) => h.checked_sub(1),
+                };
+                let (Some(lo_v), Some(hi_v)) = (lo_v, hi_v) else {
+                    out.resize(rows.len(), false);
+                    return Ok(());
+                };
+                fill!(|i| !nulls[i] && ints[i] >= lo_v && ints[i] <= hi_v);
+            }
+            Predicate::StrEq { col: c, value } => {
+                let v = col(*c)?;
+                let ColumnValues::Str(strs) = v.values() else {
+                    return Err(smooth_types::Error::exec("string predicate on non-text column"));
+                };
+                let nulls = v.nulls();
+                fill!(|i| !nulls[i] && strs[i] == *value);
+            }
+            Predicate::StrIn { col: c, values } => {
+                let v = col(*c)?;
+                let ColumnValues::Str(strs) = v.values() else {
+                    return Err(smooth_types::Error::exec("string predicate on non-text column"));
+                };
+                let nulls = v.nulls();
+                fill!(|i| !nulls[i] && values.iter().any(|a| *a == strs[i]));
+            }
+            Predicate::IntColLt { left, right } => {
+                let (l, r) = (col(*left)?, col(*right)?);
+                let (ColumnValues::Int(lv), ColumnValues::Int(rv)) = (l.values(), r.values())
+                else {
+                    return Err(smooth_types::Error::exec("column comparison on non-ints"));
+                };
+                let (ln, rn) = (l.nulls(), r.nulls());
+                fill!(|i| !ln[i] && !rn[i] && lv[i] < rv[i]);
+            }
+            Predicate::And(ps) => {
+                out.resize(rows.len(), true);
+                let mut tmp = Vec::with_capacity(rows.len());
+                for p in ps {
+                    p.eval_mask(col, rows, &mut tmp)?;
+                    for (o, t) in out.iter_mut().zip(&tmp) {
+                        *o &= *t;
+                    }
+                }
+            }
+            Predicate::Or(ps) => {
+                out.resize(rows.len(), false);
+                let mut tmp = Vec::with_capacity(rows.len());
+                for p in ps {
+                    p.eval_mask(col, rows, &mut tmp)?;
+                    for (o, t) in out.iter_mut().zip(&tmp) {
+                        *o |= *t;
+                    }
+                }
+            }
+            Predicate::Not(p) => {
+                p.eval_mask(col, rows, out)?;
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-wise evaluation against column vectors: the single-tuple twin
+    /// of [`Predicate::eval_mask`], short-circuiting like
+    /// [`Predicate::eval_values`] and allocating nothing. Used by the
+    /// high-match-rate scan path, which decides tuple by tuple.
+    fn eval_columns_at<'a, F>(&self, col: &F, i: usize) -> Result<bool>
+    where
+        F: Fn(usize) -> Result<&'a ColumnVector>,
+    {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::IntRange { col: c, lo, hi } => {
+                let v = col(*c)?;
+                let ColumnValues::Int(ints) = v.values() else {
+                    return Err(smooth_types::Error::exec("int predicate on non-int column"));
+                };
+                if v.is_null(i) {
+                    return Ok(false);
+                }
+                let x = ints[i];
+                (match lo {
+                    Bound::Unbounded => true,
+                    Bound::Included(l) => x >= *l,
+                    Bound::Excluded(l) => x > *l,
+                }) && (match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(h) => x <= *h,
+                    Bound::Excluded(h) => x < *h,
+                })
+            }
+            Predicate::StrEq { col: c, value } => {
+                let v = col(*c)?;
+                let ColumnValues::Str(strs) = v.values() else {
+                    return Err(smooth_types::Error::exec("string predicate on non-text column"));
+                };
+                !v.is_null(i) && strs[i] == *value
+            }
+            Predicate::StrIn { col: c, values } => {
+                let v = col(*c)?;
+                let ColumnValues::Str(strs) = v.values() else {
+                    return Err(smooth_types::Error::exec("string predicate on non-text column"));
+                };
+                !v.is_null(i) && values.iter().any(|a| *a == strs[i])
+            }
+            Predicate::IntColLt { left, right } => {
+                let (l, r) = (col(*left)?, col(*right)?);
+                let (ColumnValues::Int(lv), ColumnValues::Int(rv)) = (l.values(), r.values())
+                else {
+                    return Err(smooth_types::Error::exec("column comparison on non-ints"));
+                };
+                !l.is_null(i) && !r.is_null(i) && lv[i] < rv[i]
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval_columns_at(col, i)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.eval_columns_at(col, i)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval_columns_at(col, i)?,
+        })
+    }
+
+    /// Refine a batch's selection: evaluate the predicate over the live
+    /// rows and return the surviving physical indices, in order. No row is
+    /// materialized or moved — non-qualifiers simply drop out of the
+    /// selection vector.
+    pub fn filter_batch(&self, batch: &ColumnBatch) -> Result<Vec<u32>> {
+        let col = |c: usize| batch.column_checked(c);
+        match batch.selection() {
+            Some(sel) => {
+                let mut mask = Vec::with_capacity(sel.len());
+                self.eval_mask(&col, RowSet::Sparse(sel), &mut mask)?;
+                Ok(sel.iter().zip(&mask).filter(|(_, &m)| m).map(|(&i, _)| i).collect())
+            }
+            None => {
+                let n = batch.physical_rows();
+                let mut mask = Vec::with_capacity(n);
+                self.eval_mask(&col, RowSet::Dense(n), &mut mask)?;
+                Ok((0u32..).zip(&mask).filter(|(_, &m)| m).map(|(i, _)| i).collect())
+            }
+        }
+    }
+
     /// Collect the column ordinals this predicate reads, ascending and
     /// deduplicated.
     pub fn referenced_columns(&self) -> Vec<usize> {
@@ -241,6 +463,13 @@ pub struct ScanFilter {
     cols: Vec<usize>,
     probe_possible: bool,
     scratch: Vec<Value>,
+    /// Columnar probe scratch: one typed vector per referenced ordinal
+    /// (reused across pages — no steady-state allocation).
+    col_scratch: Vec<ColumnVector>,
+    /// Schema ordinal → index into `cols`/`col_scratch`.
+    col_map: Vec<Option<usize>>,
+    /// Mask scratch for the columnar kernels.
+    mask: Vec<bool>,
     probed: u64,
     matched: u64,
 }
@@ -254,7 +483,23 @@ impl ScanFilter {
         let cols = predicate.referenced_columns();
         let probe_possible = cols.len() < schema.len();
         let scratch = vec![Value::Null; schema.len()];
-        ScanFilter { predicate, cols, probe_possible, scratch, probed: 0, matched: 0 }
+        let col_scratch =
+            cols.iter().map(|&c| ColumnVector::for_type(schema.column(c).ty)).collect();
+        let mut col_map = vec![None; schema.len()];
+        for (k, &c) in cols.iter().enumerate() {
+            col_map[c] = Some(k);
+        }
+        ScanFilter {
+            predicate,
+            cols,
+            probe_possible,
+            scratch,
+            col_scratch,
+            col_map,
+            mask: Vec::new(),
+            probed: 0,
+            matched: 0,
+        }
     }
 
     /// The compiled predicate.
@@ -287,6 +532,72 @@ impl ScanFilter {
             matched.then_some(row)
         };
         Ok(matched)
+    }
+
+    /// Columnar fill: append the qualifying tuples among `tuples` to
+    /// `out`, densely, in input order. Returns `(inspected, emitted)` for
+    /// the caller's clock accounting — `inspected` is always
+    /// `tuples.len()`, so bulk per-page charges stay byte-for-byte
+    /// identical to the per-tuple row path.
+    ///
+    /// Strategy mirrors [`ScanFilter::filter_decode`]'s adaptivity: while
+    /// probing pays, predicate columns are decoded into reused typed
+    /// vectors, the kernel produces a match mask, and only qualifiers are
+    /// fully decoded (no `Row`, no `Vec<Value>` — straight into `out`'s
+    /// column vectors). Once most tuples match, tuples are decoded in a
+    /// single pass and the rare non-qualifier is truncated back off.
+    pub fn fill_columns(
+        &mut self,
+        schema: &Schema,
+        tuples: &[&[u8]],
+        out: &mut ColumnBatch,
+    ) -> Result<(u64, u64)> {
+        let inspected = tuples.len() as u64;
+        if matches!(self.predicate, Predicate::True) {
+            for t in tuples {
+                out.push_tuple(schema, t)?;
+            }
+            return Ok((inspected, inspected));
+        }
+        let mut emitted = 0u64;
+        if self.probe_pays() {
+            for v in &mut self.col_scratch {
+                v.clear();
+            }
+            for t in tuples {
+                decode_columns_append(schema, t, &self.cols, &mut self.col_scratch)?;
+            }
+            let scratch = &self.col_scratch;
+            let col_map = &self.col_map;
+            let lookup =
+                |c: usize| -> Result<&ColumnVector> {
+                    col_map.get(c).copied().flatten().map(|k| &scratch[k]).ok_or_else(|| {
+                        smooth_types::Error::exec(format!("column {c} out of range"))
+                    })
+                };
+            let mut mask = std::mem::take(&mut self.mask);
+            self.predicate.eval_mask(&lookup, RowSet::Dense(tuples.len()), &mut mask)?;
+            for (t, &m) in tuples.iter().zip(&mask) {
+                if m {
+                    out.push_tuple(schema, t)?;
+                    emitted += 1;
+                }
+            }
+            self.mask = mask;
+        } else {
+            for t in tuples {
+                out.push_tuple(schema, t)?;
+                let last = out.physical_rows() - 1;
+                if self.predicate.eval_columns_at(&|c| out.column_checked(c), last)? {
+                    emitted += 1;
+                } else {
+                    out.truncate_rows(last);
+                }
+            }
+        }
+        self.probed += inspected;
+        self.matched += emitted;
+        Ok((inspected, emitted))
     }
 }
 
@@ -415,6 +726,108 @@ mod tests {
                     assert_eq!(&decoded, r);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn columnar_kernels_agree_with_row_eval() {
+        use smooth_types::{Column, DataType};
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::nullable("b", DataType::Int64),
+            Column::nullable("s", DataType::Text),
+        ])
+        .unwrap();
+        let rows = [
+            Row::new(vec![Value::Int(1), Value::Int(10), Value::str("x")]),
+            Row::new(vec![Value::Int(2), Value::Null, Value::str("y")]),
+            Row::new(vec![Value::Int(3), Value::Int(-4), Value::Null]),
+            Row::new(vec![Value::Int(4), Value::Int(2), Value::str("x")]),
+        ];
+        let preds = [
+            Predicate::True,
+            Predicate::int_half_open(0, 2, 4),
+            Predicate::int_ge(1, 0),
+            Predicate::IntRange { col: 0, lo: Bound::Excluded(i64::MAX), hi: Bound::Unbounded },
+            Predicate::StrEq { col: 2, value: "x".into() },
+            Predicate::StrIn { col: 2, values: vec!["y".into(), "z".into()] },
+            Predicate::IntColLt { left: 0, right: 1 },
+            Predicate::And(vec![
+                Predicate::int_ge(0, 2),
+                Predicate::Or(vec![
+                    Predicate::StrEq { col: 2, value: "x".into() },
+                    Predicate::int_lt(1, 0),
+                ]),
+            ]),
+            Predicate::Not(Box::new(Predicate::int_eq(0, 2))),
+        ];
+        let batch = ColumnBatch::from_rows(&schema, &rows).unwrap();
+        for pred in &preds {
+            let sel = pred.filter_batch(&batch).unwrap();
+            let expected: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| pred.eval(r).unwrap())
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(sel, expected, "{pred:?}");
+        }
+        // refinement composes with an existing selection vector
+        let mut narrowed = batch.clone();
+        narrowed.set_selection(vec![3, 1, 0]);
+        let sel = Predicate::int_ge(0, 2).filter_batch(&narrowed).unwrap();
+        assert_eq!(sel, vec![3, 1], "selection order survives refinement");
+    }
+
+    #[test]
+    fn fill_columns_matches_filter_decode() {
+        use smooth_types::{Column, DataType};
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::nullable("b", DataType::Int64),
+            Column::new("s", DataType::Text),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..600)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    if i % 7 == 0 { Value::Null } else { Value::Int(i % 50) },
+                    Value::str(if i % 3 == 0 { "x" } else { "y" }),
+                ])
+            })
+            .collect();
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| r.encode(&schema).unwrap()).collect();
+        let tuples: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        let preds = [
+            Predicate::True,
+            Predicate::int_lt(1, 5), // low match rate → probe path
+            Predicate::int_ge(1, 0), // high match rate → single-pass path after warmup
+            Predicate::And(vec![
+                Predicate::int_ge(0, 100),
+                Predicate::StrEq { col: 2, value: "x".into() },
+            ]),
+        ];
+        for pred in preds {
+            let mut row_filter = ScanFilter::new(pred.clone(), &schema);
+            let mut col_filter = ScanFilter::new(pred.clone(), &schema);
+            let mut expected = Vec::new();
+            for t in &tuples {
+                if let Some(r) = row_filter.filter_decode(&schema, t).unwrap() {
+                    expected.push(r);
+                }
+            }
+            let mut out = ColumnBatch::for_schema(&schema);
+            let mut emitted_total = 0;
+            // feed in page-sized chunks so the adaptive heuristic flips
+            for chunk in tuples.chunks(90) {
+                let (inspected, emitted) =
+                    col_filter.fill_columns(&schema, chunk, &mut out).unwrap();
+                assert_eq!(inspected as usize, chunk.len());
+                emitted_total += emitted as usize;
+            }
+            assert_eq!(emitted_total, expected.len(), "{pred:?}");
+            assert_eq!(out.into_rows(), expected, "{pred:?}");
         }
     }
 

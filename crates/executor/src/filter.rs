@@ -1,6 +1,11 @@
-//! Row-level Filter and Project operators.
+//! Filter and Project operators.
+//!
+//! Both have native columnar paths: `Filter` refines the child batch's
+//! *selection vector* (no row is materialized or moved — non-qualifiers
+//! simply drop out of the selection), and `Project` is pure column
+//! pruning (vectors move by ordinal; rows are never rebuilt).
 
-use smooth_types::{Result, Row, RowBatch, Schema};
+use smooth_types::{ColumnBatch, Result, Row, RowBatch, Schema};
 
 use crate::expr::Predicate;
 use crate::operator::{BoxedOperator, Operator};
@@ -43,6 +48,19 @@ impl Operator for Filter {
             let Some(mut batch) = self.child.next_batch(max)? else { return Ok(None) };
             batch.try_retain(|row| predicate.eval(row))?;
             if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+    }
+
+    /// Columnar filter: evaluate the predicate as a vectorized kernel and
+    /// refine the child batch's selection vector in place.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        loop {
+            let Some(mut batch) = self.child.next_columns(max)? else { return Ok(None) };
+            let selection = self.predicate.filter_batch(&batch)?;
+            if !selection.is_empty() {
+                batch.set_selection(selection);
                 return Ok(Some(batch));
             }
         }
@@ -104,6 +122,12 @@ impl Operator for Project {
         let columns = &self.columns;
         batch.try_map(|row| Ok(Row::new(columns.iter().map(|&c| row.get(c).clone()).collect())))?;
         Ok(Some(batch))
+    }
+
+    /// Columnar projection: move the kept column vectors, touch no row.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let Some(batch) = self.child.next_columns(max)? else { return Ok(None) };
+        Ok(Some(batch.project(&self.columns)?))
     }
 
     fn close(&mut self) -> Result<()> {

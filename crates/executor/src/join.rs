@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use smooth_index::BTreeIndex;
 use smooth_storage::{HeapFile, Storage};
-use smooth_types::{Error, Result, Row, RowBatch, Schema, Value};
+use smooth_types::{ColumnBatch, Error, Result, Row, RowBatch, Schema, Value};
 
 use crate::expr::Predicate;
 use crate::operator::{batch_size, BoxedOperator, Operator};
@@ -46,6 +46,10 @@ pub struct HashJoin {
     pending: Vec<Row>,
     /// Probe-side rows pulled in batches, consumed front-to-back.
     left_buf: VecDeque<Row>,
+    /// Probe-side columnar morsel plus a live-row cursor: keys are read
+    /// vector-at-a-time off the key column and a left row materializes
+    /// only when its key hits the build table.
+    left_cols: Option<(ColumnBatch, usize)>,
 }
 
 impl HashJoin {
@@ -71,12 +75,31 @@ impl HashJoin {
             table: HashMap::new(),
             pending: Vec::new(),
             left_buf: VecDeque::new(),
+            left_cols: None,
         }
     }
 
-    /// Next probe row: buffered batch first, then the child row protocol.
-    fn next_left(&mut self) -> Result<Option<Row>> {
+    /// One buffered probe row, if any: the row buffer first, then the
+    /// columnar buffer. Every protocol consumes these before pulling from
+    /// the child, so interleaved protocols keep a single probe order.
+    fn buffered_left(&mut self) -> Option<Row> {
         if let Some(row) = self.left_buf.pop_front() {
+            return Some(row);
+        }
+        if let Some((batch, pos)) = self.left_cols.as_mut() {
+            let row = batch.row(*pos);
+            *pos += 1;
+            if *pos >= batch.len() {
+                self.left_cols = None;
+            }
+            return Some(row);
+        }
+        None
+    }
+
+    /// Next probe row: buffered rows first, then the child row protocol.
+    fn next_left(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.buffered_left() {
             return Ok(Some(row));
         }
         self.left.next()
@@ -122,6 +145,7 @@ impl Operator for HashJoin {
         self.table.clear();
         self.pending.clear();
         self.left_buf.clear();
+        self.left_cols = None;
         let cpu_hash = self.storage.cpu().hash_op_ns;
         // Blocking build, drained batch-at-a-time with bulk clock charges.
         while let Some(batch) = self.right.next_batch(batch_size())? {
@@ -164,24 +188,94 @@ impl Operator for HashJoin {
             if out.len() >= max {
                 break;
             }
-            if self.left_buf.is_empty() {
-                match self.left.next_batch(max)? {
+            match self.buffered_left() {
+                Some(left_row) => {
+                    if let Some(row) = self.probe(left_row)? {
+                        out.push(row);
+                    }
+                }
+                None => match self.left.next_batch(max)? {
                     Some(batch) => self.left_buf.extend(batch.into_rows()),
                     None => break,
-                }
-            }
-            let Some(left_row) = self.left_buf.pop_front() else { break };
-            if let Some(row) = self.probe(left_row)? {
-                out.push(row);
+                },
             }
         }
         Ok((!out.is_empty()).then(|| RowBatch::from_rows(out)))
+    }
+
+    /// Columnar probe: keys are read vector-at-a-time off the left key
+    /// column; a left row is materialized only when its key matches, so
+    /// misses cost one hash probe and nothing else.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let max = max.max(1);
+        let mut out = ColumnBatch::for_schema(&self.schema);
+        let cpu = *self.storage.cpu();
+        'fill: loop {
+            while out.physical_rows() < max {
+                match self.pending.pop() {
+                    Some(row) => out.push_owned_row(row)?,
+                    None => break,
+                }
+            }
+            if out.physical_rows() >= max {
+                break;
+            }
+            // Row-protocol leftovers drain first so interleaved protocols
+            // keep one probe order.
+            if let Some(left_row) = self.left_buf.pop_front() {
+                if let Some(row) = self.probe(left_row)? {
+                    out.push_owned_row(row)?;
+                }
+                continue;
+            }
+            if self.left_cols.is_none() {
+                match self.left.next_columns(max)? {
+                    Some(batch) => self.left_cols = Some((batch, 0)),
+                    None => break 'fill,
+                }
+            }
+            let Some((batch, pos)) = self.left_cols.as_mut() else { break };
+            batch.column_checked(self.left_col)?;
+            while *pos < batch.len() && out.physical_rows() < max && self.pending.is_empty() {
+                let live = *pos;
+                *pos += 1;
+                let phys = match batch.selection() {
+                    Some(sel) => sel[live] as usize,
+                    None => live,
+                };
+                self.storage.clock().charge_cpu(cpu.hash_op_ns);
+                let col = batch.column(self.left_col);
+                if col.is_null(phys) {
+                    continue;
+                }
+                let key = col.value(phys);
+                let Some(matches) = self.table.get(&key) else { continue };
+                match self.ty {
+                    JoinType::Inner => {
+                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
+                        let left_row = batch.row(live);
+                        for m in matches.iter().rev() {
+                            self.pending.push(left_row.concat(m));
+                        }
+                    }
+                    JoinType::LeftSemi => {
+                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
+                        out.push_owned_row(batch.row(live))?;
+                    }
+                }
+            }
+            if *pos >= batch.len() {
+                self.left_cols = None;
+            }
+        }
+        Ok((!out.is_empty()).then_some(out))
     }
 
     fn close(&mut self) -> Result<()> {
         self.table.clear();
         self.pending.clear();
         self.left_buf.clear();
+        self.left_cols = None;
         self.left.close()
     }
 

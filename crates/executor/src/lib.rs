@@ -18,13 +18,18 @@
 //! itself lives in `smooth-core` and plugs into the same [`Operator`]
 //! protocol.
 //!
-//! Operators speak two interchangeable protocols: the classic Volcano
-//! `next()` and the vectorized `next_batch()` ([`smooth_types::RowBatch`]
-//! per call). The batched scans additionally push predicate evaluation
-//! down onto the encoded tuples via [`ScanFilter`], skipping the full
-//! decode of non-qualifying rows. [`collect_rows`] drives plans through
-//! the batch protocol; [`collect_rows_volcano`] is the row-at-a-time
-//! reference driver.
+//! Operators speak three interchangeable protocols: the classic Volcano
+//! `next()`, the row-major `next_batch()` ([`smooth_types::RowBatch`] per
+//! call) and the columnar `next_columns()`
+//! ([`smooth_types::ColumnBatch`]: typed column vectors plus a selection
+//! vector). The vectorized scans push predicate evaluation down onto the
+//! encoded tuples via [`ScanFilter`] — probing only predicate columns
+//! into reused typed vectors, evaluating range/comparison predicates as
+//! branch-light kernels, and decoding qualifiers straight into column
+//! vectors with no per-row allocation. [`collect_rows`] drives plans
+//! through the columnar protocol; [`collect_rows_batch`] and
+//! [`collect_rows_volcano`] keep the row-batch and row-at-a-time
+//! reference drivers.
 
 pub mod agg;
 pub mod expr;
@@ -38,6 +43,8 @@ pub use agg::{AggFunc, HashAggregate};
 pub use expr::{Predicate, ScanFilter};
 pub use filter::{Filter, Project};
 pub use join::{HashJoin, IndexNestedLoopJoin, JoinType, MergeJoin, NestedLoopJoin};
-pub use operator::{batch_size, collect_rows, collect_rows_volcano, BoxedOperator, Operator};
+pub use operator::{
+    batch_size, collect_rows, collect_rows_batch, collect_rows_volcano, BoxedOperator, Operator,
+};
 pub use scan::{FullTableScan, IndexScan, SortScan};
 pub use sort::Sort;

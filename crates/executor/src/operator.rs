@@ -5,18 +5,23 @@
 //! pipelining model, which is important since the access path operators are
 //! executed first and can stall the rest of the stack", Section VI-C).
 //!
-//! On top of the classic Volcano `next()` the trait offers a *vectorized*
-//! [`Operator::next_batch`]: up to `max` rows per virtual call. The default
-//! implementation loops `next()`, so every operator keeps working
-//! unchanged; hot operators override it to amortize dynamic dispatch,
-//! per-tuple `Result`/`Option` traffic and virtual-clock charges across a
-//! whole page or batch. The two protocols may be interleaved freely on the
-//! same operator — both consume the same underlying stream and together
-//! produce the exact row sequence either one would alone.
+//! On top of the classic Volcano `next()` the trait offers two vectorized
+//! protocols: [`Operator::next_batch`] (a row-major [`RowBatch`] of up to
+//! `max` rows per virtual call) and [`Operator::next_columns`] (a
+//! column-major [`ColumnBatch`] with typed vectors and a selection
+//! vector). Defaults bridge each protocol down — `next_batch` loops
+//! `next()`, `next_columns` converts a `next_batch` result — so every
+//! operator keeps working unchanged; hot operators override them to
+//! amortize dynamic dispatch, per-tuple `Result`/`Option` traffic and
+//! virtual-clock charges across a whole page or batch, and (columnar) to
+//! skip per-row `Vec<Value>` materialization entirely. All three
+//! protocols may be interleaved freely on the same operator — they
+//! consume the same underlying stream and together produce the exact row
+//! sequence any one of them would alone.
 
 use std::sync::OnceLock;
 
-use smooth_types::{Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
+use smooth_types::{ColumnBatch, Result, Row, RowBatch, Schema, DEFAULT_BATCH_SIZE};
 
 /// A physical operator producing rows.
 pub trait Operator {
@@ -48,6 +53,24 @@ pub trait Operator {
         Ok((!batch.is_empty()).then_some(batch))
     }
 
+    /// Produce up to `max` rows as a columnar batch, or `None` when
+    /// exhausted.
+    ///
+    /// Same contract as [`Operator::next_batch`] — non-empty, at most
+    /// `max` live rows, short batches do not signal exhaustion, and the
+    /// live-row sequence across calls is identical to what `next()` would
+    /// produce. The three protocols may be interleaved freely on one
+    /// operator.
+    ///
+    /// The default implementation bridges through `next_batch` (one
+    /// row→column conversion), so every operator works unchanged; hot
+    /// operators override it to decode straight into column vectors and
+    /// to filter via selection vectors instead of moving rows.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let Some(batch) = self.next_batch(max)? else { return Ok(None) };
+        Ok(Some(ColumnBatch::from_rows(self.schema(), batch.rows())?))
+    }
+
     /// Release resources. Idempotent.
     fn close(&mut self) -> Result<()>;
 
@@ -75,9 +98,26 @@ pub fn batch_size() -> usize {
     })
 }
 
-/// Run an operator to completion through the batch protocol and collect
-/// its output.
+/// Run an operator to completion through the *columnar* protocol and
+/// collect its output as rows. This is the default pipeline driver
+/// (`Database::run` and the experiment harness go through it): morsels
+/// cross operator boundaries as [`ColumnBatch`]es and rows materialize
+/// only here, at the sink.
 pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Row>> {
+    op.open()?;
+    let mut rows = Vec::new();
+    let max = batch_size();
+    while let Some(batch) = op.next_columns(max)? {
+        rows.extend(batch.into_rows());
+    }
+    op.close()?;
+    Ok(rows)
+}
+
+/// Run an operator to completion through the row-major batch protocol.
+/// Kept as the row-batch baseline the `columnar` perf-smoke experiment
+/// measures the columnar driver against.
+pub fn collect_rows_batch(op: &mut dyn Operator) -> Result<Vec<Row>> {
     op.open()?;
     let mut rows = Vec::new();
     let max = batch_size();
@@ -89,8 +129,8 @@ pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Row>> {
 }
 
 /// Run an operator to completion through the row-at-a-time protocol.
-/// Kept as the Volcano reference driver (and the baseline the perf-smoke
-/// benchmark measures the batch path against).
+/// Kept as the Volcano reference driver (and the baseline the `batch`
+/// perf-smoke experiment measures the row-batch path against).
 pub fn collect_rows_volcano(op: &mut dyn Operator) -> Result<Vec<Row>> {
     op.open()?;
     let mut rows = Vec::new();
@@ -220,5 +260,30 @@ mod tests {
     #[test]
     fn batch_size_knob_defaults() {
         assert!(batch_size() >= 1);
+    }
+
+    #[test]
+    fn columnar_driver_and_default_bridge_agree() {
+        let schema =
+            Schema::new(vec![Column::new("x", DataType::Int64), Column::new("s", DataType::Text)])
+                .unwrap();
+        let rows: Vec<Row> =
+            (0..23).map(|i| Row::new(vec![Value::Int(i), Value::str(format!("r{i}"))])).collect();
+        let mut op = ValuesOp::new(schema, rows.clone());
+        assert_eq!(collect_rows(&mut op).unwrap(), rows, "columnar driver");
+        assert_eq!(collect_rows_batch(&mut op).unwrap(), rows, "row-batch driver");
+        // all three protocols interleave on one stream
+        op.open().unwrap();
+        let mut seen = Vec::new();
+        seen.push(op.next().unwrap().unwrap());
+        seen.extend(op.next_columns(4).unwrap().unwrap().into_rows());
+        seen.extend(op.next_batch(4).unwrap().unwrap().into_rows());
+        while let Some(b) = op.next_columns(5).unwrap() {
+            assert!(!b.is_empty() && b.len() <= 5);
+            seen.extend(b.into_rows());
+        }
+        assert_eq!(seen, rows);
+        assert!(op.next_columns(5).unwrap().is_none());
+        op.close().unwrap();
     }
 }

@@ -15,65 +15,33 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use smooth_index::{BTreeIndex, IndexCursor};
-use smooth_storage::{HeapFile, PageBuf, PageView, Storage};
-use smooth_types::{PageId, Result, Row, RowBatch, Schema, Tid};
+use smooth_storage::{HeapFile, PageView, Storage};
+use smooth_types::{ColumnBatch, PageId, Result, Row, RowBatch, Schema, Tid};
 
 use crate::expr::{Predicate, ScanFilter};
 use crate::operator::Operator;
 
-/// Shared vectorized page-run fill: probe every slot of `pages` through
-/// `filter` (decoding only predicate columns), fully decode the qualifiers
-/// into `out`, and charge the virtual clock in one bulk increment per page
-/// (identical totals to the per-tuple charges of the row-at-a-time path).
-fn fill_from_pages(
-    heap: &HeapFile,
+/// Probe-and-fill one page's listed slots through `filter` straight into
+/// the columnar buffer `out`, charging the virtual clock in one bulk
+/// increment (identical totals to the per-tuple charges of the
+/// row-at-a-time path: one inspect per slot probed, one emit per
+/// qualifier).
+fn fill_page_columns(
     storage: &Storage,
     filter: &mut ScanFilter,
-    pages: &[(PageId, PageBuf)],
-    out: &mut Vec<Row>,
+    schema: &Schema,
+    view: &PageView<'_>,
+    slots: impl Iterator<Item = u16>,
+    out: &mut ColumnBatch,
 ) -> Result<()> {
-    let cpu = *storage.cpu();
-    let schema = heap.schema();
-    for (_, page) in pages {
-        let view = PageView::new(page)?;
-        let slots = view.slot_count();
-        let mut emitted = 0u64;
-        for slot in 0..slots {
-            let bytes = view.get(slot)?;
-            if let Some(row) = filter.filter_decode(schema, bytes)? {
-                out.push(row);
-                emitted += 1;
-            }
-        }
-        storage
-            .clock()
-            .charge_cpu(cpu.inspect_tuple_ns * slots as u64 + cpu.emit_tuple_ns * emitted);
+    let mut tuples: Vec<&[u8]> = Vec::new();
+    for slot in slots {
+        tuples.push(view.get(slot)?);
     }
+    let (inspected, emitted) = filter.fill_columns(schema, &tuples, out)?;
+    let cpu = storage.cpu();
+    storage.clock().charge_cpu(cpu.inspect_tuple_ns * inspected + cpu.emit_tuple_ns * emitted);
     Ok(())
-}
-
-/// Move `buf ∪ fresh` into a batch of at most `max` rows, stashing any
-/// overflow back in `buf` (order preserved).
-fn drain_into_batch(buf: &mut VecDeque<Row>, mut fresh: Vec<Row>, max: usize) -> Option<RowBatch> {
-    if buf.is_empty() && fresh.len() <= max {
-        return (!fresh.is_empty()).then(|| RowBatch::from_rows(fresh));
-    }
-    let mut rows = Vec::with_capacity(max.min(buf.len() + fresh.len()));
-    while rows.len() < max {
-        match buf.pop_front() {
-            Some(r) => rows.push(r),
-            None => break,
-        }
-    }
-    let mut it = fresh.drain(..);
-    while rows.len() < max {
-        match it.next() {
-            Some(r) => rows.push(r),
-            None => break,
-        }
-    }
-    buf.extend(it);
-    (!rows.is_empty()).then(|| RowBatch::from_rows(rows))
 }
 
 /// Pages fetched per full-scan readahead request (256 KB, the order of
@@ -87,33 +55,62 @@ pub const FULL_SCAN_READAHEAD: u32 = 32;
 pub const SORT_SCAN_PREFETCH_GAP: u32 = 16;
 
 /// Sequential scan over the whole heap.
+///
+/// The scan is columnar-native: every refill probes one readahead run of
+/// pages through the [`ScanFilter`] and decodes the qualifiers straight
+/// into a [`smooth_types::ColumnBuffer`] (no per-row `Vec<Value>`), from which all
+/// three iterator protocols drain in one shared FIFO order.
 pub struct FullTableScan {
     heap: Arc<HeapFile>,
     storage: Storage,
     filter: ScanFilter,
     readahead: u32,
     next_page: u32,
-    buf: VecDeque<Row>,
+    out: smooth_types::ColumnBuffer,
 }
 
 impl FullTableScan {
     /// Scan `heap`, emitting rows matching `predicate`.
     pub fn new(heap: Arc<HeapFile>, storage: Storage, predicate: Predicate) -> Self {
         let filter = ScanFilter::new(predicate, heap.schema());
-        FullTableScan {
-            heap,
-            storage,
-            filter,
-            readahead: FULL_SCAN_READAHEAD,
-            next_page: 0,
-            buf: VecDeque::new(),
-        }
+        let out = smooth_types::ColumnBuffer::for_schema(heap.schema());
+        FullTableScan { heap, storage, filter, readahead: FULL_SCAN_READAHEAD, next_page: 0, out }
     }
 
     /// Override the readahead window (ablation benches).
     pub fn with_readahead(mut self, pages: u32) -> Self {
         self.readahead = pages.max(1);
         self
+    }
+
+    /// Refill the output buffer from the next readahead run(s). Returns
+    /// `false` at heap exhaustion. CPU is charged per page in bulk, with
+    /// totals identical to per-tuple accounting.
+    fn refill(&mut self) -> Result<bool> {
+        debug_assert!(self.out.is_drained());
+        loop {
+            let total = self.heap.page_count();
+            if self.next_page >= total {
+                return Ok(false);
+            }
+            let len = self.readahead.min(total - self.next_page);
+            let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
+            self.next_page += len;
+            for (_, page) in &pages {
+                let view = PageView::new(page)?;
+                fill_page_columns(
+                    &self.storage,
+                    &mut self.filter,
+                    self.heap.schema(),
+                    &view,
+                    0..view.slot_count(),
+                    self.out.fill(),
+                )?;
+            }
+            if !self.out.is_drained() {
+                return Ok(true);
+            }
+        }
     }
 }
 
@@ -124,60 +121,50 @@ impl Operator for FullTableScan {
 
     fn open(&mut self) -> Result<()> {
         self.next_page = 0;
-        self.buf.clear();
+        self.out.reset();
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
-            if let Some(row) = self.buf.pop_front() {
+            if let Some(row) = self.out.pop_row() {
                 return Ok(Some(row));
             }
-            let total = self.heap.page_count();
-            if self.next_page >= total {
+            if !self.refill()? {
                 return Ok(None);
-            }
-            let len = self.readahead.min(total - self.next_page);
-            let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
-            self.next_page += len;
-            let cpu = self.storage.cpu();
-            for (_, page) in &pages {
-                let view = PageView::new(page)?;
-                for slot in 0..view.slot_count() {
-                    self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
-                    let row = self.heap.decode_slot(page, slot)?;
-                    if self.filter.predicate().eval(&row)? {
-                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
-                        self.buf.push_back(row);
-                    }
-                }
             }
         }
     }
 
-    /// Vectorized scan: one readahead run of pages per refill, predicate
-    /// columns probed on the encoded tuples (non-qualifiers are never
-    /// materialized), CPU charged per page instead of per tuple.
     fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
         let max = max.max(1);
-        let mut fresh = Vec::new();
         loop {
-            if !self.buf.is_empty() || !fresh.is_empty() {
-                return Ok(drain_into_batch(&mut self.buf, fresh, max));
+            if !self.out.is_drained() {
+                return Ok(Some(RowBatch::from_rows(self.out.pop_rows(max))));
             }
-            let total = self.heap.page_count();
-            if self.next_page >= total {
+            if !self.refill()? {
                 return Ok(None);
             }
-            let len = self.readahead.min(total - self.next_page);
-            let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
-            self.next_page += len;
-            fill_from_pages(&self.heap, &self.storage, &mut self.filter, &pages, &mut fresh)?;
+        }
+    }
+
+    /// Columnar scan: one readahead run per refill, qualifiers decoded
+    /// directly into column vectors, morsels leave without row
+    /// materialization.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let max = max.max(1);
+        loop {
+            if let Some(batch) = self.out.pop_columns(max) {
+                return Ok(Some(batch));
+            }
+            if !self.refill()? {
+                return Ok(None);
+            }
         }
     }
 
     fn close(&mut self) -> Result<()> {
-        self.buf.clear();
+        self.out.reset();
         Ok(())
     }
 
@@ -266,6 +253,26 @@ impl Operator for IndexScan {
         Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
+    /// Columnar index scan: same probe loop as the batched path, but
+    /// qualifiers decode straight into column vectors.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let Some(cursor) = self.cursor.as_mut() else {
+            return Err(smooth_types::Error::exec("IndexScan::next_columns before open"));
+        };
+        let max = max.max(1);
+        let mut out = ColumnBatch::for_schema(self.heap.schema());
+        let cpu = *self.storage.cpu();
+        while out.physical_rows() < max {
+            let Some((_, tid)) = cursor.next() else { break };
+            let page = self.storage.read_heap_page(&self.heap, tid.page)?;
+            let view = PageView::new(&page)?;
+            let bytes = view.get(tid.slot)?;
+            let (_, emitted) = self.filter.fill_columns(self.heap.schema(), &[bytes], &mut out)?;
+            self.storage.clock().charge_cpu(cpu.inspect_tuple_ns + cpu.emit_tuple_ns * emitted);
+        }
+        Ok((!out.is_empty()).then_some(out))
+    }
+
     fn close(&mut self) -> Result<()> {
         self.cursor = None;
         Ok(())
@@ -286,6 +293,12 @@ struct PrefetchRun {
 }
 
 /// Sort Scan (Bitmap Heap Scan): blocking TID sort, then page-ordered fetch.
+///
+/// Like [`FullTableScan`], the refill is columnar-native: only the
+/// qualifying slots the bitmap named are probed (PR 2's `ScanFilter`
+/// encoded-tuple pushdown, now applied to the TID-ordered refill on every
+/// protocol), and qualifiers decode straight into the shared
+/// [`smooth_types::ColumnBuffer`].
 pub struct SortScan {
     heap: Arc<HeapFile>,
     index: Arc<BTreeIndex>,
@@ -295,7 +308,7 @@ pub struct SortScan {
     filter: ScanFilter,
     prefetch_gap: u32,
     runs: VecDeque<PrefetchRun>,
-    buf: VecDeque<Row>,
+    out: smooth_types::ColumnBuffer,
 }
 
 impl SortScan {
@@ -309,6 +322,7 @@ impl SortScan {
         residual: Predicate,
     ) -> Self {
         let filter = ScanFilter::new(residual, heap.schema());
+        let out = smooth_types::ColumnBuffer::for_schema(heap.schema());
         SortScan {
             heap,
             index,
@@ -318,7 +332,7 @@ impl SortScan {
             filter,
             prefetch_gap: SORT_SCAN_PREFETCH_GAP,
             runs: VecDeque::new(),
-            buf: VecDeque::new(),
+            out,
         }
     }
 
@@ -326,6 +340,32 @@ impl SortScan {
     pub fn with_prefetch_gap(mut self, gap: u32) -> Self {
         self.prefetch_gap = gap;
         self
+    }
+
+    /// Refill from the next coalesced prefetch run(s). Returns `false`
+    /// once all runs are consumed.
+    fn refill(&mut self) -> Result<bool> {
+        debug_assert!(self.out.is_drained());
+        loop {
+            let Some(run) = self.runs.pop_front() else { return Ok(false) };
+            let pages = self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
+            for (page_no, slots) in &run.page_slots {
+                let idx = (page_no - run.start) as usize;
+                let (_, page) = &pages[idx];
+                let view = PageView::new(page)?;
+                fill_page_columns(
+                    &self.storage,
+                    &mut self.filter,
+                    self.heap.schema(),
+                    &view,
+                    slots.iter().copied(),
+                    self.out.fill(),
+                )?;
+            }
+            if !self.out.is_drained() {
+                return Ok(true);
+            }
+        }
     }
 }
 
@@ -336,7 +376,7 @@ impl Operator for SortScan {
 
     fn open(&mut self) -> Result<()> {
         self.runs.clear();
-        self.buf.clear();
+        self.out.reset();
         // Phase 1 (blocking): drain the index range.
         let mut tids: Vec<Tid> = self
             .index
@@ -384,23 +424,11 @@ impl Operator for SortScan {
 
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
-            if let Some(row) = self.buf.pop_front() {
+            if let Some(row) = self.out.pop_row() {
                 return Ok(Some(row));
             }
-            let Some(run) = self.runs.pop_front() else { return Ok(None) };
-            let pages = self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
-            let cpu = self.storage.cpu();
-            for (page_no, slots) in &run.page_slots {
-                let idx = (page_no - run.start) as usize;
-                let (_, page) = &pages[idx];
-                for &slot in slots {
-                    self.storage.clock().charge_cpu(cpu.inspect_tuple_ns);
-                    let row = self.heap.decode_slot(page, slot)?;
-                    if self.filter.predicate().eval(&row)? {
-                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
-                        self.buf.push_back(row);
-                    }
-                }
+            if !self.refill()? {
+                return Ok(None);
             }
         }
     }
@@ -411,37 +439,33 @@ impl Operator for SortScan {
     /// inspected (the bitmap already named them).
     fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
         let max = max.max(1);
-        let mut fresh = Vec::new();
         loop {
-            if !self.buf.is_empty() || !fresh.is_empty() {
-                return Ok(drain_into_batch(&mut self.buf, fresh, max));
+            if !self.out.is_drained() {
+                return Ok(Some(RowBatch::from_rows(self.out.pop_rows(max))));
             }
-            let Some(run) = self.runs.pop_front() else { return Ok(None) };
-            let pages = self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
-            let cpu = *self.storage.cpu();
-            let schema = self.heap.schema();
-            for (page_no, slots) in &run.page_slots {
-                let idx = (page_no - run.start) as usize;
-                let (_, page) = &pages[idx];
-                let view = PageView::new(page)?;
-                let mut emitted = 0u64;
-                for &slot in slots {
-                    let bytes = view.get(slot)?;
-                    if let Some(row) = self.filter.filter_decode(schema, bytes)? {
-                        fresh.push(row);
-                        emitted += 1;
-                    }
-                }
-                self.storage.clock().charge_cpu(
-                    cpu.inspect_tuple_ns * slots.len() as u64 + cpu.emit_tuple_ns * emitted,
-                );
+            if !self.refill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Columnar Sort Scan: qualifiers of each prefetch run leave as
+    /// column vectors without row materialization.
+    fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
+        let max = max.max(1);
+        loop {
+            if let Some(batch) = self.out.pop_columns(max) {
+                return Ok(Some(batch));
+            }
+            if !self.refill()? {
+                return Ok(None);
             }
         }
     }
 
     fn close(&mut self) -> Result<()> {
         self.runs.clear();
-        self.buf.clear();
+        self.out.reset();
         Ok(())
     }
 

@@ -1,8 +1,9 @@
 //! Property tests for the executor: join operators must agree with a
 //! nested-loop oracle for arbitrary inputs, every access path must
-//! return the same multiset as a filtered full scan, and the batched
-//! iterator protocol must produce the exact row sequence of the
-//! row-at-a-time protocol for every operator.
+//! return the same multiset as a filtered full scan, and the batched and
+//! columnar iterator protocols must produce the exact row sequence of the
+//! row-at-a-time protocol for every operator — including with selection
+//! vectors active and with all three protocols interleaved on one stream.
 
 use std::sync::Arc;
 
@@ -31,27 +32,49 @@ fn collect_batched(op: &mut dyn Operator, max: usize) -> Vec<Row> {
     rows
 }
 
-/// Drain an operator alternating `next()` and `next_batch(max)` calls —
-/// the two protocols share one stream and must compose.
+/// Drain an operator through `next_columns(max)` only, checking the
+/// columnar batch contract.
+fn collect_columnar(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(batch) = op.next_columns(max).unwrap() {
+        assert!(!batch.is_empty(), "empty columnar batch violates the protocol");
+        assert!(batch.len() <= max, "columnar batch exceeds max");
+        rows.extend(batch.into_rows());
+    }
+    assert!(op.next_columns(max).unwrap().is_none(), "None must be sticky");
+    op.close().unwrap();
+    rows
+}
+
+/// Drain an operator rotating `next()`, `next_batch(max)` and
+/// `next_columns(max)` calls — all three protocols share one stream and
+/// must compose.
 fn collect_interleaved(op: &mut dyn Operator, max: usize) -> Vec<Row> {
     op.open().unwrap();
     let mut rows = Vec::new();
-    while let Some(row) = op.next().unwrap() {
+    'outer: while let Some(row) = op.next().unwrap() {
         rows.push(row);
         match op.next_batch(max).unwrap() {
             Some(batch) => rows.extend(batch.into_rows()),
-            None => break,
+            None => break 'outer,
+        }
+        match op.next_columns(max).unwrap() {
+            Some(batch) => rows.extend(batch.into_rows()),
+            None => break 'outer,
         }
     }
     op.close().unwrap();
     rows
 }
 
-/// The protocol-equivalence obligation: row-at-a-time, batched, and
-/// interleaved drains of (reopenable) `op` yield the identical sequence.
+/// The protocol-equivalence obligation: row-at-a-time, batched, columnar
+/// and interleaved drains of (reopenable) `op` yield the identical
+/// sequence.
 fn assert_protocols_equivalent(op: &mut dyn Operator, max: usize) {
     let volcano = collect_rows_volcano(op).unwrap();
     assert_eq!(collect_batched(op, max), volcano, "batched ≠ row-at-a-time (max={max})");
+    assert_eq!(collect_columnar(op, max), volcano, "columnar ≠ row-at-a-time (max={max})");
     assert_eq!(collect_interleaved(op, max), volcano, "interleaved ≠ row-at-a-time (max={max})");
 }
 
@@ -275,6 +298,20 @@ proptest! {
         assert_protocols_equivalent(&mut filter, max);
         let mut project = Project::new(mk_left(), vec![1, 0]).unwrap();
         assert_protocols_equivalent(&mut project, max);
+        // Project above Filter: the columnar path carries an *active*
+        // selection vector through the column pruning.
+        let mut stacked = Project::new(
+            Box::new(Filter::new(mk_left(), Predicate::int_ge(1, 0))),
+            vec![1, 0],
+        )
+        .unwrap();
+        assert_protocols_equivalent(&mut stacked, max);
+        // Filter above Filter: selection vectors refine, never rebuild.
+        let mut refined = Filter::new(
+            Box::new(Filter::new(mk_left(), Predicate::int_ge(1, -25))),
+            Predicate::int_lt(1, 25),
+        );
+        assert_protocols_equivalent(&mut refined, max);
         let mut sort = Sort::new(mk_left(), storage(), vec![SortKey::asc(0), SortKey::desc(1)]);
         assert_protocols_equivalent(&mut sort, max);
         let mut agg = HashAggregate::new(

@@ -7,11 +7,11 @@
 //! [`RunStats`] — execution time split into CPU and I/O wait (Fig. 4),
 //! I/O requests and bytes moved (Table II).
 //!
-//! Queries execute through the vectorized pipeline: `run`/`run_operator`
+//! Queries execute through the columnar pipeline: `run`/`run_operator`
 //! drain the operator tree with [`collect_rows`], which requests
-//! [`smooth_types::RowBatch`]es of `smooth_executor::batch_size()` rows
-//! (the `SMOOTH_BATCH_ROWS` knob) per virtual call rather than one tuple
-//! at a time.
+//! [`smooth_types::ColumnBatch`]es of `smooth_executor::batch_size()`
+//! rows (the `SMOOTH_BATCH_ROWS` knob) per virtual call rather than one
+//! tuple at a time; rows materialize only at the sink.
 
 use std::sync::Arc;
 
@@ -360,7 +360,7 @@ impl Database {
     }
 
     /// Cold-run an already-built operator (used when the caller needs to
-    /// keep the operator around for its metrics). Drives the batch
+    /// keep the operator around for its metrics). Drives the columnar
     /// protocol end to end.
     pub fn run_operator(&self, op: &mut dyn Operator) -> Result<QueryResult> {
         self.storage.flush_pool();

@@ -5,8 +5,9 @@
 //! one dynamic dispatch, one `Result`/`Option` round trip and two atomic
 //! clock charges per *tuple* become per *batch* (or per page) — while
 //! keeping the morsel-at-a-time granularity the Smooth Scan switch logic
-//! reasons about. Batches are row-major (`Vec<Row>`); columnar batches are
-//! a ROADMAP follow-on.
+//! reasons about. Batches here are row-major (`Vec<Row>`); the
+//! column-major counterpart is [`crate::ColumnBatch`], which the default
+//! pipeline driver speaks.
 
 use crate::error::Result;
 use crate::row::Row;

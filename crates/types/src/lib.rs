@@ -11,6 +11,7 @@
 //! B+-tree, the executor and the Smooth Scan operator evolve independently.
 
 pub mod batch;
+pub mod columns;
 pub mod error;
 pub mod row;
 pub mod schema;
@@ -18,6 +19,7 @@ pub mod tid;
 pub mod value;
 
 pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
+pub use columns::{ColumnBatch, ColumnBuffer, ColumnValues, ColumnVector};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Column, Schema};

@@ -215,6 +215,33 @@ impl Row {
 }
 
 /// Split `bytes` into the null bitmap and the payload under `schema`.
+/// Shared with the columnar decode path in [`crate::columns`].
+pub(crate) fn codec_split_bitmap<'a>(
+    schema: &Schema,
+    bytes: &'a [u8],
+) -> Result<(&'a [u8], &'a [u8])> {
+    split_bitmap(schema, bytes)
+}
+
+/// Whether field `i` is NULL under `bitmap` (columnar decode path).
+#[inline]
+pub(crate) fn codec_is_null(bitmap: &[u8], i: usize) -> bool {
+    is_null(bitmap, i)
+}
+
+/// Advance `rest` past `n` bytes (columnar decode path).
+#[inline]
+pub(crate) fn codec_take<'a>(rest: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    take(rest, n)
+}
+
+/// Skip one non-null field of type `ty` (columnar decode path).
+#[inline]
+pub(crate) fn codec_skip_field(rest: &mut &[u8], ty: DataType) -> Result<()> {
+    skip_field(rest, ty)
+}
+
+/// Split `bytes` into the null bitmap and the payload under `schema`.
 fn split_bitmap<'a>(schema: &Schema, bytes: &'a [u8]) -> Result<(&'a [u8], &'a [u8])> {
     let bitmap_len = schema.len().div_ceil(8);
     if bytes.len() < bitmap_len {

@@ -70,5 +70,5 @@ pub mod prelude {
     };
     pub use smooth_stats::StatsQuality;
     pub use smooth_storage::{CpuCosts, DeviceProfile, Storage, StorageConfig};
-    pub use smooth_types::{Column, DataType, Row, Schema, Value};
+    pub use smooth_types::{Column, ColumnBatch, DataType, Row, RowBatch, Schema, Value};
 }
