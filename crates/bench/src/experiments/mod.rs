@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod parallel;
 
 /// Known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
@@ -33,6 +34,7 @@ pub const ALL: &[&str] = &[
     "cr",
     "batch",
     "columnar",
+    "parallel",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -53,6 +55,7 @@ pub fn run(id: &str) -> bool {
         "cr" => cr::run(),
         "batch" => batch::run(),
         "columnar" => columnar::run(),
+        "parallel" => parallel::run(),
         _ => return false,
     }
     true

@@ -1,0 +1,207 @@
+//! Property tests: the morsel-driven parallel driver over *adaptive*
+//! sources. Smooth Scan and Switch Scan run as the pipeline's serial
+//! shared source — their morph decisions, caches and per-probe region
+//! accounting stay centralized in the one operator instance — while
+//! filter and partial-aggregate stages fan out across the worker pool.
+//! For every policy, trigger, order mode, worker count and morsel size,
+//! the parallel run must produce the exact row sequence of the
+//! single-threaded columnar driver and charge the exact same virtual
+//! CPU/IO clock totals, *including across mid-scan mode switches*.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use smooth_core::{PolicyKind, SmoothScan, SmoothScanConfig, SwitchScan, Trigger};
+use smooth_executor::parallel::{
+    run_pipeline, ParallelPipeline, ParallelSource, SinkSpec, StageSpec,
+};
+use smooth_executor::{AggFunc, BoxedOperator, Filter, HashAggregate, Operator, Predicate};
+use smooth_index::BTreeIndex;
+use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, Storage, StorageConfig};
+use smooth_types::{Column, DataType, Row, Schema, Value};
+
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+fn build_table(keys: &[i64]) -> (Arc<HeapFile>, Arc<BTreeIndex>) {
+    let schema = Schema::new(vec![
+        Column::new("c0", DataType::Int64),
+        Column::new("c1", DataType::Int64),
+        Column::new("pad", DataType::Text),
+    ])
+    .unwrap();
+    let mut l = HeapLoader::new_mem("t", schema);
+    for (i, &k) in keys.iter().enumerate() {
+        l.push(&Row::new(vec![Value::Int(i as i64), Value::Int(k), Value::str("p".repeat(70))]))
+            .unwrap();
+    }
+    let heap = Arc::new(l.finish().unwrap());
+    let index = Arc::new(BTreeIndex::build_from_heap("i", &heap, 1).unwrap());
+    (heap, index)
+}
+
+fn storage(pool: usize) -> Storage {
+    Storage::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: pool,
+    })
+}
+
+/// Drain a serial operator columnar-only at a fixed morsel size, so the
+/// shared-source parallel run sees identical pull boundaries.
+fn collect_serial(op: &mut dyn Operator, max: usize) -> Vec<Row> {
+    op.open().unwrap();
+    let mut rows = Vec::new();
+    while let Some(batch) = op.next_columns(max).unwrap() {
+        rows.extend(batch.into_rows());
+    }
+    op.close().unwrap();
+    rows
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Greedy),
+        Just(PolicyKind::SelectivityIncrease),
+        Just(PolicyKind::Elastic),
+    ]
+}
+
+/// Run `source` under the parallel driver with a filter stage (and
+/// optionally a partial-aggregate sink) at every worker count, asserting
+/// rows and clock totals against the serial stack built by `mk_serial`.
+#[allow(clippy::type_complexity)]
+fn check_against_serial(
+    mk_source: &dyn Fn(&Storage) -> BoxedOperator,
+    stage_pred: &Predicate,
+    aggregate: bool,
+    pool: usize,
+    max: usize,
+) -> std::result::Result<(), TestCaseError> {
+    let aggs = vec![AggFunc::CountStar, AggFunc::Sum(0), AggFunc::Min(0), AggFunc::Max(1)];
+    let s_serial = storage(pool);
+    let filtered: BoxedOperator = Box::new(Filter::new(mk_source(&s_serial), stage_pred.clone()));
+    let expected = if aggregate {
+        let mut agg =
+            HashAggregate::new(filtered, vec![1], aggs.clone(), s_serial.clone()).unwrap();
+        collect_serial(&mut agg, max)
+    } else {
+        let mut op = filtered;
+        collect_serial(op.as_mut(), max)
+    };
+    for workers in WORKER_GRID {
+        let s_par = storage(pool);
+        let pipeline = ParallelPipeline {
+            source: ParallelSource::Shared { op: mk_source(&s_par) },
+            builds: Vec::new(),
+            stages: vec![StageSpec::Filter(stage_pred.clone())],
+            sink: if aggregate {
+                SinkSpec::Aggregate { group_cols: vec![1], aggs: aggs.clone(), merge_exact: true }
+            } else {
+                SinkSpec::Collect
+            },
+            storage: s_par.clone(),
+            morsel_rows: max,
+        };
+        let got = run_pipeline(pipeline, workers).unwrap();
+        prop_assert!(got == expected, "rows diverge at {workers} workers (max {max})");
+        prop_assert!(
+            s_par.clock().snapshot() == s_serial.clock().snapshot(),
+            "clock totals diverge at {workers} workers (max {max})"
+        );
+        prop_assert!(
+            s_par.io_snapshot() == s_serial.io_snapshot(),
+            "I/O counters diverge at {workers} workers"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Smooth Scan as a shared parallel source across every policy,
+    /// trigger and order mode — including OptimizerDriven triggers that
+    /// flip Mode 0 → morphing mid-scan — with filter / partial-aggregate
+    /// stages fanning out above it.
+    #[test]
+    fn parallel_smooth_scan_equals_serial(
+        keys in proptest::collection::vec(0i64..150, 50..900),
+        lo in 0i64..150,
+        width in 0i64..170,
+        policy in arb_policy(),
+        ordered in any::<bool>(),
+        trigger_card in prop_oneof![Just(None), (0u64..200).prop_map(Some)],
+        aggregate in any::<bool>(),
+        pool in 6usize..48,
+        max in 1usize..90,
+        stage_hi in 0i64..900,
+    ) {
+        let (heap, index) = build_table(&keys);
+        let hi = lo + width;
+        let trigger = match trigger_card {
+            None => Trigger::Eager,
+            Some(c) => Trigger::OptimizerDriven {
+                estimated_cardinality: c,
+                policy: PolicyKind::Elastic,
+            },
+        };
+        let config = SmoothScanConfig::default()
+            .with_policy(policy)
+            .with_order(ordered)
+            .with_trigger(trigger);
+        let mk_source = |s: &Storage| -> BoxedOperator {
+            Box::new(SmoothScan::new(
+                Arc::clone(&heap),
+                Arc::clone(&index),
+                s.clone(),
+                1,
+                Bound::Included(lo),
+                Bound::Excluded(hi),
+                Predicate::True,
+                config,
+            ))
+        };
+        check_against_serial(
+            &mk_source,
+            &Predicate::int_lt(0, stage_hi),
+            aggregate,
+            pool,
+            max,
+        )?;
+    }
+
+    /// Switch Scan as a shared parallel source across its index →
+    /// full-scan cliff.
+    #[test]
+    fn parallel_switch_scan_equals_serial(
+        keys in proptest::collection::vec(0i64..100, 50..700),
+        hi in 0i64..110,
+        estimate in 0u64..400,
+        aggregate in any::<bool>(),
+        max in 1usize..90,
+        stage_hi in 0i64..700,
+    ) {
+        let (heap, index) = build_table(&keys);
+        let mk_source = |s: &Storage| -> BoxedOperator {
+            Box::new(SwitchScan::new(
+                Arc::clone(&heap),
+                Arc::clone(&index),
+                s.clone(),
+                1,
+                Bound::Included(0),
+                Bound::Excluded(hi),
+                Predicate::True,
+                estimate,
+            ))
+        };
+        check_against_serial(
+            &mk_source,
+            &Predicate::int_lt(0, stage_hi),
+            aggregate,
+            16,
+            max,
+        )?;
+    }
+}

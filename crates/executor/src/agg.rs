@@ -30,6 +30,26 @@ pub enum AggFunc {
 }
 
 impl AggFunc {
+    /// Whether per-worker partial accumulation followed by a merge is
+    /// *exactly* equal to a single sequential fold over the input.
+    ///
+    /// Counts and MIN/MAX are order-independent. Sums (and averages)
+    /// accumulate in `f64`, where addition only reorders exactly when
+    /// every addend is integer-valued — so sums over integer-typed
+    /// columns merge exactly (up to 2^53, far past the workloads here)
+    /// while sums over `Float64` columns must instead fold in input
+    /// order to stay byte-identical to the single-threaded driver.
+    pub fn merge_exact(&self, child: &Schema) -> bool {
+        let int_typed = |c: usize| {
+            matches!(child.column(c).ty, DataType::Int32 | DataType::Int64 | DataType::Date)
+        };
+        match self {
+            AggFunc::CountStar | AggFunc::Count(_) | AggFunc::Min(_) | AggFunc::Max(_) => true,
+            AggFunc::Sum(c) | AggFunc::Avg(c) => int_typed(*c),
+            AggFunc::SumProduct(a, b) => int_typed(*a) && int_typed(*b),
+        }
+    }
+
     fn output_column(&self, child: &Schema, ordinal: usize) -> Column {
         let name = |f: &str, c: usize| format!("{f}_{}", child.column(c).name);
         match self {
@@ -47,9 +67,11 @@ impl AggFunc {
     }
 }
 
-/// Accumulator state per aggregate per group.
+/// Accumulator state per aggregate per group. `pub(crate)` so the
+/// parallel driver's partial aggregates reuse the exact accumulator
+/// semantics of the serial operator.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(u64),
     Sum(f64),
     Avg { sum: f64, n: u64 },
@@ -57,8 +79,19 @@ enum Acc {
     Max(Option<Value>),
 }
 
+/// `Float64` view of a value, widening integers — the row-side twin of
+/// [`smooth_types::ColumnVector::float`].
+fn value_as_float(v: &Value) -> Result<f64> {
+    match v {
+        Value::Float(x) => Ok(*x),
+        Value::Int(x) => Ok(*x as f64),
+        Value::Null => Err(smooth_types::Error::exec("expected float, got NULL")),
+        Value::Str(_) => Err(smooth_types::Error::exec("expected float column")),
+    }
+}
+
 impl Acc {
-    fn new(f: &AggFunc) -> Acc {
+    pub(crate) fn new(f: &AggFunc) -> Acc {
         match f {
             AggFunc::CountStar | AggFunc::Count(_) => Acc::Count(0),
             AggFunc::Sum(_) | AggFunc::SumProduct(..) => Acc::Sum(0.0),
@@ -71,7 +104,12 @@ impl Acc {
     /// Read the physical row `phys` straight off the typed column
     /// vectors — no `Row` and no `Value` materialize unless a MIN/MAX
     /// extremum actually improves.
-    fn update_columns(&mut self, f: &AggFunc, batch: &ColumnBatch, phys: usize) -> Result<()> {
+    pub(crate) fn update_columns(
+        &mut self,
+        f: &AggFunc,
+        batch: &ColumnBatch,
+        phys: usize,
+    ) -> Result<()> {
         match (self, f) {
             (Acc::Count(n), AggFunc::CountStar) => *n += 1,
             (Acc::Count(n), AggFunc::Count(c)) => {
@@ -116,7 +154,82 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    /// Fold one materialized row in — the value-slice twin of
+    /// [`Acc::update_columns`], for morsels that already carry rows
+    /// (e.g. downstream of a parallel hash-join probe). Semantics match
+    /// exactly: NULL inputs are skipped, integers widen for sums.
+    pub(crate) fn update_values(&mut self, f: &AggFunc, values: &[Value]) -> Result<()> {
+        match (self, f) {
+            (Acc::Count(n), AggFunc::CountStar) => *n += 1,
+            (Acc::Count(n), AggFunc::Count(c)) => {
+                if !values[*c].is_null() {
+                    *n += 1;
+                }
+            }
+            (Acc::Sum(s), AggFunc::Sum(c)) => {
+                if !values[*c].is_null() {
+                    *s += value_as_float(&values[*c])?;
+                }
+            }
+            (Acc::Sum(s), AggFunc::SumProduct(a, b)) => {
+                if !values[*a].is_null() && !values[*b].is_null() {
+                    *s += value_as_float(&values[*a])? * value_as_float(&values[*b])?;
+                }
+            }
+            (Acc::Avg { sum, n }, AggFunc::Avg(c)) => {
+                if !values[*c].is_null() {
+                    *sum += value_as_float(&values[*c])?;
+                    *n += 1;
+                }
+            }
+            (Acc::Min(m), AggFunc::Min(c)) => {
+                let v = &values[*c];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt()) {
+                    *m = Some(v.clone());
+                }
+            }
+            (Acc::Max(m), AggFunc::Max(c)) => {
+                let v = &values[*c];
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt()) {
+                    *m = Some(v.clone());
+                }
+            }
+            _ => unreachable!("accumulator/function mismatch"),
+        }
+        Ok(())
+    }
+
+    /// Combine a partial accumulator in. Exact for counts and MIN/MAX;
+    /// for sums it is exact precisely when [`AggFunc::merge_exact`]
+    /// holds, which is the precondition for the parallel driver using
+    /// per-worker partials at all.
+    pub(crate) fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(n), Acc::Count(m)) => *n += m,
+            (Acc::Sum(s), Acc::Sum(t)) => *s += t,
+            (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Acc::Min(m), Acc::Min(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt()) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(m), Acc::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt()) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched accumulators"),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n as i64),
             Acc::Sum(s) => Value::Float(s),
@@ -130,6 +243,24 @@ impl Acc {
             Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
         }
     }
+}
+
+/// The output schema of an aggregation over `child`: the group columns
+/// followed by one column per aggregate. Shared by [`HashAggregate::new`]
+/// and the planner's parallel-pipeline decomposition so both validate
+/// (and fail) identically.
+pub fn output_schema(child: &Schema, group_cols: &[usize], aggs: &[AggFunc]) -> Result<Schema> {
+    let mut cols = Vec::with_capacity(group_cols.len() + aggs.len());
+    for &g in group_cols {
+        if g >= child.len() {
+            return Err(smooth_types::Error::schema(format!("group column {g} out of range")));
+        }
+        cols.push(child.column(g).clone());
+    }
+    for (i, a) in aggs.iter().enumerate() {
+        cols.push(a.output_column(child, i));
+    }
+    Schema::new(cols)
 }
 
 /// Hash aggregation over optional group-by columns. With no group columns
@@ -151,18 +282,7 @@ impl HashAggregate {
         aggs: Vec<AggFunc>,
         storage: smooth_storage::Storage,
     ) -> Result<Self> {
-        let child_schema = child.schema();
-        let mut cols = Vec::with_capacity(group_cols.len() + aggs.len());
-        for &g in &group_cols {
-            if g >= child_schema.len() {
-                return Err(smooth_types::Error::schema(format!("group column {g} out of range")));
-            }
-            cols.push(child_schema.column(g).clone());
-        }
-        for (i, a) in aggs.iter().enumerate() {
-            cols.push(a.output_column(child_schema, i));
-        }
-        let schema = Schema::new(cols)?;
+        let schema = output_schema(child.schema(), &group_cols, &aggs)?;
         Ok(HashAggregate { child, group_cols, aggs, storage, schema, output: None })
     }
 }

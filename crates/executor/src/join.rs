@@ -206,6 +206,12 @@ impl Operator for HashJoin {
     /// Columnar probe: keys are read vector-at-a-time off the left key
     /// column; a left row is materialized only when its key matches, so
     /// misses cost one hash probe and nothing else.
+    ///
+    /// The parallel driver's probe stage
+    /// (`crate::parallel::probe_morsel`) mirrors this loop's per-row
+    /// charges and emission order exactly; any change to the charge
+    /// model or null/semi semantics here must land there too (the
+    /// `prop_parallel` suite pins the two equal).
     fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
         let max = max.max(1);
         let mut out = ColumnBatch::for_schema(&self.schema);

@@ -29,13 +29,21 @@
 //! vectors with no per-row allocation. [`collect_rows`] drives plans
 //! through the columnar protocol; [`collect_rows_batch`] and
 //! [`collect_rows_volcano`] keep the row-batch and row-at-a-time
-//! reference drivers.
+//! reference drivers — the Volcano driver is retained permanently as
+//! the semantics oracle the property suites pin every other driver
+//! against, not as a performance baseline.
+//!
+//! The [`parallel`] module adds morsel-driven parallel pipeline
+//! execution (HyPer-style worker pool over [`smooth_types::ColumnBatch`]
+//! morsels) that is byte-identical to [`collect_rows`] and charges the
+//! exact same virtual clock totals.
 
 pub mod agg;
 pub mod expr;
 pub mod filter;
 pub mod join;
 pub mod operator;
+pub mod parallel;
 pub mod scan;
 pub mod sort;
 
@@ -45,6 +53,10 @@ pub use filter::{Filter, Project};
 pub use join::{HashJoin, IndexNestedLoopJoin, JoinType, MergeJoin, NestedLoopJoin};
 pub use operator::{
     batch_size, collect_rows, collect_rows_batch, collect_rows_volcano, BoxedOperator, Operator,
+};
+pub use parallel::{
+    run_pipeline, run_pipeline_traced, BuildSpec, Morsel, ParallelPipeline, ParallelSource,
+    ScalingLedger, SinkSpec, StageSpec,
 };
 pub use scan::{FullTableScan, IndexScan, SortScan};
 pub use sort::Sort;

@@ -78,8 +78,11 @@ pub trait Operator {
     fn label(&self) -> String;
 }
 
-/// Owned operator trees.
-pub type BoxedOperator = Box<dyn Operator>;
+/// Owned operator trees. The `Send` bound is what lets the parallel
+/// pipeline driver hand an operator (a shared morsel source, a hash-join
+/// build input) to a worker pool; every operator in the workspace is a
+/// plain owned data structure, so the bound costs nothing.
+pub type BoxedOperator = Box<dyn Operator + Send>;
 
 /// Rows per `next_batch` request used by the pipeline drivers: the
 /// `SMOOTH_BATCH_ROWS` environment variable when set (minimum 1), else

@@ -1,0 +1,1073 @@
+//! Morsel-driven parallel pipeline execution (HyPer-style).
+//!
+//! A [`ParallelPipeline`] runs one query pipeline across a fixed worker
+//! pool: workers pull columnar morsels from a shared source, push each
+//! morsel through a per-worker chain of [`StageSpec`]s (filter, projection,
+//! hash-join probe) with thread-local state, fold it into a per-worker
+//! partial aggregate where that is exact, and hand everything else to an
+//! *ordered* sink that merges morsels back into source order. The
+//! result is **deterministic and byte-identical** to the single-threaded
+//! columnar driver ([`crate::collect_rows`]), and the total virtual
+//! CPU/IO clock charges are **exactly equal** to the single-threaded
+//! run. Two structural decisions make that possible:
+//!
+//! * **Source sections are serialized in morsel order.** The disk model
+//!   ([`smooth_storage::Storage`]) classifies a transfer as sequential
+//!   or random by whether it physically continues the previous one, and
+//!   buffer-pool residency depends on access order — so all charged I/O
+//!   happens inside the source lock, in exactly the order the
+//!   single-threaded driver would issue it. For a heap scan the lock
+//!   covers only the page-run fetch (readahead-sized, cheap — a pool
+//!   probe plus a memcpy per page); the expensive part, probing encoded
+//!   tuples and decoding qualifiers into column vectors, runs on the
+//!   claiming worker *outside* the lock with a thread-local
+//!   [`ScanFilter`]. For any other operator (Smooth Scan, Switch Scan,
+//!   index/sort scans, sorts) the whole operator *is* the serial
+//!   section: adaptive morph decisions stay centralized in one operator
+//!   instance, untouched by parallelism, exactly as the single-threaded
+//!   driver runs them.
+//! * **Worker-side charges are per-tuple, never per-batch-boundary.**
+//!   Every stage charges the shared virtual clock (lock-free atomics —
+//!   the contention-light accounting core) the same per-row amounts the
+//!   serial operators charge, so totals are independent of how rows are
+//!   grouped into morsels and of which worker processed them.
+//!
+//! Pipeline breakers merge deterministically: hash-join builds run
+//! serially up front (charging exactly like [`crate::HashJoin`]'s
+//! build) and are shared read-only across workers; grouped aggregates
+//! use per-worker partial maps merged by global first-seen position when
+//! the merge is exact ([`AggFunc::merge_exact`]), and otherwise fold on
+//! the ordered sink in morsel order so float sums stay byte-identical;
+//! plain row output is concatenated in morsel order.
+//!
+//! [`run_pipeline_traced`] additionally records a per-morsel
+//! virtual-clock ledger ([`ScalingLedger`]) from which a deterministic
+//! scaling model — greedy list-scheduling of the measured source /
+//! worker / sink sections — predicts the parallel makespan at any
+//! worker count. The perf-smoke `parallel` experiment gates on that
+//! model because, unlike wall clock on a shared CI runner (or this
+//! repo's build hosts), it is bit-stable across machines.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use smooth_storage::{HeapFile, PageBuf, PageView, Storage};
+use smooth_types::{ColumnBatch, Error, PageId, Result, Row, Schema, Value};
+
+use crate::agg::Acc;
+use crate::expr::{Predicate, ScanFilter};
+use crate::operator::BoxedOperator;
+use crate::scan::fill_page_columns;
+use crate::{AggFunc, JoinType};
+
+/// A unit of work flowing between stages: columnar until something
+/// materializes rows (a join probe), row-major after.
+#[derive(Debug)]
+pub enum Morsel {
+    /// Columnar morsel (possibly carrying a selection vector).
+    Cols(ColumnBatch),
+    /// Materialized rows.
+    Rows(Vec<Row>),
+}
+
+impl Morsel {
+    /// Live rows in the morsel.
+    pub fn len(&self) -> usize {
+        match self {
+            Morsel::Cols(b) => b.len(),
+            Morsel::Rows(r) => r.len(),
+        }
+    }
+
+    /// `true` when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize as rows (honoring any selection vector).
+    pub fn into_rows(self) -> Vec<Row> {
+        match self {
+            Morsel::Cols(b) => b.into_rows(),
+            Morsel::Rows(r) => r,
+        }
+    }
+}
+
+/// Where morsels come from.
+pub enum ParallelSource {
+    /// A partitioned heap scan: workers claim readahead-sized page runs
+    /// (I/O under the source lock, in page order), then probe + decode
+    /// on their own thread via a thread-local [`ScanFilter`]. This is
+    /// the fully parallel source — the CPU-heavy decode fans out.
+    Heap {
+        /// The heap to scan.
+        heap: Arc<HeapFile>,
+        /// Scan predicate (pushed into the per-worker [`ScanFilter`]).
+        predicate: Predicate,
+        /// Pages fetched per morsel (use
+        /// [`crate::scan::FULL_SCAN_READAHEAD`] to match the serial
+        /// scan's request pattern).
+        readahead: u32,
+    },
+    /// Any operator as a serial morsel source: workers take turns
+    /// pulling `next_columns(morsel_rows)` under the source lock. The
+    /// operator runs exactly as it would single-threaded — this is how
+    /// Smooth/Switch Scan morph accounting stays centralized — while
+    /// the stages above it still fan out.
+    Shared {
+        /// The source operator (opened by the driver).
+        op: BoxedOperator,
+    },
+}
+
+/// One hash-join build input, drained serially before workers start
+/// (charging exactly like [`crate::HashJoin`]'s blocking build).
+pub struct BuildSpec {
+    /// The build-side operator (right input).
+    pub right: BoxedOperator,
+    /// Key ordinal in the build rows.
+    pub right_col: usize,
+    /// Key ordinal in the probe rows.
+    pub left_col: usize,
+    /// Join semantics.
+    pub ty: JoinType,
+}
+
+/// A per-worker morsel transform, declared against the build list.
+#[derive(Clone)]
+pub enum StageSpec {
+    /// Keep rows satisfying the predicate (selection refinement on
+    /// columnar morsels — no row moves).
+    Filter(Predicate),
+    /// Keep the listed columns, in order (column pruning).
+    Project(Vec<usize>),
+    /// Probe the `i`-th build table; emits concatenated (or semi) rows.
+    Probe(usize),
+}
+
+/// What happens to the ordered morsel stream at the pipeline end.
+pub enum SinkSpec {
+    /// Concatenate rows in morsel order.
+    Collect,
+    /// Grouped / scalar aggregation.
+    Aggregate {
+        /// Group-by ordinals (empty = scalar).
+        group_cols: Vec<usize>,
+        /// Aggregates per group.
+        aggs: Vec<AggFunc>,
+        /// When every aggregate merges exactly
+        /// ([`AggFunc::merge_exact`]), workers hold partial maps merged
+        /// by first-seen position; otherwise the sink folds morsels in
+        /// order on the coordinator, keeping float sums byte-identical
+        /// to the serial fold.
+        merge_exact: bool,
+    },
+}
+
+/// A decomposed pipeline ready for the worker pool.
+pub struct ParallelPipeline {
+    /// Morsel source.
+    pub source: ParallelSource,
+    /// Hash-join builds, bottom-up (the order the serial open cascade
+    /// would drain them).
+    pub builds: Vec<BuildSpec>,
+    /// Per-worker stages, source side first.
+    pub stages: Vec<StageSpec>,
+    /// Terminal merge.
+    pub sink: SinkSpec,
+    /// Shared storage handle (clock + pool the whole pipeline charges).
+    pub storage: Storage,
+    /// Rows per morsel for [`ParallelSource::Shared`] pulls (the serial
+    /// driver's `batch_size()` to match it exactly).
+    pub morsel_rows: usize,
+}
+
+/// A shared, read-only hash-join build table.
+struct ProbeTable {
+    map: HashMap<Value, Vec<Row>>,
+    left_col: usize,
+    ty: JoinType,
+}
+
+/// Drain `right` into a probe table, charging the clock exactly like the
+/// serial [`crate::HashJoin`] build (one hash op per build row, batched
+/// drain through the row protocol).
+fn build_probe_table(spec: BuildSpec, storage: &Storage) -> Result<ProbeTable> {
+    let BuildSpec { mut right, right_col, left_col, ty } = spec;
+    right.open()?;
+    let cpu_hash = storage.cpu().hash_op_ns;
+    let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+    while let Some(batch) = right.next_batch(crate::batch_size())? {
+        storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
+        for row in batch.into_rows() {
+            let key = row.get(right_col).clone();
+            if !key.is_null() {
+                map.entry(key).or_default().push(row);
+            }
+        }
+    }
+    right.close()?;
+    Ok(ProbeTable { map, left_col, ty })
+}
+
+/// A runtime stage (build references resolved).
+#[derive(Clone)]
+enum Stage {
+    Filter(Predicate),
+    Project(Vec<usize>),
+    Probe(Arc<ProbeTable>),
+}
+
+impl Stage {
+    fn apply(&self, storage: &Storage, morsel: Morsel) -> Result<Morsel> {
+        match self {
+            Stage::Filter(pred) => match morsel {
+                Morsel::Cols(mut batch) => {
+                    let selection = pred.filter_batch(&batch)?;
+                    batch.set_selection(selection);
+                    Ok(Morsel::Cols(batch))
+                }
+                Morsel::Rows(rows) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if pred.eval(&row)? {
+                            kept.push(row);
+                        }
+                    }
+                    Ok(Morsel::Rows(kept))
+                }
+            },
+            Stage::Project(cols) => match morsel {
+                Morsel::Cols(batch) => Ok(Morsel::Cols(batch.project(cols)?)),
+                Morsel::Rows(rows) => Ok(Morsel::Rows(
+                    rows.into_iter()
+                        .map(|row| Row::new(cols.iter().map(|&c| row.get(c).clone()).collect()))
+                        .collect(),
+                )),
+            },
+            Stage::Probe(table) => probe_morsel(table, storage, morsel),
+        }
+    }
+}
+
+/// Probe one morsel against a build table, mirroring the serial
+/// [`crate::HashJoin`] charge-for-charge: one hash op per live probe
+/// row, one emit per produced match, matches emitted in build order, a
+/// probe row materializing only when its key hits.
+fn probe_morsel(table: &ProbeTable, storage: &Storage, morsel: Morsel) -> Result<Morsel> {
+    let cpu = *storage.cpu();
+    let clock = storage.clock();
+    let mut out = Vec::new();
+    match morsel {
+        Morsel::Cols(batch) => {
+            batch.column_checked(table.left_col)?;
+            for live in 0..batch.len() {
+                let phys = match batch.selection() {
+                    Some(sel) => sel[live] as usize,
+                    None => live,
+                };
+                clock.charge_cpu(cpu.hash_op_ns);
+                let col = batch.column(table.left_col);
+                if col.is_null(phys) {
+                    continue;
+                }
+                let key = col.value(phys);
+                let Some(matches) = table.map.get(&key) else { continue };
+                match table.ty {
+                    JoinType::Inner => {
+                        clock.charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
+                        let left_row = batch.row(live);
+                        out.extend(matches.iter().map(|m| left_row.concat(m)));
+                    }
+                    JoinType::LeftSemi => {
+                        clock.charge_cpu(cpu.emit_tuple_ns);
+                        out.push(batch.row(live));
+                    }
+                }
+            }
+        }
+        Morsel::Rows(rows) => {
+            for left_row in rows {
+                clock.charge_cpu(cpu.hash_op_ns);
+                let key = left_row.get(table.left_col);
+                if key.is_null() {
+                    continue;
+                }
+                let Some(matches) = table.map.get(key) else { continue };
+                match table.ty {
+                    JoinType::Inner => {
+                        clock.charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
+                        out.extend(matches.iter().map(|m| left_row.concat(m)));
+                    }
+                    JoinType::LeftSemi => {
+                        clock.charge_cpu(cpu.emit_tuple_ns);
+                        out.push(left_row);
+                    }
+                }
+            }
+        }
+    }
+    Ok(Morsel::Rows(out))
+}
+
+/// Global first-seen position of a group: (morsel seq, index within the
+/// morsel). Minimizing over workers reproduces the serial first-seen
+/// group order exactly.
+type FirstPos = (u64, u64);
+
+/// A (partial) grouped-aggregation state — per worker when the merge is
+/// exact, on the ordered sink otherwise. Accumulator semantics and
+/// clock charges mirror [`crate::HashAggregate`] exactly.
+struct PartialAgg {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggFunc>,
+    groups: HashMap<Vec<Value>, (FirstPos, Vec<Acc>)>,
+}
+
+impl PartialAgg {
+    fn new(group_cols: &[usize], aggs: &[AggFunc]) -> Self {
+        PartialAgg { group_cols: group_cols.to_vec(), aggs: aggs.to_vec(), groups: HashMap::new() }
+    }
+
+    /// Fold one morsel in, charging `(hash + update·|aggs|)` per live
+    /// row — the serial operator's per-batch bulk charge, which is
+    /// per-row underneath and therefore boundary-independent.
+    fn update(&mut self, storage: &Storage, seq: u64, morsel: &Morsel) -> Result<()> {
+        let cpu = *storage.cpu();
+        storage.clock().charge_cpu(
+            (cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64) * morsel.len() as u64,
+        );
+        let PartialAgg { group_cols, aggs, groups } = self;
+        match morsel {
+            Morsel::Cols(batch) => {
+                for (idx, phys) in batch.live_rows().enumerate() {
+                    let key: Vec<Value> =
+                        group_cols.iter().map(|&c| batch.column(c).value(phys)).collect();
+                    let (_, accs) = groups.entry(key).or_insert_with(|| {
+                        ((seq, idx as u64), aggs.iter().map(Acc::new).collect())
+                    });
+                    for (acc, f) in accs.iter_mut().zip(aggs.iter()) {
+                        acc.update_columns(f, batch, phys)?;
+                    }
+                }
+            }
+            Morsel::Rows(rows) => {
+                for (idx, row) in rows.iter().enumerate() {
+                    let key: Vec<Value> = group_cols.iter().map(|&c| row.get(c).clone()).collect();
+                    let (_, accs) = groups.entry(key).or_insert_with(|| {
+                        ((seq, idx as u64), aggs.iter().map(Acc::new).collect())
+                    });
+                    for (acc, f) in accs.iter_mut().zip(aggs.iter()) {
+                        acc.update_values(f, row.values())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Combine another worker's partial in (order-independent: the
+    /// caller guarantees every aggregate merges exactly).
+    fn merge(&mut self, other: PartialAgg) {
+        for (key, (pos, accs)) in other.groups {
+            match self.groups.entry(key) {
+                Entry::Vacant(slot) => {
+                    slot.insert((pos, accs));
+                }
+                Entry::Occupied(mut slot) => {
+                    let (cur_pos, cur_accs) = slot.get_mut();
+                    *cur_pos = (*cur_pos).min(pos);
+                    for (a, b) in cur_accs.iter_mut().zip(accs) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit the groups in global first-seen order (a scalar aggregate
+    /// over empty input still yields one row, as in the serial
+    /// operator).
+    fn finish(mut self) -> Vec<Row> {
+        if self.groups.is_empty() && self.group_cols.is_empty() {
+            self.groups.insert(Vec::new(), ((0, 0), self.aggs.iter().map(Acc::new).collect()));
+        }
+        let mut entries: Vec<_> = self.groups.into_iter().collect();
+        entries.sort_by_key(|(_, (pos, _)): &(Vec<Value>, (FirstPos, Vec<Acc>))| *pos);
+        entries
+            .into_iter()
+            .map(|(key, (_, accs))| {
+                let mut values = key;
+                values.extend(accs.into_iter().map(Acc::finish));
+                Row::new(values)
+            })
+            .collect()
+    }
+}
+
+/// What the source hands a worker under the lock.
+enum SourceItem {
+    /// A page run still to be probed + decoded (worker-side CPU).
+    Pages(Vec<(PageId, PageBuf)>),
+    /// A ready columnar morsel pulled from a shared operator.
+    Batch(ColumnBatch),
+}
+
+/// The serial section: pulled in morsel order under one lock, so all
+/// charged I/O happens in exactly the single-threaded order.
+enum SourceCore {
+    Heap { heap: Arc<HeapFile>, next: u32, readahead: u32 },
+    Shared { op: BoxedOperator, max: usize },
+}
+
+impl SourceCore {
+    fn pull(&mut self, storage: &Storage) -> Result<Option<SourceItem>> {
+        match self {
+            SourceCore::Heap { heap, next, readahead } => {
+                let total = heap.page_count();
+                if *next >= total {
+                    return Ok(None);
+                }
+                let len = (*readahead).min(total - *next);
+                let pages = storage.read_heap_run(heap, PageId(*next), len)?;
+                *next += len;
+                Ok(Some(SourceItem::Pages(pages)))
+            }
+            SourceCore::Shared { op, max } => Ok(op.next_columns(*max)?.map(SourceItem::Batch)),
+        }
+    }
+
+    fn close(self) -> Result<()> {
+        match self {
+            SourceCore::Heap { .. } => Ok(()),
+            SourceCore::Shared { mut op, .. } => op.close(),
+        }
+    }
+}
+
+/// Thread-local decode state for the partitioned heap source.
+struct HeapDecoder {
+    schema: Schema,
+    filter: ScanFilter,
+}
+
+impl HeapDecoder {
+    fn new(schema: Schema, predicate: Predicate) -> Self {
+        let filter = ScanFilter::new(predicate, &schema);
+        HeapDecoder { schema, filter }
+    }
+
+    fn decode(&mut self, storage: &Storage, pages: &[(PageId, PageBuf)]) -> Result<ColumnBatch> {
+        let mut out = ColumnBatch::for_schema(&self.schema);
+        for (_, page) in pages {
+            let view = PageView::new(page)?;
+            fill_page_columns(
+                storage,
+                &mut self.filter,
+                &self.schema,
+                &view,
+                0..view.slot_count(),
+                &mut out,
+            )?;
+        }
+        Ok(out)
+    }
+}
+
+/// Run one source item through the worker's stage chain.
+fn process_item(
+    item: SourceItem,
+    decoder: &mut Option<HeapDecoder>,
+    stages: &[Stage],
+    storage: &Storage,
+) -> Result<Morsel> {
+    let mut morsel = match item {
+        SourceItem::Batch(batch) => Morsel::Cols(batch),
+        SourceItem::Pages(pages) => {
+            let decoder = decoder.as_mut().expect("heap source items need a decoder");
+            Morsel::Cols(decoder.decode(storage, &pages)?)
+        }
+    };
+    for stage in stages {
+        morsel = stage.apply(storage, morsel)?;
+    }
+    Ok(morsel)
+}
+
+/// Per-morsel virtual-clock ledger recorded by
+/// [`run_pipeline_traced`]: the deterministic input to the scaling
+/// model. All values are virtual nanoseconds off the shared clock.
+#[derive(Debug, Default, Clone)]
+pub struct ScalingLedger {
+    /// Serial prefix: source open plus hash-join builds.
+    pub prefix_ns: u64,
+    /// Per-morsel source-section charges (I/O + in-lock CPU) — a
+    /// serialized resource.
+    pub src_ns: Vec<u64>,
+    /// Per-morsel worker-side charges (decode, stages, exact partial
+    /// aggregation) — these fan out across the pool.
+    pub proc_ns: Vec<u64>,
+    /// Per-morsel ordered-sink charges (the order-preserving aggregate
+    /// fold when the merge is not exact) — a second serialized resource.
+    pub sink_ns: Vec<u64>,
+}
+
+impl ScalingLedger {
+    /// Total virtual time of the single-threaded run.
+    pub fn total_ns(&self) -> u64 {
+        self.prefix_ns
+            + self.src_ns.iter().sum::<u64>()
+            + self.proc_ns.iter().sum::<u64>()
+            + self.sink_ns.iter().sum::<u64>()
+    }
+
+    /// Deterministic makespan of the pipeline at `workers` workers:
+    /// greedy list-scheduling of the recorded sections, with source
+    /// sections serialized in morsel order (they share one lock and one
+    /// disk arm), worker sections packed onto the earliest-free worker
+    /// (the dynamic claiming the driver performs), and sink sections
+    /// serialized in morsel order on the coordinator.
+    pub fn makespan_ns(&self, workers: usize) -> u64 {
+        let workers = workers.max(1);
+        let mut worker_free = vec![self.prefix_ns; workers];
+        let mut src_free = self.prefix_ns;
+        let mut sink_free = self.prefix_ns;
+        for i in 0..self.src_ns.len() {
+            let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+            let src_done = worker_free[w].max(src_free) + self.src_ns[i];
+            src_free = src_done;
+            worker_free[w] = src_done + self.proc_ns[i];
+            sink_free = sink_free.max(worker_free[w]) + self.sink_ns[i];
+        }
+        worker_free.into_iter().max().unwrap_or(self.prefix_ns).max(sink_free)
+    }
+
+    /// Modeled speedup over the single-worker makespan (which equals
+    /// [`ScalingLedger::total_ns`] — the serial run — by construction).
+    pub fn speedup(&self, workers: usize) -> f64 {
+        self.makespan_ns(1) as f64 / self.makespan_ns(workers).max(1) as f64
+    }
+}
+
+/// Open the source, run the builds (bottom-up, exactly the serial open
+/// cascade's order), and instantiate the runtime stages.
+#[allow(clippy::type_complexity)]
+fn prepare(
+    pipeline: ParallelPipeline,
+) -> Result<(SourceCore, Option<(Schema, Predicate)>, Vec<Stage>, SinkSpec, Storage)> {
+    let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
+    let (core, decoder_spec) = match source {
+        ParallelSource::Heap { heap, predicate, readahead } => {
+            let schema = heap.schema().clone();
+            (
+                SourceCore::Heap { heap, next: 0, readahead: readahead.max(1) },
+                Some((schema, predicate)),
+            )
+        }
+        ParallelSource::Shared { mut op } => {
+            op.open()?;
+            (SourceCore::Shared { op, max: morsel_rows.max(1) }, None)
+        }
+    };
+    let mut tables = Vec::with_capacity(builds.len());
+    for build in builds {
+        tables.push(Arc::new(build_probe_table(build, &storage)?));
+    }
+    let stages = stages
+        .into_iter()
+        .map(|spec| match spec {
+            StageSpec::Filter(p) => Stage::Filter(p),
+            StageSpec::Project(cols) => Stage::Project(cols),
+            StageSpec::Probe(i) => Stage::Probe(Arc::clone(&tables[i])),
+        })
+        .collect();
+    Ok((core, decoder_spec, stages, sink, storage))
+}
+
+/// Execute the pipeline on `workers` worker threads (1 runs inline on
+/// the calling thread). Returns the result rows, byte-identical to
+/// [`crate::collect_rows`] over the equivalent serial operator tree.
+pub fn run_pipeline(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Row>> {
+    if workers <= 1 {
+        run_inline(pipeline, None)
+    } else {
+        run_threaded(pipeline, workers)
+    }
+}
+
+/// Single-worker execution that also records the per-morsel
+/// [`ScalingLedger`] for the deterministic scaling model.
+pub fn run_pipeline_traced(pipeline: ParallelPipeline) -> Result<(Vec<Row>, ScalingLedger)> {
+    let mut ledger = ScalingLedger::default();
+    let rows = run_inline(pipeline, Some(&mut ledger))?;
+    Ok((rows, ledger))
+}
+
+fn run_inline(
+    pipeline: ParallelPipeline,
+    mut ledger: Option<&mut ScalingLedger>,
+) -> Result<Vec<Row>> {
+    let clock_storage = pipeline.storage.clone();
+    let clock = clock_storage.clock();
+    let run_start = clock.snapshot();
+    let (mut core, decoder_spec, stages, sink, storage) = prepare(pipeline)?;
+    if let Some(l) = ledger.as_deref_mut() {
+        l.prefix_ns = clock.snapshot().since(&run_start).total_ns();
+    }
+    let mut decoder = decoder_spec.map(|(schema, pred)| HeapDecoder::new(schema, pred));
+    let (mut agg, exact) = match &sink {
+        SinkSpec::Collect => (None, false),
+        SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
+            (Some(PartialAgg::new(group_cols, aggs)), *merge_exact)
+        }
+    };
+    let mut rows = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        let before = clock.snapshot();
+        let Some(item) = core.pull(&storage)? else { break };
+        let after_src = clock.snapshot();
+        let morsel = process_item(item, &mut decoder, &stages, &storage)?;
+        let after_proc = clock.snapshot();
+        match agg.as_mut() {
+            Some(state) => state.update(&storage, seq, &morsel)?,
+            None => rows.extend(morsel.into_rows()),
+        }
+        if let Some(l) = ledger.as_deref_mut() {
+            let after_sink = clock.snapshot();
+            let agg_ns = after_sink.since(&after_proc).total_ns();
+            let proc_ns = after_proc.since(&after_src).total_ns();
+            l.src_ns.push(after_src.since(&before).total_ns());
+            // An exact-merge aggregate runs on the workers; an ordered
+            // fold runs on the sink. Attribute its charge accordingly.
+            if exact || agg.is_none() {
+                l.proc_ns.push(proc_ns + agg_ns);
+                l.sink_ns.push(0);
+            } else {
+                l.proc_ns.push(proc_ns);
+                l.sink_ns.push(agg_ns);
+            }
+        }
+        seq += 1;
+    }
+    if let Some(state) = agg {
+        rows = state.finish();
+    }
+    core.close()?;
+    Ok(rows)
+}
+
+/// Messages from workers to the ordered sink.
+enum Msg {
+    Out(u64, Morsel),
+    Partial(Box<PartialAgg>),
+    Fail(u64, Error),
+}
+
+struct SourceState {
+    core: SourceCore,
+    seq: u64,
+    done: bool,
+}
+
+fn run_threaded(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Row>> {
+    let (core, decoder_spec, stages, sink, storage) = prepare(pipeline)?;
+    let (agg_spec, exact) = match &sink {
+        SinkSpec::Collect => (None, false),
+        SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
+            (Some((group_cols.clone(), aggs.clone())), *merge_exact)
+        }
+    };
+    let source = Mutex::new(SourceState { core, seq: 0, done: false });
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let result = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let stages = stages.clone();
+            let storage = storage.clone();
+            let mut decoder =
+                decoder_spec.as_ref().map(|(s, p)| HeapDecoder::new(s.clone(), p.clone()));
+            let mut agg =
+                if exact { agg_spec.as_ref().map(|(g, a)| PartialAgg::new(g, a)) } else { None };
+            let source = &source;
+            let stop = &stop;
+            scope.spawn(move || {
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let pulled = {
+                        let mut guard = source.lock().expect("source lock");
+                        if guard.done {
+                            None
+                        } else {
+                            match guard.core.pull(&storage) {
+                                Ok(Some(item)) => {
+                                    let seq = guard.seq;
+                                    guard.seq += 1;
+                                    Some((seq, item))
+                                }
+                                Ok(None) => {
+                                    guard.done = true;
+                                    None
+                                }
+                                Err(e) => {
+                                    guard.done = true;
+                                    stop.store(true, Ordering::Relaxed);
+                                    let _ = tx.send(Msg::Fail(guard.seq, e));
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    let Some((seq, item)) = pulled else { break };
+                    let outcome =
+                        process_item(item, &mut decoder, &stages, &storage).and_then(|morsel| {
+                            match agg.as_mut() {
+                                Some(state) => state.update(&storage, seq, &morsel).map(|()| None),
+                                None => Ok(Some(morsel)),
+                            }
+                        });
+                    match outcome {
+                        Ok(Some(morsel)) => {
+                            if tx.send(Msg::Out(seq, morsel)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            stop.store(true, Ordering::Relaxed);
+                            let _ = tx.send(Msg::Fail(seq, e));
+                            break;
+                        }
+                    }
+                }
+                if let Some(state) = agg {
+                    let _ = tx.send(Msg::Partial(Box::new(state)));
+                }
+            });
+        }
+        drop(tx);
+        // Ordered sink: merge morsels back into source order.
+        let mut rows = Vec::new();
+        let mut pending: BTreeMap<u64, Morsel> = BTreeMap::new();
+        let mut next = 0u64;
+        let mut first_err: Option<(u64, Error)> = None;
+        let mut partials: Vec<Box<PartialAgg>> = Vec::new();
+        let mut ordered_agg =
+            if !exact { agg_spec.as_ref().map(|(g, a)| PartialAgg::new(g, a)) } else { None };
+        for msg in rx {
+            match msg {
+                Msg::Out(seq, morsel) => {
+                    pending.insert(seq, morsel);
+                    while let Some(morsel) = pending.remove(&next) {
+                        match ordered_agg.as_mut() {
+                            Some(state) => {
+                                if let Err(e) = state.update(&storage, next, &morsel) {
+                                    stop.store(true, Ordering::Relaxed);
+                                    if first_err.is_none() {
+                                        first_err = Some((next, e));
+                                    }
+                                }
+                            }
+                            None => rows.extend(morsel.into_rows()),
+                        }
+                        next += 1;
+                    }
+                }
+                Msg::Partial(state) => partials.push(state),
+                Msg::Fail(seq, e) => {
+                    if first_err.as_ref().is_none_or(|(s, _)| seq < *s) {
+                        first_err = Some((seq, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        debug_assert!(pending.is_empty(), "morsel sequence has holes without an error");
+        if exact {
+            if let Some((group_cols, aggs)) = agg_spec.as_ref() {
+                let mut merged = PartialAgg::new(group_cols, aggs);
+                for partial in partials {
+                    merged.merge(*partial);
+                }
+                rows = merged.finish();
+            }
+        } else if let Some(state) = ordered_agg {
+            rows = state.finish();
+        }
+        Ok(rows)
+    });
+    let rows = result?;
+    source.into_inner().expect("source lock").core.close()?;
+    Ok(rows)
+}
+
+// Compile-time Send audit: everything a worker thread touches.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Morsel>();
+    assert_send::<Stage>();
+    assert_send::<Msg>();
+    assert_send::<SourceState>();
+    assert_send::<Storage>();
+    assert_send::<BoxedOperator>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect_rows, ValuesOp};
+    use crate::{batch_size, Filter, FullTableScan, HashAggregate, HashJoin, Project};
+    use smooth_storage::{CpuCosts, DeviceProfile, HeapLoader, StorageConfig};
+    use smooth_types::{Column, DataType};
+
+    fn table(rows: i64) -> Arc<HeapFile> {
+        let schema = Schema::new(vec![
+            Column::new("c0", DataType::Int64),
+            Column::new("c1", DataType::Int64),
+            Column::new("pad", DataType::Text),
+        ])
+        .unwrap();
+        let mut loader = HeapLoader::new_mem("t", schema);
+        for i in 0..rows {
+            let c1 = (i * 2654435761 % 1000 + 1000) % 1000;
+            loader
+                .push(&Row::new(vec![Value::Int(i), Value::Int(c1), Value::str("x".repeat(30))]))
+                .unwrap();
+        }
+        Arc::new(loader.finish().unwrap())
+    }
+
+    fn storage() -> Storage {
+        Storage::new(StorageConfig {
+            device: DeviceProfile::custom("t", 1, 10),
+            cpu: CpuCosts::default(),
+            pool_pages: 64,
+        })
+    }
+
+    fn heap_pipeline(
+        heap: &Arc<HeapFile>,
+        s: &Storage,
+        stages: Vec<StageSpec>,
+    ) -> ParallelPipeline {
+        ParallelPipeline {
+            source: ParallelSource::Heap {
+                heap: Arc::clone(heap),
+                predicate: Predicate::True,
+                readahead: crate::scan::FULL_SCAN_READAHEAD,
+            },
+            builds: Vec::new(),
+            stages,
+            sink: SinkSpec::Collect,
+            storage: s.clone(),
+            morsel_rows: batch_size(),
+        }
+    }
+
+    #[test]
+    fn heap_source_matches_serial_scan_rows_and_clock() {
+        let heap = table(3000);
+        let pred = Predicate::int_half_open(1, 0, 300);
+        let s_serial = storage();
+        let mut op = Filter::new(
+            Box::new(FullTableScan::new(Arc::clone(&heap), s_serial.clone(), Predicate::True)),
+            pred.clone(),
+        );
+        let expected = collect_rows(&mut op).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let s_par = storage();
+            let pipeline = heap_pipeline(&heap, &s_par, vec![StageSpec::Filter(pred.clone())]);
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, expected, "rows diverge at {workers} workers");
+            assert_eq!(
+                s_par.clock().snapshot(),
+                s_serial.clock().snapshot(),
+                "clock totals diverge at {workers} workers"
+            );
+            assert_eq!(s_par.io_snapshot(), s_serial.io_snapshot());
+        }
+    }
+
+    #[test]
+    fn shared_source_matches_serial_stack() {
+        let heap = table(2500);
+        let pred = Predicate::int_half_open(1, 100, 700);
+        let s_serial = storage();
+        let mut op = Project::new(
+            Box::new(Filter::new(
+                Box::new(FullTableScan::new(Arc::clone(&heap), s_serial.clone(), Predicate::True)),
+                pred.clone(),
+            )),
+            vec![1, 0],
+        )
+        .unwrap();
+        let expected = collect_rows(&mut op).unwrap();
+        for workers in [1usize, 3, 8] {
+            let s_par = storage();
+            let pipeline = ParallelPipeline {
+                source: ParallelSource::Shared {
+                    op: Box::new(FullTableScan::new(
+                        Arc::clone(&heap),
+                        s_par.clone(),
+                        Predicate::True,
+                    )),
+                },
+                builds: Vec::new(),
+                stages: vec![StageSpec::Filter(pred.clone()), StageSpec::Project(vec![1, 0])],
+                sink: SinkSpec::Collect,
+                storage: s_par.clone(),
+                morsel_rows: batch_size(),
+            };
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, expected, "rows diverge at {workers} workers");
+            assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot());
+        }
+    }
+
+    #[test]
+    fn probe_stage_matches_serial_hash_join() {
+        let heap = table(1200);
+        let right_rows: Vec<Row> =
+            (0..500).map(|i| Row::new(vec![Value::Int((i * 7) % 1000), Value::Int(i)])).collect();
+        let right_schema = Schema::new(vec![
+            Column::new("rk", DataType::Int64),
+            Column::new("rv", DataType::Int64),
+        ])
+        .unwrap();
+        for ty in [JoinType::Inner, JoinType::LeftSemi] {
+            let s_serial = storage();
+            let mut hj = HashJoin::new(
+                Box::new(FullTableScan::new(Arc::clone(&heap), s_serial.clone(), Predicate::True)),
+                Box::new(ValuesOp::new(right_schema.clone(), right_rows.clone())),
+                1,
+                0,
+                ty,
+                s_serial.clone(),
+            );
+            let expected = collect_rows(&mut hj).unwrap();
+            for workers in [1usize, 2, 4] {
+                let s_par = storage();
+                let mut pipeline = heap_pipeline(&heap, &s_par, vec![StageSpec::Probe(0)]);
+                pipeline.builds.push(BuildSpec {
+                    right: Box::new(ValuesOp::new(right_schema.clone(), right_rows.clone())),
+                    right_col: 0,
+                    left_col: 1,
+                    ty,
+                });
+                let got = run_pipeline(pipeline, workers).unwrap();
+                assert_eq!(got, expected, "{ty:?} rows diverge at {workers} workers");
+                assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot(), "{ty:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_partial_aggregate_matches_serial() {
+        let heap = table(2000);
+        let group_cols = vec![1usize];
+        let aggs = vec![AggFunc::CountStar, AggFunc::Sum(0), AggFunc::Min(0), AggFunc::Max(0)];
+        let s_serial = storage();
+        let mut agg = HashAggregate::new(
+            Box::new(FullTableScan::new(Arc::clone(&heap), s_serial.clone(), Predicate::True)),
+            group_cols.clone(),
+            aggs.clone(),
+            s_serial.clone(),
+        )
+        .unwrap();
+        let expected = collect_rows(&mut agg).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let s_par = storage();
+            let mut pipeline = heap_pipeline(&heap, &s_par, Vec::new());
+            pipeline.sink = SinkSpec::Aggregate {
+                group_cols: group_cols.clone(),
+                aggs: aggs.clone(),
+                merge_exact: true,
+            };
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, expected, "groups diverge at {workers} workers");
+            assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot());
+        }
+    }
+
+    #[test]
+    fn ordered_float_aggregate_matches_serial_fold() {
+        // Float sums must fold in morsel order on the sink: assert the
+        // parallel result is byte-identical to the serial driver.
+        let schema = Schema::new(vec![
+            Column::new("g", DataType::Int64),
+            Column::new("v", DataType::Float64),
+        ])
+        .unwrap();
+        let mut loader = HeapLoader::new_mem("f", schema.clone());
+        for i in 0..1500i64 {
+            let v = (i as f64) * 0.3 + 0.1234567 * ((i % 7) as f64);
+            loader.push(&Row::new(vec![Value::Int(i % 13), Value::Float(v)])).unwrap();
+        }
+        let heap = Arc::new(loader.finish().unwrap());
+        let group_cols = vec![0usize];
+        let aggs = vec![AggFunc::Sum(1), AggFunc::Avg(1), AggFunc::CountStar];
+        let s_serial = storage();
+        let mut agg = HashAggregate::new(
+            Box::new(FullTableScan::new(Arc::clone(&heap), s_serial.clone(), Predicate::True)),
+            group_cols.clone(),
+            aggs.clone(),
+            s_serial.clone(),
+        )
+        .unwrap();
+        let expected = collect_rows(&mut agg).unwrap();
+        for workers in [1usize, 2, 4] {
+            let s_par = storage();
+            let mut pipeline = heap_pipeline(&heap, &s_par, Vec::new());
+            pipeline.sink = SinkSpec::Aggregate {
+                group_cols: group_cols.clone(),
+                aggs: aggs.clone(),
+                merge_exact: false,
+            };
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, expected, "float fold diverges at {workers} workers");
+            assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot());
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let heap = table(500);
+        let s = storage();
+        // Probing a column past the schema errors (the serial columnar
+        // HashJoin reports the same).
+        let pipeline = heap_pipeline(
+            &heap,
+            &s,
+            vec![StageSpec::Filter(Predicate::StrEq { col: 1, value: "x".into() })],
+        );
+        assert!(run_pipeline(pipeline, 4).is_err());
+    }
+
+    #[test]
+    fn ledger_model_is_consistent() {
+        let heap = table(3000);
+        let s = storage();
+        let pipeline = heap_pipeline(&heap, &s, vec![StageSpec::Filter(Predicate::int_lt(1, 500))]);
+        let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
+        assert!(!rows.is_empty());
+        assert!(!ledger.src_ns.is_empty());
+        // One worker's makespan is exactly the serial total.
+        assert_eq!(ledger.makespan_ns(1), ledger.total_ns());
+        // More workers never slow the model down, and speedup is bounded
+        // by the serialized source.
+        let m2 = ledger.makespan_ns(2);
+        let m4 = ledger.makespan_ns(4);
+        assert!(m2 <= ledger.makespan_ns(1));
+        assert!(m4 <= m2);
+        let src_total: u64 = ledger.src_ns.iter().sum();
+        assert!(m4 >= src_total, "source sections serialize");
+        assert!(ledger.speedup(4) >= 1.0);
+    }
+}

@@ -26,7 +26,7 @@ use crate::operator::Operator;
 /// increment (identical totals to the per-tuple charges of the
 /// row-at-a-time path: one inspect per slot probed, one emit per
 /// qualifier).
-fn fill_page_columns(
+pub(crate) fn fill_page_columns(
     storage: &Storage,
     filter: &mut ScanFilter,
     schema: &Schema,
@@ -34,7 +34,7 @@ fn fill_page_columns(
     slots: impl Iterator<Item = u16>,
     out: &mut ColumnBatch,
 ) -> Result<()> {
-    let mut tuples: Vec<&[u8]> = Vec::new();
+    let mut tuples: Vec<&[u8]> = Vec::with_capacity(slots.size_hint().0);
     for slot in slots {
         tuples.push(view.get(slot)?);
     }

@@ -12,15 +12,24 @@
 //! [`smooth_types::ColumnBatch`]es of `smooth_executor::batch_size()`
 //! rows (the `SMOOTH_BATCH_ROWS` knob) per virtual call rather than one
 //! tuple at a time; rows materialize only at the sink.
+//!
+//! With more than one worker configured (`SMOOTH_WORKERS` /
+//! [`Database::with_workers`], default = available cores), `run`
+//! decomposes the plan via [`Database::parallel_pipeline`] and executes
+//! it on the morsel-driven worker pool
+//! ([`smooth_executor::parallel`]) — same rows, byte for byte, and the
+//! same virtual clock/I-O totals, with per-worker stages doing the
+//! CPU-heavy work in parallel.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use smooth_core::{SmoothScan, SmoothScanConfig, SwitchScan};
+use smooth_executor::scan::FULL_SCAN_READAHEAD;
 use smooth_executor::sort::SortKey;
 use smooth_executor::{
-    collect_rows, BoxedOperator, Filter, FullTableScan, HashAggregate, HashJoin,
-    IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator, Predicate, Project, Sort,
-    SortScan,
+    batch_size, collect_rows, run_pipeline, BoxedOperator, BuildSpec, Filter, FullTableScan,
+    HashAggregate, HashJoin, IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator,
+    ParallelPipeline, ParallelSource, Predicate, Project, SinkSpec, Sort, SortScan, StageSpec,
 };
 use smooth_stats::StatsQuality;
 use smooth_storage::{ClockSnapshot, HeapLoader, IoStatsDelta, Storage, StorageConfig};
@@ -28,7 +37,7 @@ use smooth_types::{Error, Result, Row, Schema};
 
 use crate::catalog::{Catalog, TableEntry};
 use crate::optimizer::{AccessPathKind, Optimizer};
-use crate::plan::{AccessPathChoice, JoinStrategy, LogicalPlan, ScanSpec};
+use crate::plan::{AccessPathChoice, JoinSpec, JoinStrategy, LogicalPlan, ScanSpec};
 
 /// Per-query measurements.
 #[derive(Debug, Clone, Copy, Default)]
@@ -57,16 +66,50 @@ pub struct QueryResult {
     pub stats: RunStats,
 }
 
+/// Worker-pool width used by [`Database::run`] when none is set on the
+/// instance: the `SMOOTH_WORKERS` environment variable (minimum 1, read
+/// **once per process** and latched, like `SMOOTH_BATCH_ROWS`), else the
+/// number of available cores.
+pub fn default_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("SMOOTH_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, 1024))
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
 /// An engine instance: storage manager + catalog.
 pub struct Database {
     storage: Storage,
     catalog: Catalog,
+    workers: Option<usize>,
 }
 
 impl Database {
     /// A database over the given storage configuration.
     pub fn new(cfg: StorageConfig) -> Self {
-        Database { storage: Storage::new(cfg), catalog: Catalog::new() }
+        Database { storage: Storage::new(cfg), catalog: Catalog::new(), workers: None }
+    }
+
+    /// Builder: fix the worker-pool width for [`Database::run`]
+    /// (overrides `SMOOTH_WORKERS` / the core count). `1` forces the
+    /// single-threaded columnar driver.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Fix the worker-pool width (see [`Database::with_workers`]).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = Some(workers.max(1));
+    }
+
+    /// Worker-pool width `run` will use.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(default_workers)
     }
 
     /// The shared storage handle.
@@ -113,16 +156,7 @@ impl Database {
         match plan {
             LogicalPlan::Scan(spec) => self.build_scan(spec),
             LogicalPlan::Join(spec) => {
-                let strategy = match spec.strategy {
-                    JoinStrategy::Auto => Optimizer::choose_join_strategy(
-                        &self.catalog,
-                        &spec.left,
-                        &spec.right,
-                        spec.right_col,
-                        self.storage.device(),
-                    ),
-                    other => other,
-                };
+                let strategy = self.resolve_join_strategy(spec);
                 let left = self.build(&spec.left)?;
                 match strategy {
                     JoinStrategy::IndexNestedLoop => {
@@ -221,12 +255,23 @@ impl Database {
         }
     }
 
-    fn build_scan(&self, spec: &ScanSpec) -> Result<BoxedOperator> {
-        let entry = self.catalog.get(&spec.table)?;
-        let heap = Arc::clone(&entry.heap);
-        let split = spec.predicate.split_index_range();
-        let indexed = split.clone().filter(|(col, _, _, _)| entry.index_on(*col).is_some());
-        let choice = match &spec.access {
+    /// Resolve `Auto` join strategies the way [`Database::build`] would.
+    fn resolve_join_strategy(&self, spec: &JoinSpec) -> JoinStrategy {
+        match spec.strategy {
+            JoinStrategy::Auto => Optimizer::choose_join_strategy(
+                &self.catalog,
+                &spec.left,
+                &spec.right,
+                spec.right_col,
+                self.storage.device(),
+            ),
+            other => other,
+        }
+    }
+
+    /// Resolve an `Auto` access path the way [`Database::build`] would.
+    fn resolve_access(&self, entry: &TableEntry, spec: &ScanSpec) -> AccessPathChoice {
+        match &spec.access {
             AccessPathChoice::Auto => match Optimizer::choose_access_path(
                 entry,
                 &spec.predicate,
@@ -238,7 +283,15 @@ impl Database {
                 AccessPathKind::SortScan => AccessPathChoice::ForceSort,
             },
             other => other.clone(),
-        };
+        }
+    }
+
+    fn build_scan(&self, spec: &ScanSpec) -> Result<BoxedOperator> {
+        let entry = self.catalog.get(&spec.table)?;
+        let heap = Arc::clone(&entry.heap);
+        let split = spec.predicate.split_index_range();
+        let indexed = split.clone().filter(|(col, _, _, _)| entry.index_on(*col).is_some());
+        let choice = self.resolve_access(entry, spec);
         let need_index = |what: &str| {
             indexed.clone().ok_or_else(|| {
                 Error::plan(format!("{what} on '{}' needs an indexed range predicate", spec.table))
@@ -352,11 +405,166 @@ impl Database {
         Ok(self.build(plan)?.label())
     }
 
+    /// Decompose `plan` into a [`ParallelPipeline`] for the morsel-driven
+    /// worker pool, or `None` when nothing in the plan would fan out
+    /// (in which case `run` stays on the single-threaded driver).
+    ///
+    /// The decomposition peels parallel-safe nodes off the top — one
+    /// `Aggregate` (the sink), then `Filter` / `Project` / hash-strategy
+    /// `Join` probes (per-worker stages, build sides built and drained
+    /// serially) — until it reaches the morsel source. An unordered full
+    /// table scan becomes the *partitioned* heap source (workers decode
+    /// page runs in parallel); any other subtree (Smooth / Switch /
+    /// index / sort scans, non-hash joins, nested aggregates) runs
+    /// unchanged as a serial shared source, which is exactly how the
+    /// adaptive scans' morph decisions stay centralized while the stages
+    /// above them still parallelize. Plan validation errors (missing
+    /// tables, bad ordinals) surface here identically to [`Database::build`].
+    pub fn parallel_pipeline(&self, plan: &LogicalPlan) -> Result<Option<ParallelPipeline>> {
+        let (sink_spec, inner) = match plan {
+            LogicalPlan::Aggregate { input, group_cols, aggs } => {
+                (Some((group_cols.clone(), aggs.clone())), input.as_ref())
+            }
+            other => (None, other),
+        };
+        let (source, stages, builds, schema) = self.peel(inner)?;
+        let sink = match sink_spec {
+            Some((group_cols, aggs)) => {
+                // Validate exactly like HashAggregate::new.
+                smooth_executor::agg::output_schema(&schema, &group_cols, &aggs)?;
+                let merge_exact = aggs.iter().all(|a| a.merge_exact(&schema));
+                SinkSpec::Aggregate { group_cols, aggs, merge_exact }
+            }
+            None => SinkSpec::Collect,
+        };
+        if stages.is_empty()
+            && builds.is_empty()
+            && matches!(source, ParallelSource::Shared { .. })
+            && matches!(sink, SinkSpec::Collect)
+        {
+            // Nothing would fan out: the whole plan is the serial section.
+            return Ok(None);
+        }
+        Ok(Some(ParallelPipeline {
+            source,
+            builds,
+            stages,
+            sink,
+            storage: self.storage.clone(),
+            morsel_rows: batch_size(),
+        }))
+    }
+
+    /// Bottom-up pipeline peel: returns the source, the per-worker
+    /// stages (source side first), the serial hash-join builds
+    /// (bottom-up), and the subtree's output schema.
+    #[allow(clippy::type_complexity)]
+    fn peel(
+        &self,
+        plan: &LogicalPlan,
+    ) -> Result<(ParallelSource, Vec<StageSpec>, Vec<BuildSpec>, Schema)> {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let (source, mut stages, builds, schema) = self.peel(input)?;
+                stages.push(StageSpec::Filter(predicate.clone()));
+                Ok((source, stages, builds, schema))
+            }
+            LogicalPlan::Project { input, cols } => {
+                let (source, mut stages, builds, schema) = self.peel(input)?;
+                // Validate exactly like Project::new.
+                let kept = cols
+                    .iter()
+                    .map(|&c| {
+                        if c >= schema.len() {
+                            Err(Error::schema(format!("project column {c} out of range")))
+                        } else {
+                            Ok(schema.column(c).clone())
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let schema = Schema::new(kept)?;
+                stages.push(StageSpec::Project(cols.clone()));
+                Ok((source, stages, builds, schema))
+            }
+            LogicalPlan::Join(spec) if self.resolve_join_strategy(spec) == JoinStrategy::Hash => {
+                let (source, mut stages, mut builds, left_schema) = self.peel(&spec.left)?;
+                let right = self.build(&spec.right)?;
+                let schema = match spec.ty {
+                    smooth_executor::JoinType::Inner => left_schema.join(right.schema()),
+                    smooth_executor::JoinType::LeftSemi => left_schema,
+                };
+                stages.push(StageSpec::Probe(builds.len()));
+                builds.push(BuildSpec {
+                    right,
+                    right_col: spec.right_col,
+                    left_col: spec.left_col,
+                    ty: spec.ty,
+                });
+                Ok((source, stages, builds, schema))
+            }
+            LogicalPlan::Scan(spec) => {
+                let entry = self.catalog.get(&spec.table)?;
+                if matches!(self.resolve_access(entry, spec), AccessPathChoice::ForceFull)
+                    && !spec.ordered
+                {
+                    let heap = Arc::clone(&entry.heap);
+                    let schema = heap.schema().clone();
+                    return Ok((
+                        ParallelSource::Heap {
+                            heap,
+                            predicate: spec.predicate.clone(),
+                            readahead: FULL_SCAN_READAHEAD,
+                        },
+                        Vec::new(),
+                        Vec::new(),
+                        schema,
+                    ));
+                }
+                let op = self.build_scan(spec)?;
+                let schema = op.schema().clone();
+                Ok((ParallelSource::Shared { op }, Vec::new(), Vec::new(), schema))
+            }
+            // Pipeline breakers that stay serial (sorts, non-hash joins,
+            // nested aggregates): the whole subtree is the shared source.
+            other => {
+                let op = self.build(other)?;
+                let schema = op.schema().clone();
+                Ok((ParallelSource::Shared { op }, Vec::new(), Vec::new(), schema))
+            }
+        }
+    }
+
     /// Cold-run a plan: flush the buffer pool, execute to completion, and
     /// report rows plus clock/I-O deltas.
+    ///
+    /// With more than one worker configured (`SMOOTH_WORKERS` /
+    /// [`Database::with_workers`]) and a plan with parallelizable work,
+    /// execution goes through the morsel-driven worker pool — the rows
+    /// and the virtual clock/I-O totals are identical to the
+    /// single-threaded columnar driver either way.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        if self.workers() > 1 {
+            if let Some(pipeline) = self.parallel_pipeline(plan)? {
+                return self.run_parallel(pipeline);
+            }
+        }
         let mut op = self.build(plan)?;
         self.run_operator(op.as_mut())
+    }
+
+    /// Cold-run an already-decomposed pipeline on this database's worker
+    /// pool.
+    pub fn run_parallel(&self, pipeline: ParallelPipeline) -> Result<QueryResult> {
+        self.storage.flush_pool();
+        let clock0 = self.storage.clock().snapshot();
+        let io0 = self.storage.io_snapshot();
+        let rows = run_pipeline(pipeline, self.workers())?;
+        let stats = RunStats {
+            rows: rows.len() as u64,
+            clock: self.storage.clock().snapshot().since(&clock0),
+            io: self.storage.io_snapshot().since(&io0),
+        };
+        Ok(QueryResult { rows, stats })
     }
 
     /// Cold-run an already-built operator (used when the caller needs to
@@ -376,11 +584,10 @@ impl Database {
     }
 
     /// Run with a filter applied on top (for plans whose predicate cannot
-    /// push into the scan).
+    /// push into the scan). Routed through [`Database::run`], so the
+    /// filter becomes a per-worker stage under the parallel driver.
     pub fn run_filtered(&self, plan: &LogicalPlan, pred: Predicate) -> Result<QueryResult> {
-        let child = self.build(plan)?;
-        let mut op = Filter::new(child, pred);
-        self.run_operator(&mut op)
+        self.run(&plan.clone().filter(pred))
     }
 }
 
@@ -518,6 +725,130 @@ mod tests {
         assert!(db.run(&bad).is_err());
         let missing = LogicalPlan::scan(ScanSpec::new("nope", Predicate::True));
         assert!(db.run(&missing).is_err());
+    }
+
+    /// Serial reference for a plan on `db`: cold-run through the
+    /// single-threaded columnar driver regardless of the worker setting.
+    fn serial_reference(db: &Database, plan: &LogicalPlan) -> QueryResult {
+        let mut op = db.build(plan).unwrap();
+        db.run_operator(op.as_mut()).unwrap()
+    }
+
+    /// The per-run I/O counters that must match exactly between drivers
+    /// (`distinct_pages` is a monotone per-database set, so its *delta*
+    /// differs between a first and a repeated run of the same query).
+    fn io_key(io: &IoStatsDelta) -> (u64, u64, u64, u64, u64) {
+        (io.io_requests, io.pages_read, io.seq_pages, io.rand_pages, io.buffer_hits)
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_for_every_access_path() {
+        let mut db = db(3000);
+        for access in [
+            AccessPathChoice::ForceFull,
+            AccessPathChoice::ForceIndex,
+            AccessPathChoice::ForceSort,
+            AccessPathChoice::Smooth(SmoothScanConfig::default()),
+            AccessPathChoice::Switch { estimate: 100 },
+            AccessPathChoice::Auto,
+        ] {
+            let plan = q(250, access.clone());
+            db.set_workers(1);
+            let serial = serial_reference(&db, &plan);
+            for workers in [2usize, 4, 8] {
+                db.set_workers(workers);
+                let got = db.run(&plan).unwrap();
+                assert_eq!(got.rows, serial.rows, "{access:?} rows at {workers} workers");
+                assert_eq!(
+                    (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                    (serial.stats.clock.cpu_ns, serial.stats.clock.io_ns),
+                    "{access:?} clock at {workers} workers"
+                );
+                assert_eq!(
+                    io_key(&got.stats.io),
+                    io_key(&serial.stats.io),
+                    "{access:?} io at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_for_joins_and_aggregates() {
+        let mut db = db(2000);
+        let outer = LogicalPlan::scan(ScanSpec::new("t", Predicate::int_half_open(1, 0, 120)));
+        let join = outer.clone().join(
+            LogicalPlan::scan(ScanSpec::new("t", Predicate::True)),
+            1,
+            1,
+            smooth_executor::JoinType::Inner,
+            JoinStrategy::Hash,
+        );
+        let agg_over_join = join
+            .clone()
+            .aggregate(vec![1], vec![AggFunc::CountStar, AggFunc::Min(0), AggFunc::Max(0)]);
+        let filtered = q(400, AccessPathChoice::ForceFull).filter(Predicate::int_lt(0, 900));
+        for plan in [join, agg_over_join, filtered] {
+            db.set_workers(1);
+            let serial = serial_reference(&db, &plan);
+            for workers in [2usize, 4] {
+                db.set_workers(workers);
+                let got = db.run(&plan).unwrap();
+                assert_eq!(got.rows, serial.rows, "rows at {workers} workers");
+                assert_eq!(
+                    (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                    (serial.stats.clock.cpu_ns, serial.stats.clock.io_ns),
+                    "clock at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_decomposition_shapes() {
+        let db = db(1000);
+        // Unordered full scan → partitioned heap source.
+        let p = db.parallel_pipeline(&q(100, AccessPathChoice::ForceFull)).unwrap().unwrap();
+        assert!(matches!(p.source, smooth_executor::ParallelSource::Heap { .. }));
+        // A bare adaptive scan has no stages to fan out → serial driver.
+        assert!(db
+            .parallel_pipeline(&q(100, AccessPathChoice::Smooth(SmoothScanConfig::default())))
+            .unwrap()
+            .is_none());
+        // …but an aggregate above it parallelizes on the stages.
+        let plan = q(100, AccessPathChoice::Smooth(SmoothScanConfig::default()))
+            .aggregate(vec![], vec![AggFunc::CountStar]);
+        let p = db.parallel_pipeline(&plan).unwrap().unwrap();
+        assert!(matches!(p.source, smooth_executor::ParallelSource::Shared { .. }));
+        assert!(matches!(p.sink, smooth_executor::SinkSpec::Aggregate { merge_exact: true, .. }));
+        // Plan errors surface from the decomposition exactly like build().
+        let bad = LogicalPlan::scan(
+            ScanSpec::new("t", Predicate::int_eq(0, 1)).with_access(AccessPathChoice::ForceIndex),
+        );
+        assert!(db.parallel_pipeline(&bad).is_err());
+        assert!(db.with_workers(4).run(&bad).is_err());
+    }
+
+    #[test]
+    fn run_filtered_matches_under_parallel_driver() {
+        let mut db = db(2000);
+        let plan = q(300, AccessPathChoice::ForceFull);
+        db.set_workers(1);
+        let serial = db.run_filtered(&plan, Predicate::int_lt(0, 700)).unwrap();
+        db.set_workers(4);
+        let parallel = db.run_filtered(&plan, Predicate::int_lt(0, 700)).unwrap();
+        assert_eq!(parallel.rows, serial.rows);
+        assert_eq!(io_key(&parallel.stats.io), io_key(&serial.stats.io));
+        assert!(!serial.rows.is_empty());
+    }
+
+    #[test]
+    fn worker_knob_defaults_and_overrides() {
+        let db = db(100);
+        assert!(db.workers() >= 1);
+        let db = db.with_workers(0);
+        assert_eq!(db.workers(), 1, "worker count floors at 1");
+        assert!(default_workers() >= 1);
     }
 
     #[test]

@@ -29,3 +29,20 @@ pub use value::{DataType, Value};
 /// Page size used throughout the engine, matching PostgreSQL's default
 /// (and the paper's experimental setup, Section VI-C).
 pub const PAGE_SIZE: usize = 8192;
+
+// Compile-time Send/Sync audit: columnar morsels (and everything they
+// carry) cross worker-thread boundaries in the parallel pipeline
+// driver, so these bounds are part of this crate's public contract —
+// adding interior mutability or thread-bound state to any of them is a
+// breaking change that must fail right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<Row>();
+    assert_send_sync::<RowBatch>();
+    assert_send_sync::<Schema>();
+    assert_send_sync::<ColumnVector>();
+    assert_send_sync::<ColumnBatch>();
+    assert_send_sync::<ColumnBuffer>();
+    assert_send_sync::<Error>();
+};
