@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod join;
 pub mod parallel;
 
 /// Known experiment ids, in paper order.
@@ -35,6 +36,7 @@ pub const ALL: &[&str] = &[
     "batch",
     "columnar",
     "parallel",
+    "join",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -56,6 +58,7 @@ pub fn run(id: &str) -> bool {
         "batch" => batch::run(),
         "columnar" => columnar::run(),
         "parallel" => parallel::run(),
+        "join" => join::run(),
         _ => return false,
     }
     true

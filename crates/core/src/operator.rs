@@ -819,6 +819,37 @@ mod tests {
     }
 
     #[test]
+    fn ordered_spill_charges_identically_across_protocols() {
+        // PR 3 latent divergence, fixed by sweeping eviction before the
+        // spill decision (`ResultCache::maybe_spill`): with
+        // `result_cache_spill` set, the batched protocols defer the
+        // eviction sweep to morsel boundaries, so `resident` could cross
+        // the threshold mid-batch and charge spill I/O the row-at-a-time
+        // protocol never pays. Rows *and* clock totals must now agree
+        // across all three drivers.
+        let (heap, index) = table(3000);
+        let mut cfg = SmoothScanConfig::default().with_order(true);
+        cfg.result_cache_spill = Some(50); // heavy pressure
+        let run =
+            |driver: fn(&mut dyn smooth_executor::Operator) -> smooth_types::Result<Vec<Row>>| {
+                let s = storage(64);
+                let mut ss = smooth(&heap, &index, &s, 800, cfg);
+                let rows = driver(&mut ss).unwrap();
+                assert!(ss.metrics().cache.spilled > 0, "pressure must spill: {:?}", ss.metrics());
+                (rows, s.clock().snapshot(), s.io_snapshot())
+            };
+        let (volcano_rows, volcano_clock, volcano_io) = run(smooth_executor::collect_rows_volcano);
+        let (batch_rows, batch_clock, batch_io) = run(smooth_executor::collect_rows_batch);
+        let (col_rows, col_clock, col_io) = run(collect_rows);
+        assert_eq!(batch_rows, volcano_rows, "row-batch rows");
+        assert_eq!(col_rows, volcano_rows, "columnar rows");
+        assert_eq!(batch_clock, volcano_clock, "row-batch clock with spill enabled");
+        assert_eq!(col_clock, volcano_clock, "columnar clock with spill enabled");
+        assert_eq!(batch_io, volcano_io);
+        assert_eq!(col_io, volcano_io);
+    }
+
+    #[test]
     fn metrics_accuracy_reaches_one_at_high_selectivity() {
         let (heap, index) = table(3000);
         let s = storage(64);

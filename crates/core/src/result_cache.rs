@@ -212,6 +212,16 @@ impl ResultCache {
 
     fn maybe_spill(&mut self, storage: &Storage) {
         let Some(limit) = self.spill_threshold else { return };
+        // Sweep any deferred cursor advance *before* the spill decision:
+        // the batched protocols defer the eviction sweep to morsel
+        // boundaries, so without this `resident` could cross the
+        // threshold mid-batch and charge spill I/O the row-at-a-time
+        // protocol never pays. Evicting first makes the resident count at
+        // every spill decision identical no matter how the protocol
+        // batches its sweeps — volcano, row-batch and columnar drivers
+        // charge byte-identical spill I/O. (Without a spill threshold the
+        // sweep stays at the protocol boundary, unchanged.)
+        self.flush_advance();
         while self.stats.resident as usize > limit {
             // Spill the resident partition furthest from the cursor
             // ("caches containing the ranges the furthest from the current
@@ -344,6 +354,49 @@ mod tests {
         // Probing the spilled partition brings it back (charged) and hits.
         assert_eq!(c.probe(&s, 350, Tid::new(0, 2)), Some(row(350)));
         assert!(c.stats().unspilled >= 1);
+    }
+
+    #[test]
+    fn deferred_sweep_never_changes_spill_charges() {
+        // PR 3 latent divergence, pinned: the same insert/advance key
+        // sequence must charge identical spill I/O whether the eviction
+        // sweep runs per cursor key (the row-at-a-time protocol) or is
+        // deferred to a batch boundary (the batched protocols). The
+        // sweep-before-spill rule in `maybe_spill` makes the resident
+        // count at every spill decision protocol-independent.
+        let bounds = [10i64, 20, 30];
+        let limit = 2;
+        // Per-key sweeps: the cursor advance evicts [_,10) before the
+        // third insert, so resident never crosses the limit — no spill.
+        let s_eager = storage();
+        let mut eager = ResultCache::new(&bounds, 4, 64).with_spill_threshold(limit);
+        eager.insert(&s_eager, 5, Tid::new(0, 0), row(5));
+        eager.defer_advance(6);
+        eager.flush_advance();
+        eager.insert(&s_eager, 15, Tid::new(0, 1), row(15));
+        eager.defer_advance(12);
+        eager.flush_advance(); // volcano sweeps here, before the next insert
+        eager.insert(&s_eager, 25, Tid::new(0, 2), row(25));
+        eager.flush_advance();
+        // Deferred sweeps: identical sequence, but the sweep for key 12
+        // waits for the batch boundary after the third insert.
+        let s_deferred = storage();
+        let mut deferred = ResultCache::new(&bounds, 4, 64).with_spill_threshold(limit);
+        deferred.insert(&s_deferred, 5, Tid::new(0, 0), row(5));
+        deferred.defer_advance(6);
+        deferred.insert(&s_deferred, 15, Tid::new(0, 1), row(15));
+        deferred.defer_advance(12);
+        deferred.insert(&s_deferred, 25, Tid::new(0, 2), row(25));
+        deferred.flush_advance();
+        assert_eq!(
+            s_deferred.clock().snapshot(),
+            s_eager.clock().snapshot(),
+            "deferred sweep must not charge spill I/O the eager sweep never pays: {:?} vs {:?}",
+            deferred.stats(),
+            eager.stats()
+        );
+        assert_eq!(deferred.stats().spilled, eager.stats().spilled);
+        assert_eq!(eager.stats().spilled, 0, "eviction keeps residency under the threshold");
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use smooth_index::BTreeIndex;
 use smooth_storage::{HeapFile, Storage};
-use smooth_types::{ColumnBatch, Error, Result, Row, RowBatch, Schema, Value};
+use smooth_types::{
+    ColumnBatch, ColumnBuffer, ColumnVector, Error, Result, Row, RowBatch, Schema, Value,
+};
 
 use crate::expr::Predicate;
 use crate::operator::{batch_size, BoxedOperator, Operator};
@@ -32,24 +34,378 @@ fn join_schema(left: &Schema, right: &Schema, ty: JoinType) -> Schema {
     }
 }
 
+/// Hash partitions per build table. Fixed (rather than derived from the
+/// worker count) so the serial and parallel builders produce structurally
+/// identical tables; [`JoinBuildTable::with_partitions`] exists for tests
+/// and future grace-join spilling.
+pub const BUILD_PARTITIONS: usize = 64;
+
+/// A reference to one build row: builder ordinal (the worker that ingested
+/// it under the parallel partitioned build; always 0 for a serial build)
+/// in the high 32 bits, row position within that builder's payload batch
+/// in the low 32 bits.
+pub type BuildRef = u64;
+
+/// One hash partition's per-worker match lists before the merge: key →
+/// `(global build position, local payload row)` entries, position-sorted
+/// within one worker by construction.
+pub type PartialPartition = HashMap<Value, Vec<(u64, u32)>>;
+
+#[inline]
+fn build_ref(builder: usize, row: usize) -> BuildRef {
+    debug_assert!(builder < u32::MAX as usize && row <= u32::MAX as usize);
+    ((builder as u64) << 32) | row as u64
+}
+
+#[inline]
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Stable partition hash of a join key, consistent with [`Value`]'s
+/// derived equality (equal keys always land in the same partition). Only
+/// partitioning uses it; the per-partition maps hash with the std hasher.
+#[inline]
+fn key_partition(key: &Value, parts: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let h = match key {
+        Value::Null => fnv(OFFSET, &[0]),
+        Value::Int(v) => fnv(fnv(OFFSET, &[1]), &v.to_le_bytes()),
+        Value::Float(v) => fnv(fnv(OFFSET, &[2]), &v.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv(fnv(OFFSET, &[3]), s.as_bytes()),
+    };
+    (h % parts as u64) as usize
+}
+
+/// The columnar build side of a hash join: hash-partitioned match lists
+/// (key → build rows, in global build order) over payload rows stored as
+/// typed [`ColumnVector`]s — no `Vec<Row>` anywhere. Payloads live in one
+/// dense [`ColumnBatch`] per *builder* (one for a serial build, one per
+/// worker under the parallel partitioned build), and a [`BuildRef`] names
+/// a row as `(builder, position)`.
+///
+/// Probing gathers matched payload columns straight into the output
+/// batch's vectors ([`JoinBuildTable::gather_payload`]); build ingest
+/// moves `Text` buffers in by handoff ([`ColumnBatch::append_dense`] /
+/// [`ColumnBatch::append_taken_row`]) rather than cloning per row.
+pub struct JoinBuildTable {
+    /// `parts[key_partition(key)]` maps a key to its match list.
+    parts: Vec<HashMap<Value, Vec<BuildRef>>>,
+    /// Payload columns, one dense batch per builder.
+    payloads: Vec<ColumnBatch>,
+    /// Build-side schema (column typing of the payload batches).
+    schema: Schema,
+    key_col: usize,
+}
+
+impl JoinBuildTable {
+    /// An empty build table keyed on `key_col` of `schema`, with the
+    /// default [`BUILD_PARTITIONS`] hash partitions.
+    pub fn new(schema: &Schema, key_col: usize) -> Self {
+        Self::with_partitions(schema, key_col, BUILD_PARTITIONS)
+    }
+
+    /// An empty build table with an explicit partition count (probe
+    /// results are independent of it; the count only shapes the maps).
+    pub fn with_partitions(schema: &Schema, key_col: usize, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        JoinBuildTable {
+            parts: (0..partitions).map(|_| HashMap::new()).collect(),
+            payloads: vec![ColumnBatch::for_schema(schema)],
+            schema: schema.clone(),
+            key_col,
+        }
+    }
+
+    /// The build-side schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Key ordinal in the build rows.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Hash partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total build rows stored (null-key rows are never stored).
+    pub fn len(&self) -> usize {
+        self.payloads.iter().map(|p| p.physical_rows()).sum()
+    }
+
+    /// `true` when no build row is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all contents, keeping the schema and partition shape.
+    pub fn clear(&mut self) {
+        for p in &mut self.parts {
+            p.clear();
+        }
+        self.payloads = vec![ColumnBatch::for_schema(&self.schema)];
+    }
+
+    /// Ingest one morsel of build input (the serial build path): null-key
+    /// rows are dropped, everything else appends to the payload columns —
+    /// dense batches by whole-buffer handoff, selected batches row-wise
+    /// with string payloads *moved*, never cloned.
+    pub fn insert_batch(&mut self, mut batch: ColumnBatch) -> Result<()> {
+        if batch.width() != self.schema.len() {
+            return Err(Error::exec(format!(
+                "build batch of {} columns for a {}-column table",
+                batch.width(),
+                self.schema.len()
+            )));
+        }
+        batch.column_checked(self.key_col)?;
+        let JoinBuildTable { parts, payloads, key_col, .. } = self;
+        let payload = &mut payloads[0];
+        let dense_non_null =
+            batch.selection().is_none() && !batch.column(*key_col).nulls().iter().any(|&null| null);
+        if dense_non_null {
+            // Fast path: every row survives, so the match lists index a
+            // contiguous range and the payload buffers hand over whole.
+            let base = payload.physical_rows();
+            for i in 0..batch.physical_rows() {
+                let key = batch.column(*key_col).value(i);
+                let part = key_partition(&key, parts.len());
+                parts[part].entry(key).or_default().push(build_ref(0, base + i));
+            }
+            payload.append_dense(batch);
+        } else {
+            for live in 0..batch.len() {
+                let phys = match batch.selection() {
+                    Some(sel) => sel[live] as usize,
+                    None => live,
+                };
+                if batch.column(*key_col).is_null(phys) {
+                    continue;
+                }
+                let key = batch.column(*key_col).value(phys);
+                let part = key_partition(&key, parts.len());
+                parts[part].entry(key).or_default().push(build_ref(0, payload.physical_rows()));
+                payload.append_taken_row(&mut batch, phys);
+            }
+        }
+        Ok(())
+    }
+
+    /// The match list for `key` (global build order), if any.
+    #[inline]
+    pub fn matches(&self, key: &Value) -> Option<&[BuildRef]> {
+        self.parts[key_partition(key, self.parts.len())].get(key).map(Vec::as_slice)
+    }
+
+    /// Gather the payload row `r` into the parallel output vectors `out`
+    /// (one per build column, typed like the schema).
+    #[inline]
+    pub fn gather_payload(&self, r: BuildRef, out: &mut [ColumnVector]) {
+        let src = &self.payloads[(r >> 32) as usize];
+        let row = (r & u32::MAX as u64) as usize;
+        for (dst, s) in out.iter_mut().zip(src.columns()) {
+            dst.push_from(s, row);
+        }
+    }
+
+    /// Materialize the payload row `r` (strings clone) — the
+    /// row-protocol fallback path only; columnar probes gather instead.
+    pub fn payload_row(&self, r: BuildRef) -> Row {
+        let src = &self.payloads[(r >> 32) as usize];
+        let row = (r & u32::MAX as u64) as usize;
+        Row::new(src.columns().iter().map(|c| c.value(row)).collect())
+    }
+
+    /// Probe one columnar morsel, gathering every match into `out`
+    /// (typed `probe columns ++ payload columns` for an inner join,
+    /// probe columns alone for a semi join): one hash charge per live
+    /// probe row, one emit charge per produced match, matches in global
+    /// build order, null probe keys skipped after the hash charge. Both
+    /// the serial [`HashJoin`] and the parallel driver's probe stage
+    /// call this — the probe charge model lives in exactly one place.
+    pub fn probe_columns(
+        &self,
+        storage: &Storage,
+        batch: &ColumnBatch,
+        probe_col: usize,
+        ty: JoinType,
+        out: &mut ColumnBatch,
+    ) -> Result<()> {
+        let cpu = *storage.cpu();
+        let clock = storage.clock();
+        let left_width = batch.width();
+        batch.column_checked(probe_col)?;
+        for live in 0..batch.len() {
+            let phys = match batch.selection() {
+                Some(sel) => sel[live] as usize,
+                None => live,
+            };
+            clock.charge_cpu(cpu.hash_op_ns);
+            let col = batch.column(probe_col);
+            if col.is_null(phys) {
+                continue;
+            }
+            let key = col.value(phys);
+            let Some(matches) = self.matches(&key) else { continue };
+            match ty {
+                JoinType::Inner => {
+                    clock.charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
+                    for &m in matches {
+                        let cols = out.columns_mut();
+                        for (c, dst) in cols.iter_mut().enumerate().take(left_width) {
+                            dst.push_from(batch.column(c), phys);
+                        }
+                        self.gather_payload(m, &mut cols[left_width..]);
+                        out.commit_rows(1);
+                    }
+                }
+                JoinType::LeftSemi => {
+                    clock.charge_cpu(cpu.emit_tuple_ns);
+                    let cols = out.columns_mut();
+                    for (c, dst) in cols.iter_mut().enumerate() {
+                        dst.push_from(batch.column(c), phys);
+                    }
+                    out.commit_rows(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge one partition's per-worker maps (entry `w` built by worker
+    /// `w`) into the final match lists: every key's matches are reordered
+    /// by their recorded global build position `(morsel seq, row)` — the
+    /// same first-seen-position rule the parallel aggregate sink uses —
+    /// so the merged table is byte-identical to a serial build no matter
+    /// which worker ingested which morsel.
+    pub fn merge_partition(worker_maps: Vec<PartialPartition>) -> HashMap<Value, Vec<BuildRef>> {
+        let mut merged: HashMap<Value, Vec<(u64, BuildRef)>> = HashMap::new();
+        for (w, map) in worker_maps.into_iter().enumerate() {
+            for (key, list) in map {
+                merged
+                    .entry(key)
+                    .or_default()
+                    .extend(list.into_iter().map(|(pos, row)| (pos, build_ref(w, row as usize))));
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(key, mut list)| {
+                list.sort_unstable_by_key(|&(pos, _)| pos);
+                (key, list.into_iter().map(|(_, r)| r).collect())
+            })
+            .collect()
+    }
+
+    /// Assemble a table from merged partitions plus the per-worker payload
+    /// batches (`payloads[w]` ingested by worker `w`, matching the
+    /// builder ordinals [`JoinBuildTable::merge_partition`] encodes).
+    pub fn from_merged(
+        schema: &Schema,
+        key_col: usize,
+        payloads: Vec<ColumnBatch>,
+        parts: Vec<HashMap<Value, Vec<BuildRef>>>,
+    ) -> Self {
+        debug_assert!(!parts.is_empty());
+        JoinBuildTable { parts, payloads, schema: schema.clone(), key_col }
+    }
+}
+
+/// A per-worker partial build for the parallel partitioned hash-join
+/// build: payload rows in claim order plus hash-partitioned match lists
+/// keyed by global build position `(morsel seq << 32 | row-in-morsel)`.
+pub struct JoinBuildPartial {
+    payload: ColumnBatch,
+    parts: Vec<PartialPartition>,
+    key_col: usize,
+}
+
+impl JoinBuildPartial {
+    /// An empty partial for one worker.
+    pub fn new(schema: &Schema, key_col: usize, partitions: usize) -> Self {
+        JoinBuildPartial {
+            payload: ColumnBatch::for_schema(schema),
+            parts: (0..partitions.max(1)).map(|_| HashMap::new()).collect(),
+            key_col,
+        }
+    }
+
+    /// Fold one claimed build morsel in; `seq` is the morsel's global
+    /// source sequence number. Null-key rows drop; `Text` payloads move.
+    pub fn fold(&mut self, seq: u64, mut batch: ColumnBatch) -> Result<()> {
+        batch.column_checked(self.key_col)?;
+        let JoinBuildPartial { payload, parts, key_col } = self;
+        for live in 0..batch.len() {
+            let phys = match batch.selection() {
+                Some(sel) => sel[live] as usize,
+                None => live,
+            };
+            if batch.column(*key_col).is_null(phys) {
+                continue;
+            }
+            let key = batch.column(*key_col).value(phys);
+            let part = key_partition(&key, parts.len());
+            let pos = (seq << 32) | live as u64;
+            parts[part].entry(key).or_default().push((pos, payload.physical_rows() as u32));
+            payload.append_taken_row(&mut batch, phys);
+        }
+        Ok(())
+    }
+
+    /// Decompose into the payload batch and the partitioned position maps.
+    pub fn into_parts(self) -> (ColumnBatch, Vec<PartialPartition>) {
+        (self.payload, self.parts)
+    }
+
+    /// Convert a *single* builder's partial straight into a table: one
+    /// worker claims morsels in sequence, so its match lists are already
+    /// in global build order and the position tags strip without any
+    /// merge or re-sort (the 1-worker and traced drivers take this
+    /// path).
+    pub fn into_table(self, schema: &Schema) -> JoinBuildTable {
+        let JoinBuildPartial { payload, parts, key_col } = self;
+        let parts = parts
+            .into_iter()
+            .map(|map| {
+                map.into_iter()
+                    .map(|(key, list)| {
+                        (key, list.into_iter().map(|(_, row)| build_ref(0, row as usize)).collect())
+                    })
+                    .collect()
+            })
+            .collect();
+        JoinBuildTable { parts, payloads: vec![payload], schema: schema.clone(), key_col }
+    }
+}
+
 /// Hash join: blocking build over the right input, streaming probe from the
 /// left input. Equi-join on one column per side.
+///
+/// Columnar-native end to end: the build side lives in a
+/// [`JoinBuildTable`] (typed key map over payload column vectors — no
+/// `Vec<Row>`), probes read keys vector-at-a-time off the probe batch's
+/// key column, and matches gather left and right payload columns directly
+/// into the output batch without ever concatenating `Row`s. All three
+/// iterator protocols drain one [`ColumnBuffer`] FIFO, so they interleave
+/// freely on a single probe order.
 pub struct HashJoin {
     left: BoxedOperator,
     right: BoxedOperator,
     left_col: usize,
-    right_col: usize,
     ty: JoinType,
     storage: Storage,
     schema: Schema,
-    table: HashMap<Value, Vec<Row>>,
-    pending: Vec<Row>,
-    /// Probe-side rows pulled in batches, consumed front-to-back.
-    left_buf: VecDeque<Row>,
-    /// Probe-side columnar morsel plus a live-row cursor: keys are read
-    /// vector-at-a-time off the key column and a left row materializes
-    /// only when its key hits the build table.
-    left_cols: Option<(ColumnBatch, usize)>,
+    table: JoinBuildTable,
+    /// Pending join output (filled by whole probe morsels, drained by
+    /// whichever protocol the parent speaks).
+    out: ColumnBuffer,
 }
 
 impl HashJoin {
@@ -64,73 +420,29 @@ impl HashJoin {
         storage: Storage,
     ) -> Self {
         let schema = join_schema(left.schema(), right.schema(), ty);
-        HashJoin {
-            left,
-            right,
-            left_col,
-            right_col,
-            ty,
-            storage,
-            schema,
-            table: HashMap::new(),
-            pending: Vec::new(),
-            left_buf: VecDeque::new(),
-            left_cols: None,
-        }
+        let table = JoinBuildTable::new(right.schema(), right_col);
+        let out = ColumnBuffer::for_schema(&schema);
+        HashJoin { left, right, left_col, ty, storage, schema, table, out }
     }
 
-    /// One buffered probe row, if any: the row buffer first, then the
-    /// columnar buffer. Every protocol consumes these before pulling from
-    /// the child, so interleaved protocols keep a single probe order.
-    fn buffered_left(&mut self) -> Option<Row> {
-        if let Some(row) = self.left_buf.pop_front() {
-            return Some(row);
-        }
-        if let Some((batch, pos)) = self.left_cols.as_mut() {
-            let row = batch.row(*pos);
-            *pos += 1;
-            if *pos >= batch.len() {
-                self.left_cols = None;
+    /// Pull one probe morsel from the left child and run it through the
+    /// shared probe loop ([`JoinBuildTable::probe_columns`] — the same
+    /// code the parallel driver's probe stage runs), gathering matches
+    /// into the output buffer. Returns `false` at probe-side exhaustion.
+    fn advance(&mut self, max: usize) -> Result<bool> {
+        match self.left.next_columns(max)? {
+            Some(batch) => {
+                self.table.probe_columns(
+                    &self.storage,
+                    &batch,
+                    self.left_col,
+                    self.ty,
+                    self.out.fill(),
+                )?;
+                Ok(true)
             }
-            return Some(row);
+            None => Ok(false),
         }
-        None
-    }
-
-    /// Next probe row: buffered rows first, then the child row protocol.
-    fn next_left(&mut self) -> Result<Option<Row>> {
-        if let Some(row) = self.buffered_left() {
-            return Ok(Some(row));
-        }
-        self.left.next()
-    }
-
-    /// Probe one left row against the build table. Inner matches queue in
-    /// `pending` (reversed, so `pop()` preserves build order); a semi match
-    /// returns the left row directly.
-    fn probe(&mut self, left_row: Row) -> Result<Option<Row>> {
-        self.storage.clock().charge_cpu(self.storage.cpu().hash_op_ns);
-        let key = left_row.get(self.left_col);
-        if key.is_null() {
-            return Ok(None);
-        }
-        if let Some(matches) = self.table.get(key) {
-            match self.ty {
-                JoinType::Inner => {
-                    self.storage
-                        .clock()
-                        .charge_cpu(self.storage.cpu().emit_tuple_ns * matches.len() as u64);
-                    for m in matches.iter().rev() {
-                        self.pending.push(left_row.concat(m));
-                    }
-                }
-                JoinType::LeftSemi => {
-                    self.storage.clock().charge_cpu(self.storage.cpu().emit_tuple_ns);
-                    return Ok(Some(left_row));
-                }
-            }
-        }
-        Ok(None)
     }
 }
 
@@ -143,19 +455,13 @@ impl Operator for HashJoin {
         self.left.open()?;
         self.right.open()?;
         self.table.clear();
-        self.pending.clear();
-        self.left_buf.clear();
-        self.left_cols = None;
+        self.out.reset();
         let cpu_hash = self.storage.cpu().hash_op_ns;
-        // Blocking build, drained batch-at-a-time with bulk clock charges.
-        while let Some(batch) = self.right.next_batch(batch_size())? {
+        // Blocking build, drained morsel-at-a-time with bulk clock
+        // charges; payload columns ingest by buffer handoff.
+        while let Some(batch) = self.right.next_columns(batch_size())? {
             self.storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
-            for row in batch.into_rows() {
-                let key = row.get(self.right_col).clone();
-                if !key.is_null() {
-                    self.table.entry(key).or_default().push(row);
-                }
-            }
+            self.table.insert_batch(batch)?;
         }
         self.right.close()?;
         Ok(())
@@ -163,125 +469,45 @@ impl Operator for HashJoin {
 
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
-            if let Some(row) = self.pending.pop() {
+            if let Some(row) = self.out.pop_row() {
                 return Ok(Some(row));
             }
-            let Some(left_row) = self.next_left()? else { return Ok(None) };
-            if let Some(row) = self.probe(left_row)? {
-                return Ok(Some(row));
+            if !self.advance(batch_size())? {
+                return Ok(None);
             }
         }
     }
 
-    /// Vectorized probe: pull left rows in batches, emit up to `max`
-    /// concatenated matches per call.
+    /// Vectorized probe: whole probe morsels fill the output buffer, up
+    /// to `max` rows leave per call.
     fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
         let max = max.max(1);
-        let mut out = Vec::new();
-        loop {
-            while out.len() < max {
-                match self.pending.pop() {
-                    Some(row) => out.push(row),
-                    None => break,
-                }
-            }
-            if out.len() >= max {
+        while self.out.pending() < max {
+            if !self.advance(max)? {
                 break;
             }
-            match self.buffered_left() {
-                Some(left_row) => {
-                    if let Some(row) = self.probe(left_row)? {
-                        out.push(row);
-                    }
-                }
-                None => match self.left.next_batch(max)? {
-                    Some(batch) => self.left_buf.extend(batch.into_rows()),
-                    None => break,
-                },
-            }
         }
-        Ok((!out.is_empty()).then(|| RowBatch::from_rows(out)))
+        let rows = self.out.pop_rows(max);
+        Ok((!rows.is_empty()).then(|| RowBatch::from_rows(rows)))
     }
 
     /// Columnar probe: keys are read vector-at-a-time off the left key
-    /// column; a left row is materialized only when its key matches, so
-    /// misses cost one hash probe and nothing else.
-    ///
-    /// The parallel driver's probe stage
-    /// (`crate::parallel::probe_morsel`) mirrors this loop's per-row
-    /// charges and emission order exactly; any change to the charge
-    /// model or null/semi semantics here must land there too (the
-    /// `prop_parallel` suite pins the two equal).
+    /// column; on a hit the left columns and the matched payload columns
+    /// gather straight into the output vectors — no `Row` materializes
+    /// anywhere, and misses cost one hash probe and nothing else.
     fn next_columns(&mut self, max: usize) -> Result<Option<ColumnBatch>> {
         let max = max.max(1);
-        let mut out = ColumnBatch::for_schema(&self.schema);
-        let cpu = *self.storage.cpu();
-        'fill: loop {
-            while out.physical_rows() < max {
-                match self.pending.pop() {
-                    Some(row) => out.push_owned_row(row)?,
-                    None => break,
-                }
-            }
-            if out.physical_rows() >= max {
+        while self.out.pending() < max {
+            if !self.advance(max)? {
                 break;
             }
-            // Row-protocol leftovers drain first so interleaved protocols
-            // keep one probe order.
-            if let Some(left_row) = self.left_buf.pop_front() {
-                if let Some(row) = self.probe(left_row)? {
-                    out.push_owned_row(row)?;
-                }
-                continue;
-            }
-            if self.left_cols.is_none() {
-                match self.left.next_columns(max)? {
-                    Some(batch) => self.left_cols = Some((batch, 0)),
-                    None => break 'fill,
-                }
-            }
-            let Some((batch, pos)) = self.left_cols.as_mut() else { break };
-            batch.column_checked(self.left_col)?;
-            while *pos < batch.len() && out.physical_rows() < max && self.pending.is_empty() {
-                let live = *pos;
-                *pos += 1;
-                let phys = match batch.selection() {
-                    Some(sel) => sel[live] as usize,
-                    None => live,
-                };
-                self.storage.clock().charge_cpu(cpu.hash_op_ns);
-                let col = batch.column(self.left_col);
-                if col.is_null(phys) {
-                    continue;
-                }
-                let key = col.value(phys);
-                let Some(matches) = self.table.get(&key) else { continue };
-                match self.ty {
-                    JoinType::Inner => {
-                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
-                        let left_row = batch.row(live);
-                        for m in matches.iter().rev() {
-                            self.pending.push(left_row.concat(m));
-                        }
-                    }
-                    JoinType::LeftSemi => {
-                        self.storage.clock().charge_cpu(cpu.emit_tuple_ns);
-                        out.push_owned_row(batch.row(live))?;
-                    }
-                }
-            }
-            if *pos >= batch.len() {
-                self.left_cols = None;
-            }
         }
-        Ok((!out.is_empty()).then_some(out))
+        Ok(self.out.pop_columns(max))
     }
 
     fn close(&mut self) -> Result<()> {
         self.table.clear();
-        self.pending.clear();
-        self.left_buf.clear();
-        self.left_cols = None;
+        self.out.reset();
         self.left.close()
     }
 
@@ -848,6 +1074,156 @@ mod tests {
         );
         let rows = pairs(&collect_rows(&mut j).unwrap());
         assert_eq!(rows, vec![vec![7, 50]]);
+    }
+
+    #[test]
+    fn build_table_drops_null_keys_and_keeps_duplicates_in_order() {
+        let s =
+            Schema::new(vec![Column::new("k", DataType::Int64), Column::new("v", DataType::Int64)])
+                .unwrap();
+        let rows = [
+            Row::new(vec![Value::Int(7), Value::Int(0)]),
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::Int(7), Value::Int(2)]),
+            Row::new(vec![Value::Int(3), Value::Int(3)]),
+            Row::new(vec![Value::Int(7), Value::Int(4)]),
+        ];
+        let mut table = JoinBuildTable::new(&s, 0);
+        // Two morsels, so match lists span ingest boundaries.
+        table.insert_batch(ColumnBatch::from_rows(&s, &rows[..2]).unwrap()).unwrap();
+        table.insert_batch(ColumnBatch::from_rows(&s, &rows[2..]).unwrap()).unwrap();
+        assert_eq!(table.len(), 4, "null-key row is never stored");
+        assert!(table.matches(&Value::Null).is_none());
+        assert!(table.matches(&Value::Int(99)).is_none());
+        let dup = table.matches(&Value::Int(7)).unwrap().to_vec();
+        assert_eq!(dup.len(), 3);
+        // Gather in build order: payload v column must read 0, 2, 4.
+        let vs: Vec<i64> = dup.iter().map(|&r| table.payload_row(r).int(1).unwrap()).collect();
+        assert_eq!(vs, vec![0, 2, 4]);
+        assert_eq!(table.matches(&Value::Int(3)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_build_yields_no_matches_and_empty_join() {
+        let left = values("a", "k", vec![(1, 10), (2, 20)]);
+        let right = values("k2", "b", vec![]);
+        let mut j = HashJoin::new(left, right, 1, 0, JoinType::Inner, storage());
+        assert!(collect_rows(&mut j).unwrap().is_empty());
+        let s = schema(&["k", "v"]);
+        let table = JoinBuildTable::new(&s, 0);
+        assert!(table.is_empty());
+        assert!(table.matches(&Value::Int(0)).is_none());
+    }
+
+    #[test]
+    fn text_payloads_hand_off_without_clones_and_survive_probes() {
+        // Dense ingest moves the Text buffers into the payload vectors
+        // (the source batch is consumed); selected ingest moves row-wise.
+        let s = Schema::new(vec![
+            Column::new("k", DataType::Int64),
+            Column::new("name", DataType::Text),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..4)
+            .map(|i| Row::new(vec![Value::Int(i % 2), Value::str(format!("payload-{i}"))]))
+            .collect();
+        let mut table = JoinBuildTable::new(&s, 0);
+        let mut dense = ColumnBatch::from_rows(&s, &rows).unwrap();
+        let moved = dense.extract_range(0, 4); // dense batch, no selection
+        table.insert_batch(moved).unwrap();
+        let hits = table.matches(&Value::Int(0)).unwrap().to_vec();
+        let names: Vec<String> = hits
+            .iter()
+            .map(|&r| table.payload_row(r).values()[1].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["payload-0", "payload-2"]);
+        // Selected ingest: only live rows land, strings still correct.
+        let mut selected = ColumnBatch::from_rows(&s, &rows).unwrap();
+        selected.set_selection(vec![3, 1]);
+        let mut table2 = JoinBuildTable::new(&s, 0);
+        table2.insert_batch(selected).unwrap();
+        assert_eq!(table2.len(), 2);
+        let hits = table2.matches(&Value::Int(1)).unwrap().to_vec();
+        let names: Vec<String> = hits
+            .iter()
+            .map(|&r| table2.payload_row(r).values()[1].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["payload-3", "payload-1"], "selection order preserved");
+    }
+
+    #[test]
+    fn hash_join_gathers_text_columns_through_the_probe() {
+        let s_left = Schema::new(vec![
+            Column::new("k", DataType::Int64),
+            Column::new("ltxt", DataType::Text),
+        ])
+        .unwrap();
+        let s_right = Schema::new(vec![
+            Column::new("k2", DataType::Int64),
+            Column::new("rtxt", DataType::Text),
+        ])
+        .unwrap();
+        let left_rows: Vec<Row> = (0..6)
+            .map(|i| Row::new(vec![Value::Int(i % 3), Value::str(format!("L{i}"))]))
+            .collect();
+        let right_rows: Vec<Row> =
+            (0..4).map(|i| Row::new(vec![Value::Int(i), Value::str(format!("R{i}"))])).collect();
+        let mut j = HashJoin::new(
+            Box::new(ValuesOp::new(s_left, left_rows)),
+            Box::new(ValuesOp::new(s_right, right_rows)),
+            0,
+            0,
+            JoinType::Inner,
+            storage(),
+        );
+        let rows = collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let k = r.int(0).unwrap();
+            assert_eq!(r.values()[3].as_str().unwrap(), format!("R{k}"));
+            assert!(r.values()[1].as_str().unwrap().starts_with('L'));
+        }
+    }
+
+    #[test]
+    fn partitioned_partials_merge_to_the_serial_table() {
+        // Two "workers" folding interleaved morsels must merge into match
+        // lists identical to a serial single-builder ingest.
+        let s = schema(&["k", "v"]);
+        let rows: Vec<Row> =
+            (0..40).map(|i| Row::new(vec![Value::Int(i % 7), Value::Int(i)])).collect();
+        for partitions in [1usize, 2, 5, BUILD_PARTITIONS] {
+            let mut serial = JoinBuildTable::with_partitions(&s, 0, partitions);
+            for chunk in rows.chunks(10) {
+                serial.insert_batch(ColumnBatch::from_rows(&s, chunk).unwrap()).unwrap();
+            }
+            // Workers claim alternating morsels (the dynamic claiming the
+            // threaded build performs).
+            let mut w0 = JoinBuildPartial::new(&s, 0, partitions);
+            let mut w1 = JoinBuildPartial::new(&s, 0, partitions);
+            for (seq, chunk) in rows.chunks(10).enumerate() {
+                let batch = ColumnBatch::from_rows(&s, chunk).unwrap();
+                let w = if seq % 2 == 0 { &mut w1 } else { &mut w0 };
+                w.fold(seq as u64, batch).unwrap();
+            }
+            let (p0, parts0) = w0.into_parts();
+            let (p1, parts1) = w1.into_parts();
+            let merged_parts: Vec<_> = parts0
+                .into_iter()
+                .zip(parts1)
+                .map(|(a, b)| JoinBuildTable::merge_partition(vec![a, b]))
+                .collect();
+            let merged = JoinBuildTable::from_merged(&s, 0, vec![p0, p1], merged_parts);
+            assert_eq!(merged.len(), serial.len());
+            for k in 0..7i64 {
+                let key = Value::Int(k);
+                let a: Vec<Row> =
+                    serial.matches(&key).unwrap().iter().map(|&r| serial.payload_row(r)).collect();
+                let b: Vec<Row> =
+                    merged.matches(&key).unwrap().iter().map(|&r| merged.payload_row(r)).collect();
+                assert_eq!(a, b, "key {k} at {partitions} partitions");
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod sort;
 pub use agg::{AggFunc, HashAggregate};
 pub use expr::{Predicate, ScanFilter};
 pub use filter::{Filter, Project};
-pub use join::{HashJoin, IndexNestedLoopJoin, JoinType, MergeJoin, NestedLoopJoin};
+pub use join::{
+    BuildRef, HashJoin, IndexNestedLoopJoin, JoinBuildPartial, JoinBuildTable, JoinType, MergeJoin,
+    NestedLoopJoin, BUILD_PARTITIONS,
+};
 pub use operator::{
     batch_size, collect_rows, collect_rows_batch, collect_rows_volcano, BoxedOperator, Operator,
 };

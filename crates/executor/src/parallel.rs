@@ -32,25 +32,36 @@
 //!   serial operators charge, so totals are independent of how rows are
 //!   grouped into morsels and of which worker processed them.
 //!
-//! Pipeline breakers merge deterministically: hash-join builds run
-//! serially up front (charging exactly like [`crate::HashJoin`]'s
-//! build) and are shared read-only across workers; grouped aggregates
-//! use per-worker partial maps merged by global first-seen position when
-//! the merge is exact ([`AggFunc::merge_exact`]), and otherwise fold on
-//! the ordered sink in morsel order so float sums stay byte-identical;
-//! plain row output is concatenated in morsel order.
+//! Pipeline breakers merge deterministically. Hash-join builds are their
+//! own parallel phase, run before the probe phase starts: each
+//! [`BuildSpec`] carries a morsel source (and filter/projection stages)
+//! of its own, workers claim build morsels under the source lock (so
+//! build-input I/O happens in the exact serial order) and fold them into
+//! per-worker **hash-partitioned** partial builds
+//! ([`crate::JoinBuildPartial`]: a payload [`ColumnBatch`] plus
+//! position-keyed match lists — no `Vec<Row>` anywhere), which then merge
+//! by global build position ([`crate::JoinBuildTable::merge_partition`],
+//! partitions merging in parallel) — mirroring the aggregate sink's
+//! first-seen-position rule, so the probe table is byte-identical to the
+//! serial [`crate::HashJoin`] build no matter which worker ingested
+//! which morsel. Grouped aggregates use per-worker partial maps merged by
+//! global first-seen position when the merge is exact
+//! ([`AggFunc::merge_exact`]), and otherwise fold on the ordered sink in
+//! morsel order so float sums stay byte-identical; plain row output is
+//! concatenated in morsel order.
 //!
 //! [`run_pipeline_traced`] additionally records a per-morsel
-//! virtual-clock ledger ([`ScalingLedger`]) from which a deterministic
-//! scaling model — greedy list-scheduling of the measured source /
-//! worker / sink sections — predicts the parallel makespan at any
-//! worker count. The perf-smoke `parallel` experiment gates on that
-//! model because, unlike wall clock on a shared CI runner (or this
-//! repo's build hosts), it is bit-stable across machines.
+//! virtual-clock ledger ([`ScalingLedger`]) — now with separate
+//! build-phase sections — from which a deterministic scaling model —
+//! greedy list-scheduling of the measured source / worker / sink
+//! sections — predicts the parallel makespan at any worker count. The
+//! perf-smoke `parallel` and `join` experiments gate on that model
+//! because, unlike wall clock on a shared CI runner (or this repo's
+//! build hosts), it is bit-stable across machines.
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use smooth_storage::{HeapFile, PageBuf, PageView, Storage};
@@ -58,12 +69,14 @@ use smooth_types::{ColumnBatch, Error, PageId, Result, Row, Schema, Value};
 
 use crate::agg::Acc;
 use crate::expr::{Predicate, ScanFilter};
+use crate::join::{BuildRef, JoinBuildPartial, JoinBuildTable, PartialPartition};
 use crate::operator::BoxedOperator;
 use crate::scan::fill_page_columns;
 use crate::{AggFunc, JoinType};
 
-/// A unit of work flowing between stages: columnar until something
-/// materializes rows (a join probe), row-major after.
+/// A unit of work flowing between stages: columnar end to end in the
+/// default pipeline (the probe stage emits gathered columnar batches);
+/// the row variant remains for generality.
 #[derive(Debug)]
 pub enum Morsel {
     /// Columnar morsel (possibly carrying a selection vector).
@@ -122,17 +135,38 @@ pub enum ParallelSource {
     },
 }
 
-/// One hash-join build input, drained serially before workers start
-/// (charging exactly like [`crate::HashJoin`]'s blocking build).
+impl ParallelSource {
+    /// The schema of the morsels this source emits.
+    fn schema(&self) -> Schema {
+        match self {
+            ParallelSource::Heap { heap, .. } => heap.schema().clone(),
+            ParallelSource::Shared { op } => op.schema().clone(),
+        }
+    }
+}
+
+/// One hash-join build input: a pipeline of its own (morsel source plus
+/// filter/projection stages), drained **before** the probe phase starts.
+/// Build-input I/O serializes under the build source's lock in morsel
+/// order — exactly the order the serial [`crate::HashJoin`] build would
+/// issue it — while the per-row partition + map-insert CPU fans out
+/// across the worker pool into per-worker [`JoinBuildPartial`]s.
 pub struct BuildSpec {
-    /// The build-side operator (right input).
-    pub right: BoxedOperator,
+    /// The build-side morsel source (right input).
+    pub source: ParallelSource,
+    /// Per-worker build-side stages ([`StageSpec::Filter`] /
+    /// [`StageSpec::Project`] only — a nested probe inside a build is a
+    /// plan error; subtrees that need one run as a `Shared` source).
+    pub stages: Vec<StageSpec>,
     /// Key ordinal in the build rows.
     pub right_col: usize,
     /// Key ordinal in the probe rows.
     pub left_col: usize,
     /// Join semantics.
     pub ty: JoinType,
+    /// Hash partitions of the build table (probe results are independent
+    /// of it; [`crate::BUILD_PARTITIONS`] is the default).
+    pub partitions: usize,
 }
 
 /// A per-worker morsel transform, declared against the build list.
@@ -143,7 +177,7 @@ pub enum StageSpec {
     Filter(Predicate),
     /// Keep the listed columns, in order (column pruning).
     Project(Vec<usize>),
-    /// Probe the `i`-th build table; emits concatenated (or semi) rows.
+    /// Probe the `i`-th build table; emits gathered columnar batches.
     Probe(usize),
 }
 
@@ -171,7 +205,7 @@ pub struct ParallelPipeline {
     /// Morsel source.
     pub source: ParallelSource,
     /// Hash-join builds, bottom-up (the order the serial open cascade
-    /// would drain them).
+    /// would drain them). Each is a parallel phase of its own.
     pub builds: Vec<BuildSpec>,
     /// Per-worker stages, source side first.
     pub stages: Vec<StageSpec>,
@@ -184,40 +218,21 @@ pub struct ParallelPipeline {
     pub morsel_rows: usize,
 }
 
-/// A shared, read-only hash-join build table.
+/// A shared, read-only hash-join probe table: the merged columnar build
+/// plus the probe-side key ordinal and join semantics.
 struct ProbeTable {
-    map: HashMap<Value, Vec<Row>>,
+    table: JoinBuildTable,
     left_col: usize,
     ty: JoinType,
 }
 
-/// Drain `right` into a probe table, charging the clock exactly like the
-/// serial [`crate::HashJoin`] build (one hash op per build row, batched
-/// drain through the row protocol).
-fn build_probe_table(spec: BuildSpec, storage: &Storage) -> Result<ProbeTable> {
-    let BuildSpec { mut right, right_col, left_col, ty } = spec;
-    right.open()?;
-    let cpu_hash = storage.cpu().hash_op_ns;
-    let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
-    while let Some(batch) = right.next_batch(crate::batch_size())? {
-        storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
-        for row in batch.into_rows() {
-            let key = row.get(right_col).clone();
-            if !key.is_null() {
-                map.entry(key).or_default().push(row);
-            }
-        }
-    }
-    right.close()?;
-    Ok(ProbeTable { map, left_col, ty })
-}
-
-/// A runtime stage (build references resolved).
+/// A runtime stage (build references resolved; the probe stage carries
+/// its output schema so gathered batches type correctly).
 #[derive(Clone)]
 enum Stage {
     Filter(Predicate),
     Project(Vec<usize>),
-    Probe(Arc<ProbeTable>),
+    Probe(Arc<ProbeTable>, Schema),
 }
 
 impl Stage {
@@ -247,59 +262,45 @@ impl Stage {
                         .collect(),
                 )),
             },
-            Stage::Probe(table) => probe_morsel(table, storage, morsel),
+            Stage::Probe(table, out_schema) => probe_morsel(table, out_schema, storage, morsel),
         }
     }
 }
 
-/// Probe one morsel against a build table, mirroring the serial
-/// [`crate::HashJoin`] charge-for-charge: one hash op per live probe
-/// row, one emit per produced match, matches emitted in build order, a
-/// probe row materializing only when its key hits.
-fn probe_morsel(table: &ProbeTable, storage: &Storage, morsel: Morsel) -> Result<Morsel> {
+/// Probe one morsel against a build table via the shared probe loop
+/// ([`JoinBuildTable::probe_columns`] — the exact code the serial
+/// [`crate::HashJoin`] runs, so the charge model lives in one place):
+/// output gathers probe columns and matched payload columns straight
+/// into a fresh columnar batch — no `Row` materializes.
+fn probe_morsel(
+    table: &ProbeTable,
+    out_schema: &Schema,
+    storage: &Storage,
+    morsel: Morsel,
+) -> Result<Morsel> {
     let cpu = *storage.cpu();
     let clock = storage.clock();
-    let mut out = Vec::new();
     match morsel {
         Morsel::Cols(batch) => {
-            batch.column_checked(table.left_col)?;
-            for live in 0..batch.len() {
-                let phys = match batch.selection() {
-                    Some(sel) => sel[live] as usize,
-                    None => live,
-                };
-                clock.charge_cpu(cpu.hash_op_ns);
-                let col = batch.column(table.left_col);
-                if col.is_null(phys) {
-                    continue;
-                }
-                let key = col.value(phys);
-                let Some(matches) = table.map.get(&key) else { continue };
-                match table.ty {
-                    JoinType::Inner => {
-                        clock.charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
-                        let left_row = batch.row(live);
-                        out.extend(matches.iter().map(|m| left_row.concat(m)));
-                    }
-                    JoinType::LeftSemi => {
-                        clock.charge_cpu(cpu.emit_tuple_ns);
-                        out.push(batch.row(live));
-                    }
-                }
-            }
+            let mut out = ColumnBatch::for_schema(out_schema);
+            table.table.probe_columns(storage, &batch, table.left_col, table.ty, &mut out)?;
+            Ok(Morsel::Cols(out))
         }
         Morsel::Rows(rows) => {
+            let mut out = Vec::new();
             for left_row in rows {
                 clock.charge_cpu(cpu.hash_op_ns);
                 let key = left_row.get(table.left_col);
                 if key.is_null() {
                     continue;
                 }
-                let Some(matches) = table.map.get(key) else { continue };
+                let Some(matches) = table.table.matches(key) else { continue };
                 match table.ty {
                     JoinType::Inner => {
                         clock.charge_cpu(cpu.emit_tuple_ns * matches.len() as u64);
-                        out.extend(matches.iter().map(|m| left_row.concat(m)));
+                        out.extend(
+                            matches.iter().map(|&m| left_row.concat(&table.table.payload_row(m))),
+                        );
                     }
                     JoinType::LeftSemi => {
                         clock.charge_cpu(cpu.emit_tuple_ns);
@@ -307,9 +308,9 @@ fn probe_morsel(table: &ProbeTable, storage: &Storage, morsel: Morsel) -> Result
                     }
                 }
             }
+            Ok(Morsel::Rows(out))
         }
     }
-    Ok(Morsel::Rows(out))
 }
 
 /// Global first-seen position of a group: (morsel seq, index within the
@@ -447,6 +448,27 @@ impl SourceCore {
     }
 }
 
+/// Open a [`ParallelSource`] into its locked core plus (for heap
+/// sources) the thread-local decoder recipe.
+fn open_source(
+    source: ParallelSource,
+    morsel_rows: usize,
+) -> Result<(SourceCore, Option<(Schema, Predicate)>)> {
+    match source {
+        ParallelSource::Heap { heap, predicate, readahead } => {
+            let schema = heap.schema().clone();
+            Ok((
+                SourceCore::Heap { heap, next: 0, readahead: readahead.max(1) },
+                Some((schema, predicate)),
+            ))
+        }
+        ParallelSource::Shared { mut op } => {
+            op.open()?;
+            Ok((SourceCore::Shared { op, max: morsel_rows.max(1) }, None))
+        }
+    }
+}
+
 /// Thread-local decode state for the partitioned heap source.
 struct HeapDecoder {
     schema: Schema,
@@ -501,8 +523,19 @@ fn process_item(
 /// model. All values are virtual nanoseconds off the shared clock.
 #[derive(Debug, Default, Clone)]
 pub struct ScalingLedger {
-    /// Serial prefix: source open plus hash-join builds.
+    /// Serial prefix: source open (builds are traced separately below).
     pub prefix_ns: u64,
+    /// Per-morsel build-phase source sections (serialized build-input
+    /// I/O), concatenated across all builds in build order.
+    pub build_src_ns: Vec<u64>,
+    /// End index (exclusive) of each build's sections within the build
+    /// vectors: the driver runs each build to completion before the next
+    /// one starts, so the model must barrier between builds too.
+    pub build_bounds: Vec<usize>,
+    /// Per-morsel build-phase worker sections (decode, build stages,
+    /// key partitioning and map inserts) — these fan out across the
+    /// pool.
+    pub build_proc_ns: Vec<u64>,
     /// Per-morsel source-section charges (I/O + in-lock CPU) — a
     /// serialized resource.
     pub src_ns: Vec<u64>,
@@ -518,30 +551,82 @@ impl ScalingLedger {
     /// Total virtual time of the single-threaded run.
     pub fn total_ns(&self) -> u64 {
         self.prefix_ns
+            + self.build_src_ns.iter().sum::<u64>()
+            + self.build_proc_ns.iter().sum::<u64>()
             + self.src_ns.iter().sum::<u64>()
             + self.proc_ns.iter().sum::<u64>()
             + self.sink_ns.iter().sum::<u64>()
     }
 
-    /// Deterministic makespan of the pipeline at `workers` workers:
-    /// greedy list-scheduling of the recorded sections, with source
-    /// sections serialized in morsel order (they share one lock and one
-    /// disk arm), worker sections packed onto the earliest-free worker
-    /// (the dynamic claiming the driver performs), and sink sections
-    /// serialized in morsel order on the coordinator.
+    /// Greedy list-schedule of one phase: source sections serialize in
+    /// morsel order (one lock, one disk arm), worker sections pack onto
+    /// the earliest-free worker (the dynamic claiming the driver
+    /// performs), sink sections serialize on the coordinator.
+    fn schedule(
+        start: u64,
+        src: &[u64],
+        proc: &[u64],
+        sink: Option<&[u64]>,
+        workers: usize,
+    ) -> u64 {
+        let mut worker_free = vec![start; workers];
+        let mut src_free = start;
+        let mut sink_free = start;
+        for i in 0..src.len() {
+            let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+            let src_done = worker_free[w].max(src_free) + src[i];
+            src_free = src_done;
+            worker_free[w] = src_done + proc[i];
+            if let Some(sink) = sink {
+                sink_free = sink_free.max(worker_free[w]) + sink[i];
+            }
+        }
+        worker_free.into_iter().max().unwrap_or(start).max(sink_free)
+    }
+
+    /// The per-build section ranges within the build vectors. The driver
+    /// runs each build to completion before the next starts, so each
+    /// range schedules behind a barrier; sections past the last recorded
+    /// bound (or all of them, when no bounds were recorded) form a final
+    /// segment so the model never silently drops work.
+    fn build_segments(&self) -> Vec<std::ops::Range<usize>> {
+        let mut segments = Vec::with_capacity(self.build_bounds.len() + 1);
+        let mut start = 0usize;
+        for &end in &self.build_bounds {
+            let end = end.min(self.build_src_ns.len());
+            if end > start {
+                segments.push(start..end);
+            }
+            start = start.max(end);
+        }
+        if start < self.build_src_ns.len() {
+            segments.push(start..self.build_src_ns.len());
+        }
+        segments
+    }
+
+    /// Schedule every build phase, one after another (each build
+    /// barriers before the next, exactly as the driver executes them).
+    fn schedule_builds(&self, start: u64, workers: usize) -> u64 {
+        self.build_segments().into_iter().fold(start, |t, seg| {
+            Self::schedule(
+                t,
+                &self.build_src_ns[seg.clone()],
+                &self.build_proc_ns[seg],
+                None,
+                workers,
+            )
+        })
+    }
+
+    /// Deterministic makespan of the pipeline at `workers` workers: the
+    /// build phases schedule first (each with its own source
+    /// serialization, worker packing and completion barrier), then the
+    /// probe phase on top of them.
     pub fn makespan_ns(&self, workers: usize) -> u64 {
         let workers = workers.max(1);
-        let mut worker_free = vec![self.prefix_ns; workers];
-        let mut src_free = self.prefix_ns;
-        let mut sink_free = self.prefix_ns;
-        for i in 0..self.src_ns.len() {
-            let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
-            let src_done = worker_free[w].max(src_free) + self.src_ns[i];
-            src_free = src_done;
-            worker_free[w] = src_done + self.proc_ns[i];
-            sink_free = sink_free.max(worker_free[w]) + self.sink_ns[i];
-        }
-        worker_free.into_iter().max().unwrap_or(self.prefix_ns).max(sink_free)
+        let after_builds = self.schedule_builds(self.prefix_ns, workers);
+        Self::schedule(after_builds, &self.src_ns, &self.proc_ns, Some(&self.sink_ns), workers)
     }
 
     /// Modeled speedup over the single-worker makespan (which equals
@@ -549,41 +634,332 @@ impl ScalingLedger {
     pub fn speedup(&self, workers: usize) -> f64 {
         self.makespan_ns(1) as f64 / self.makespan_ns(workers).max(1) as f64
     }
+
+    /// Makespan of the build phases alone (without the prefix).
+    pub fn build_makespan_ns(&self, workers: usize) -> u64 {
+        self.schedule_builds(0, workers.max(1))
+    }
+
+    /// Modeled speedup of the blocking build phase alone — what the
+    /// partitioned parallel build buys over the serial build.
+    pub fn build_speedup(&self, workers: usize) -> f64 {
+        self.build_makespan_ns(1) as f64 / self.build_makespan_ns(workers).max(1) as f64
+    }
+}
+
+/// The build-side output schema: the build source's schema pushed
+/// through the build stages' projections.
+fn staged_schema(mut schema: Schema, stages: &[StageSpec]) -> Result<Schema> {
+    for stage in stages {
+        match stage {
+            StageSpec::Filter(_) => {}
+            StageSpec::Project(cols) => {
+                let kept = cols
+                    .iter()
+                    .map(|&c| {
+                        if c >= schema.len() {
+                            Err(Error::schema(format!("project column {c} out of range")))
+                        } else {
+                            Ok(schema.column(c).clone())
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                schema = Schema::new(kept)?;
+            }
+            StageSpec::Probe(_) => {
+                return Err(Error::plan("hash-join build sides cannot nest probe stages"))
+            }
+        }
+    }
+    Ok(schema)
+}
+
+/// Resolve build-side stage specs (filters and projections only).
+fn resolve_build_stages(stages: &[StageSpec]) -> Result<Vec<Stage>> {
+    stages
+        .iter()
+        .map(|spec| match spec {
+            StageSpec::Filter(p) => Ok(Stage::Filter(p.clone())),
+            StageSpec::Project(cols) => Ok(Stage::Project(cols.clone())),
+            StageSpec::Probe(_) => {
+                Err(Error::plan("hash-join build sides cannot nest probe stages"))
+            }
+        })
+        .collect()
+}
+
+/// Ensure a morsel arriving at a build sink is columnar.
+fn build_batch(morsel: Morsel, schema: &Schema) -> Result<ColumnBatch> {
+    match morsel {
+        Morsel::Cols(batch) => Ok(batch),
+        Morsel::Rows(rows) => ColumnBatch::from_rows(schema, &rows),
+    }
+}
+
+/// Drain one build pipeline into its probe table, charging the clock
+/// exactly like the serial [`crate::HashJoin`] build (one hash op per
+/// build-input row, build-input I/O in serial morsel order). With more
+/// than one worker, morsels fan out into per-worker hash-partitioned
+/// partials and partitions merge in parallel; the merged table is
+/// byte-identical to the serial build either way.
+fn run_build(
+    spec: BuildSpec,
+    storage: &Storage,
+    workers: usize,
+    morsel_rows: usize,
+    ledger: Option<&mut ScalingLedger>,
+) -> Result<ProbeTable> {
+    let BuildSpec { source, stages, right_col, left_col, ty, partitions } = spec;
+    let partitions = partitions.max(1);
+    let source_schema = source.schema();
+    let schema = staged_schema(source_schema.clone(), &stages)?;
+    if right_col >= schema.len() {
+        return Err(Error::plan(format!("hash-join build key column {right_col} out of range")));
+    }
+    let stages = resolve_build_stages(&stages)?;
+    let (core, decoder_spec) = open_source(source, morsel_rows)?;
+    let table = if workers <= 1 {
+        build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?
+    } else {
+        build_threaded(
+            core,
+            decoder_spec,
+            &stages,
+            &schema,
+            right_col,
+            partitions,
+            storage,
+            workers,
+        )?
+    };
+    Ok(ProbeTable { table, left_col, ty })
+}
+
+/// Single-worker build: claim, fold, merge — optionally recording the
+/// per-morsel build ledger sections.
+#[allow(clippy::too_many_arguments)]
+fn build_inline(
+    mut core: SourceCore,
+    decoder_spec: Option<(Schema, Predicate)>,
+    stages: &[Stage],
+    schema: &Schema,
+    right_col: usize,
+    partitions: usize,
+    storage: &Storage,
+    mut ledger: Option<&mut ScalingLedger>,
+) -> Result<JoinBuildTable> {
+    let clock = storage.clock();
+    let cpu_hash = storage.cpu().hash_op_ns;
+    let mut decoder = decoder_spec.map(|(s, p)| HeapDecoder::new(s, p));
+    let mut partial = JoinBuildPartial::new(schema, right_col, partitions);
+    let mut seq = 0u64;
+    loop {
+        let before = clock.snapshot();
+        let Some(item) = core.pull(storage)? else { break };
+        let after_src = clock.snapshot();
+        let morsel = process_item(item, &mut decoder, stages, storage)?;
+        let batch = build_batch(morsel, schema)?;
+        clock.charge_cpu(cpu_hash * batch.len() as u64);
+        partial.fold(seq, batch)?;
+        if let Some(l) = ledger.as_deref_mut() {
+            let after_proc = clock.snapshot();
+            l.build_src_ns.push(after_src.since(&before).total_ns());
+            l.build_proc_ns.push(after_proc.since(&after_src).total_ns());
+        }
+        seq += 1;
+    }
+    core.close()?;
+    Ok(partial.into_table(schema))
+}
+
+/// Multi-worker partitioned build: phase 1 claims build morsels under
+/// the source lock and folds them into per-worker partials; phase 2
+/// merges the hash partitions (claimed by index) in parallel.
+#[allow(clippy::too_many_arguments)]
+fn build_threaded(
+    core: SourceCore,
+    decoder_spec: Option<(Schema, Predicate)>,
+    stages: &[Stage],
+    schema: &Schema,
+    right_col: usize,
+    partitions: usize,
+    storage: &Storage,
+    workers: usize,
+) -> Result<JoinBuildTable> {
+    let cpu_hash = storage.cpu().hash_op_ns;
+    let source = Mutex::new(SourceState { core, seq: 0, done: false });
+    let stop = AtomicBool::new(false);
+    let first_err: Mutex<Option<(u64, Error)>> = Mutex::new(None);
+    let record_err = |seq: u64, e: Error| {
+        stop.store(true, Ordering::Relaxed);
+        let mut guard = first_err.lock().expect("error lock");
+        if guard.as_ref().is_none_or(|(s, _)| seq < *s) {
+            *guard = Some((seq, e));
+        }
+    };
+    let mut slots: Vec<Option<JoinBuildPartial>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for slot in slots.iter_mut() {
+            let storage = storage.clone();
+            let mut decoder =
+                decoder_spec.as_ref().map(|(s, p)| HeapDecoder::new(s.clone(), p.clone()));
+            let mut partial = JoinBuildPartial::new(schema, right_col, partitions);
+            let source = &source;
+            let stop = &stop;
+            let record_err = &record_err;
+            scope.spawn(move || {
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let pulled = {
+                        let mut guard = source.lock().expect("build source lock");
+                        if guard.done {
+                            None
+                        } else {
+                            match guard.core.pull(&storage) {
+                                Ok(Some(item)) => {
+                                    let seq = guard.seq;
+                                    guard.seq += 1;
+                                    Some((seq, item))
+                                }
+                                Ok(None) => {
+                                    guard.done = true;
+                                    None
+                                }
+                                Err(e) => {
+                                    guard.done = true;
+                                    record_err(guard.seq, e);
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    let Some((seq, item)) = pulled else { break };
+                    let outcome = process_item(item, &mut decoder, stages, &storage)
+                        .and_then(|morsel| build_batch(morsel, schema))
+                        .and_then(|batch| {
+                            storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
+                            partial.fold(seq, batch)
+                        });
+                    if let Err(e) = outcome {
+                        record_err(seq, e);
+                        break;
+                    }
+                }
+                *slot = Some(partial);
+            });
+        }
+    });
+    source.into_inner().expect("build source lock").core.close()?;
+    if let Some((_, e)) = first_err.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    // Transpose per-worker partials into per-partition worker maps.
+    let mut payloads = Vec::with_capacity(workers);
+    let mut per_part: Vec<Vec<PartialPartition>> =
+        (0..partitions).map(|_| Vec::with_capacity(workers)).collect();
+    for slot in slots {
+        let (payload, parts) = slot.expect("worker finished").into_parts();
+        payloads.push(payload);
+        for (p, map) in parts.into_iter().enumerate() {
+            per_part[p].push(map);
+        }
+    }
+    // Merge partitions in parallel: disjoint key sets, claimed by index.
+    let work: Vec<Mutex<Option<Vec<PartialPartition>>>> =
+        per_part.into_iter().map(|maps| Mutex::new(Some(maps))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, HashMap<Value, Vec<BuildRef>>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(work.len()) {
+            let tx = tx.clone();
+            let work = &work;
+            let next = &next;
+            scope.spawn(move || loop {
+                let p = next.fetch_add(1, Ordering::Relaxed);
+                if p >= work.len() {
+                    break;
+                }
+                let maps = work[p].lock().expect("merge lock").take().expect("claimed once");
+                if tx.send((p, JoinBuildTable::merge_partition(maps))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut merged: Vec<HashMap<Value, Vec<BuildRef>>> =
+        (0..partitions).map(|_| HashMap::new()).collect();
+    for (p, map) in rx {
+        merged[p] = map;
+    }
+    Ok(JoinBuildTable::from_merged(schema, right_col, payloads, merged))
+}
+
+/// Everything a pipeline run needs after the open/build prefix.
+struct Prepared {
+    core: SourceCore,
+    decoder_spec: Option<(Schema, Predicate)>,
+    stages: Vec<Stage>,
+    sink: SinkSpec,
+    storage: Storage,
 }
 
 /// Open the source, run the builds (bottom-up, exactly the serial open
-/// cascade's order), and instantiate the runtime stages.
-#[allow(clippy::type_complexity)]
+/// cascade's order — each one a parallel phase at `workers` workers),
+/// and instantiate the runtime stages.
 fn prepare(
     pipeline: ParallelPipeline,
-) -> Result<(SourceCore, Option<(Schema, Predicate)>, Vec<Stage>, SinkSpec, Storage)> {
+    workers: usize,
+    mut ledger: Option<&mut ScalingLedger>,
+) -> Result<Prepared> {
     let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
-    let (core, decoder_spec) = match source {
-        ParallelSource::Heap { heap, predicate, readahead } => {
-            let schema = heap.schema().clone();
-            (
-                SourceCore::Heap { heap, next: 0, readahead: readahead.max(1) },
-                Some((schema, predicate)),
-            )
-        }
-        ParallelSource::Shared { mut op } => {
-            op.open()?;
-            (SourceCore::Shared { op, max: morsel_rows.max(1) }, None)
-        }
-    };
+    let clock = storage.clock();
+    let open_start = clock.snapshot();
+    let mut schema = source.schema();
+    let (core, decoder_spec) = open_source(source, morsel_rows)?;
+    if let Some(l) = ledger.as_deref_mut() {
+        l.prefix_ns = clock.snapshot().since(&open_start).total_ns();
+    }
     let mut tables = Vec::with_capacity(builds.len());
     for build in builds {
-        tables.push(Arc::new(build_probe_table(build, &storage)?));
+        tables.push(Arc::new(run_build(
+            build,
+            &storage,
+            workers,
+            morsel_rows,
+            ledger.as_deref_mut(),
+        )?));
+        // Close this build's ledger segment: the next build (and the
+        // probe phase) starts only after this one completed.
+        if let Some(l) = ledger.as_deref_mut() {
+            l.build_bounds.push(l.build_src_ns.len());
+        }
     }
-    let stages = stages
-        .into_iter()
-        .map(|spec| match spec {
-            StageSpec::Filter(p) => Stage::Filter(p),
-            StageSpec::Project(cols) => Stage::Project(cols),
-            StageSpec::Probe(i) => Stage::Probe(Arc::clone(&tables[i])),
-        })
-        .collect();
-    Ok((core, decoder_spec, stages, sink, storage))
+    // Resolve stages, tracking the running schema so each probe stage
+    // knows its gathered output typing.
+    let mut resolved = Vec::with_capacity(stages.len());
+    for spec in stages {
+        match spec {
+            StageSpec::Filter(p) => resolved.push(Stage::Filter(p)),
+            StageSpec::Project(cols) => {
+                schema = staged_schema(schema, &[StageSpec::Project(cols.clone())])?;
+                resolved.push(Stage::Project(cols));
+            }
+            StageSpec::Probe(i) => {
+                let table: &Arc<ProbeTable> = tables
+                    .get(i)
+                    .ok_or_else(|| Error::plan(format!("probe stage references build {i}")))?;
+                schema = match table.ty {
+                    JoinType::Inner => schema.join(table.table.schema()),
+                    JoinType::LeftSemi => schema,
+                };
+                resolved.push(Stage::Probe(Arc::clone(table), schema.clone()));
+            }
+        }
+    }
+    Ok(Prepared { core, decoder_spec, stages: resolved, sink, storage })
 }
 
 /// Execute the pipeline on `workers` worker threads (1 runs inline on
@@ -611,11 +987,8 @@ fn run_inline(
 ) -> Result<Vec<Row>> {
     let clock_storage = pipeline.storage.clone();
     let clock = clock_storage.clock();
-    let run_start = clock.snapshot();
-    let (mut core, decoder_spec, stages, sink, storage) = prepare(pipeline)?;
-    if let Some(l) = ledger.as_deref_mut() {
-        l.prefix_ns = clock.snapshot().since(&run_start).total_ns();
-    }
+    let Prepared { mut core, decoder_spec, stages, sink, storage } =
+        prepare(pipeline, 1, ledger.as_deref_mut())?;
     let mut decoder = decoder_spec.map(|(schema, pred)| HeapDecoder::new(schema, pred));
     let (mut agg, exact) = match &sink {
         SinkSpec::Collect => (None, false),
@@ -673,7 +1046,7 @@ struct SourceState {
 }
 
 fn run_threaded(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Row>> {
-    let (core, decoder_spec, stages, sink, storage) = prepare(pipeline)?;
+    let Prepared { core, decoder_spec, stages, sink, storage } = prepare(pipeline, workers, None)?;
     let (agg_spec, exact) = match &sink {
         SinkSpec::Collect => (None, false),
         SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
@@ -817,6 +1190,8 @@ const _: () = {
     assert_send::<SourceState>();
     assert_send::<Storage>();
     assert_send::<BoxedOperator>();
+    assert_send::<JoinBuildPartial>();
+    assert_send::<JoinBuildTable>();
 };
 
 #[cfg(test)]
@@ -850,6 +1225,25 @@ mod tests {
             cpu: CpuCosts::default(),
             pool_pages: 64,
         })
+    }
+
+    fn values_build(
+        schema: &Schema,
+        rows: &[Row],
+        right_col: usize,
+        left_col: usize,
+        ty: JoinType,
+    ) -> BuildSpec {
+        BuildSpec {
+            source: ParallelSource::Shared {
+                op: Box::new(ValuesOp::new(schema.clone(), rows.to_vec())),
+            },
+            stages: Vec::new(),
+            right_col,
+            left_col,
+            ty,
+            partitions: crate::BUILD_PARTITIONS,
+        }
     }
 
     fn heap_pipeline(
@@ -955,16 +1349,51 @@ mod tests {
             for workers in [1usize, 2, 4] {
                 let s_par = storage();
                 let mut pipeline = heap_pipeline(&heap, &s_par, vec![StageSpec::Probe(0)]);
-                pipeline.builds.push(BuildSpec {
-                    right: Box::new(ValuesOp::new(right_schema.clone(), right_rows.clone())),
-                    right_col: 0,
-                    left_col: 1,
-                    ty,
-                });
+                pipeline.builds.push(values_build(&right_schema, &right_rows, 0, 1, ty));
                 let got = run_pipeline(pipeline, workers).unwrap();
                 assert_eq!(got, expected, "{ty:?} rows diverge at {workers} workers");
                 assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot(), "{ty:?}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_over_heap_source_matches_serial_hash_join() {
+        // The build side is itself a pipeline: heap source + filter
+        // stage, drained by the partitioned parallel build.
+        let probe = table(800);
+        let build = table(1500);
+        let pred = Predicate::int_half_open(1, 0, 400);
+        let s_serial = storage();
+        let mut hj = HashJoin::new(
+            Box::new(FullTableScan::new(Arc::clone(&probe), s_serial.clone(), Predicate::True)),
+            Box::new(FullTableScan::new(Arc::clone(&build), s_serial.clone(), pred.clone())),
+            1,
+            1,
+            JoinType::Inner,
+            s_serial.clone(),
+        );
+        let expected = collect_rows(&mut hj).unwrap();
+        assert!(!expected.is_empty());
+        for workers in [1usize, 2, 4, 8] {
+            let s_par = storage();
+            let mut pipeline = heap_pipeline(&probe, &s_par, vec![StageSpec::Probe(0)]);
+            pipeline.builds.push(BuildSpec {
+                source: ParallelSource::Heap {
+                    heap: Arc::clone(&build),
+                    predicate: pred.clone(),
+                    readahead: crate::scan::FULL_SCAN_READAHEAD,
+                },
+                stages: Vec::new(),
+                right_col: 1,
+                left_col: 1,
+                ty: JoinType::Inner,
+                partitions: crate::BUILD_PARTITIONS,
+            });
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, expected, "rows diverge at {workers} workers");
+            assert_eq!(s_par.clock().snapshot(), s_serial.clock().snapshot());
+            assert_eq!(s_par.io_snapshot(), s_serial.io_snapshot());
         }
     }
 
@@ -1051,6 +1480,30 @@ mod tests {
     }
 
     #[test]
+    fn build_side_errors_propagate() {
+        let heap = table(400);
+        let right_schema = Schema::new(vec![Column::new("rk", DataType::Int64)]).unwrap();
+        for workers in [1usize, 4] {
+            let s = storage();
+            let mut pipeline = heap_pipeline(&heap, &s, vec![StageSpec::Probe(0)]);
+            pipeline.builds.push(BuildSpec {
+                source: ParallelSource::Shared {
+                    op: Box::new(ValuesOp::new(
+                        right_schema.clone(),
+                        vec![Row::new(vec![Value::Int(1)])],
+                    )),
+                },
+                stages: Vec::new(),
+                right_col: 9, // out of range: must surface as a plan error
+                left_col: 1,
+                ty: JoinType::Inner,
+                partitions: crate::BUILD_PARTITIONS,
+            });
+            assert!(run_pipeline(pipeline, workers).is_err(), "{workers} workers");
+        }
+    }
+
+    #[test]
     fn ledger_model_is_consistent() {
         let heap = table(3000);
         let s = storage();
@@ -1069,5 +1522,95 @@ mod tests {
         let src_total: u64 = ledger.src_ns.iter().sum();
         assert!(m4 >= src_total, "source sections serialize");
         assert!(ledger.speedup(4) >= 1.0);
+    }
+
+    #[test]
+    fn traced_build_sections_feed_the_model() {
+        let probe = table(1000);
+        let build = table(2000);
+        let s = storage();
+        let mut pipeline = heap_pipeline(&probe, &s, vec![StageSpec::Probe(0)]);
+        pipeline.builds.push(BuildSpec {
+            source: ParallelSource::Heap {
+                heap: Arc::clone(&build),
+                predicate: Predicate::True,
+                readahead: crate::scan::FULL_SCAN_READAHEAD,
+            },
+            stages: Vec::new(),
+            right_col: 1,
+            left_col: 1,
+            ty: JoinType::Inner,
+            partitions: crate::BUILD_PARTITIONS,
+        });
+        let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
+        assert!(!rows.is_empty());
+        assert!(!ledger.build_src_ns.is_empty(), "build morsels recorded");
+        assert_eq!(ledger.build_src_ns.len(), ledger.build_proc_ns.len());
+        assert_eq!(ledger.build_bounds, vec![ledger.build_src_ns.len()]);
+        // The one-worker makespan still reproduces the serial total with
+        // the build phase folded in.
+        assert_eq!(ledger.makespan_ns(1), ledger.total_ns());
+        assert!(ledger.build_speedup(1) == 1.0);
+        assert!(ledger.build_speedup(4) >= 1.0);
+        assert!(ledger.makespan_ns(4) <= ledger.makespan_ns(2));
+    }
+
+    #[test]
+    fn multi_build_ledger_barriers_between_builds() {
+        // Two chained probes: each build runs to completion before the
+        // next starts, and the model must barrier the same way.
+        let probe = table(800);
+        let build_a = table(1200);
+        let build_b = table(1200);
+        let s = storage();
+        let mut pipeline =
+            heap_pipeline(&probe, &s, vec![StageSpec::Probe(0), StageSpec::Probe(1)]);
+        for heap in [&build_a, &build_b] {
+            pipeline.builds.push(BuildSpec {
+                source: ParallelSource::Heap {
+                    heap: Arc::clone(heap),
+                    predicate: Predicate::int_half_open(1, 0, 40),
+                    readahead: crate::scan::FULL_SCAN_READAHEAD,
+                },
+                stages: Vec::new(),
+                right_col: 1,
+                left_col: 1,
+                ty: JoinType::LeftSemi,
+                partitions: crate::BUILD_PARTITIONS,
+            });
+        }
+        let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
+        assert!(!rows.is_empty());
+        assert_eq!(ledger.build_bounds.len(), 2, "one segment per build");
+        assert_eq!(*ledger.build_bounds.last().unwrap(), ledger.build_src_ns.len());
+        assert_eq!(ledger.makespan_ns(1), ledger.total_ns());
+        // The barriered schedule can never beat the (incorrect)
+        // barrier-free packing of both builds as one phase.
+        let one_phase =
+            ScalingLedger { build_bounds: vec![], ..ledger.clone() }.build_makespan_ns(4);
+        assert!(ledger.build_makespan_ns(4) >= one_phase);
+        // The parallel runs still match serial with chained builds.
+        let serial_rows = rows.clone();
+        for workers in [2usize, 4] {
+            let s_par = storage();
+            let mut pipeline =
+                heap_pipeline(&probe, &s_par, vec![StageSpec::Probe(0), StageSpec::Probe(1)]);
+            for heap in [&build_a, &build_b] {
+                pipeline.builds.push(BuildSpec {
+                    source: ParallelSource::Heap {
+                        heap: Arc::clone(heap),
+                        predicate: Predicate::int_half_open(1, 0, 40),
+                        readahead: crate::scan::FULL_SCAN_READAHEAD,
+                    },
+                    stages: Vec::new(),
+                    right_col: 1,
+                    left_col: 1,
+                    ty: JoinType::LeftSemi,
+                    partitions: crate::BUILD_PARTITIONS,
+                });
+            }
+            let got = run_pipeline(pipeline, workers).unwrap();
+            assert_eq!(got, serial_rows, "chained builds diverge at {workers} workers");
+        }
     }
 }

@@ -268,10 +268,14 @@ proptest! {
                     readahead: FULL_SCAN_READAHEAD,
                 },
                 builds: vec![BuildSpec {
-                    right: Box::new(ValuesOp::new(right_schema.clone(), right_rows.clone())),
+                    source: ParallelSource::Shared {
+                        op: Box::new(ValuesOp::new(right_schema.clone(), right_rows.clone())),
+                    },
+                    stages: Vec::new(),
                     right_col: 0,
                     left_col: 1,
                     ty,
+                    partitions: smooth_executor::BUILD_PARTITIONS,
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,

@@ -455,6 +455,48 @@ impl Database {
         }))
     }
 
+    /// Validate a projection against `schema` exactly like `Project::new`
+    /// and return the projected schema (shared by the probe-side and
+    /// build-side peels).
+    fn project_schema(schema: &Schema, cols: &[usize]) -> Result<Schema> {
+        let kept = cols
+            .iter()
+            .map(|&c| {
+                if c >= schema.len() {
+                    Err(Error::schema(format!("project column {c} out of range")))
+                } else {
+                    Ok(schema.column(c).clone())
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(kept)
+    }
+
+    /// Decompose one scan into a morsel source: an unordered full table
+    /// scan becomes the *partitioned* heap source (workers decode page
+    /// runs in parallel), anything else runs whole as a serial shared
+    /// source. Shared by the probe-side and build-side peels so both
+    /// resolve access paths identically.
+    fn scan_source(&self, spec: &ScanSpec) -> Result<(ParallelSource, Schema)> {
+        let entry = self.catalog.get(&spec.table)?;
+        if matches!(self.resolve_access(entry, spec), AccessPathChoice::ForceFull) && !spec.ordered
+        {
+            let heap = Arc::clone(&entry.heap);
+            let schema = heap.schema().clone();
+            return Ok((
+                ParallelSource::Heap {
+                    heap,
+                    predicate: spec.predicate.clone(),
+                    readahead: FULL_SCAN_READAHEAD,
+                },
+                schema,
+            ));
+        }
+        let op = self.build_scan(spec)?;
+        let schema = op.schema().clone();
+        Ok((ParallelSource::Shared { op }, schema))
+    }
+
     /// Bottom-up pipeline peel: returns the source, the per-worker
     /// stages (source side first), the serial hash-join builds
     /// (bottom-up), and the subtree's output schema.
@@ -471,58 +513,41 @@ impl Database {
             }
             LogicalPlan::Project { input, cols } => {
                 let (source, mut stages, builds, schema) = self.peel(input)?;
-                // Validate exactly like Project::new.
-                let kept = cols
-                    .iter()
-                    .map(|&c| {
-                        if c >= schema.len() {
-                            Err(Error::schema(format!("project column {c} out of range")))
-                        } else {
-                            Ok(schema.column(c).clone())
-                        }
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                let schema = Schema::new(kept)?;
+                let schema = Self::project_schema(&schema, cols)?;
                 stages.push(StageSpec::Project(cols.clone()));
                 Ok((source, stages, builds, schema))
             }
             LogicalPlan::Join(spec) if self.resolve_join_strategy(spec) == JoinStrategy::Hash => {
                 let (source, mut stages, mut builds, left_schema) = self.peel(&spec.left)?;
-                let right = self.build(&spec.right)?;
+                // The build is a pipeline breaker with a pipeline of its
+                // own: decompose the right subtree into a build-side
+                // source + stages so the partitioned parallel build can
+                // fan its decode/insert CPU out too.
+                let (bsource, bstages, bschema) = self.peel_build(&spec.right)?;
+                if spec.right_col >= bschema.len() {
+                    return Err(Error::plan(format!(
+                        "hash-join build key column {} out of range",
+                        spec.right_col
+                    )));
+                }
                 let schema = match spec.ty {
-                    smooth_executor::JoinType::Inner => left_schema.join(right.schema()),
+                    smooth_executor::JoinType::Inner => left_schema.join(&bschema),
                     smooth_executor::JoinType::LeftSemi => left_schema,
                 };
                 stages.push(StageSpec::Probe(builds.len()));
                 builds.push(BuildSpec {
-                    right,
+                    source: bsource,
+                    stages: bstages,
                     right_col: spec.right_col,
                     left_col: spec.left_col,
                     ty: spec.ty,
+                    partitions: smooth_executor::BUILD_PARTITIONS,
                 });
                 Ok((source, stages, builds, schema))
             }
             LogicalPlan::Scan(spec) => {
-                let entry = self.catalog.get(&spec.table)?;
-                if matches!(self.resolve_access(entry, spec), AccessPathChoice::ForceFull)
-                    && !spec.ordered
-                {
-                    let heap = Arc::clone(&entry.heap);
-                    let schema = heap.schema().clone();
-                    return Ok((
-                        ParallelSource::Heap {
-                            heap,
-                            predicate: spec.predicate.clone(),
-                            readahead: FULL_SCAN_READAHEAD,
-                        },
-                        Vec::new(),
-                        Vec::new(),
-                        schema,
-                    ));
-                }
-                let op = self.build_scan(spec)?;
-                let schema = op.schema().clone();
-                Ok((ParallelSource::Shared { op }, Vec::new(), Vec::new(), schema))
+                let (source, schema) = self.scan_source(spec)?;
+                Ok((source, Vec::new(), Vec::new(), schema))
             }
             // Pipeline breakers that stay serial (sorts, non-hash joins,
             // nested aggregates): the whole subtree is the shared source.
@@ -530,6 +555,37 @@ impl Database {
                 let op = self.build(other)?;
                 let schema = op.schema().clone();
                 Ok((ParallelSource::Shared { op }, Vec::new(), Vec::new(), schema))
+            }
+        }
+    }
+
+    /// Decompose a hash-join *build side* into its own morsel source plus
+    /// per-worker stages (filters and projections only — anything deeper,
+    /// a nested join or aggregate, runs unchanged as a serial shared
+    /// source). An unordered full scan becomes the partitioned heap
+    /// source, so the build input's decode fans out exactly like the
+    /// probe side's.
+    fn peel_build(&self, plan: &LogicalPlan) -> Result<(ParallelSource, Vec<StageSpec>, Schema)> {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let (source, mut stages, schema) = self.peel_build(input)?;
+                stages.push(StageSpec::Filter(predicate.clone()));
+                Ok((source, stages, schema))
+            }
+            LogicalPlan::Project { input, cols } => {
+                let (source, mut stages, schema) = self.peel_build(input)?;
+                let schema = Self::project_schema(&schema, cols)?;
+                stages.push(StageSpec::Project(cols.clone()));
+                Ok((source, stages, schema))
+            }
+            LogicalPlan::Scan(spec) => {
+                let (source, schema) = self.scan_source(spec)?;
+                Ok((source, Vec::new(), schema))
+            }
+            other => {
+                let op = self.build(other)?;
+                let schema = op.schema().clone();
+                Ok((ParallelSource::Shared { op }, Vec::new(), schema))
             }
         }
     }

@@ -352,6 +352,43 @@ impl ColumnVector {
         }
     }
 
+    /// Append slot `idx` of `src` *by value* (strings clone) — the gather
+    /// primitive of the columnar hash-join probe, where one build row can
+    /// be emitted under many probe rows. Both vectors must share their
+    /// typing (they come from batches of the same schema column).
+    #[inline]
+    pub fn push_from(&mut self, src: &ColumnVector, idx: usize) {
+        if src.nulls[idx] {
+            self.push_null();
+            return;
+        }
+        self.nulls.push(false);
+        match (&mut self.values, &src.values) {
+            (ColumnValues::Int(dst), ColumnValues::Int(s)) => dst.push(s[idx]),
+            (ColumnValues::Float(dst), ColumnValues::Float(s)) => dst.push(s[idx]),
+            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.push(s[idx].clone()),
+            _ => unreachable!("gather between column vectors of different typing"),
+        }
+    }
+
+    /// Append slot `idx` of `src`, *moving* string payloads out (the slot
+    /// is left as an empty string and must not be read again). Cursor-style
+    /// single-visit consumption only; typing must match.
+    #[inline]
+    pub fn push_taken(&mut self, src: &mut ColumnVector, idx: usize) {
+        if src.nulls[idx] {
+            self.push_null();
+            return;
+        }
+        self.nulls.push(false);
+        match (&mut self.values, &mut src.values) {
+            (ColumnValues::Int(dst), ColumnValues::Int(s)) => dst.push(s[idx]),
+            (ColumnValues::Float(dst), ColumnValues::Float(s)) => dst.push(s[idx]),
+            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.push(std::mem::take(&mut s[idx])),
+            _ => unreachable!("taken push between column vectors of different typing"),
+        }
+    }
+
     /// Append slots `[a, b)` of `src`, *moving* string payloads out of the
     /// source range (which must not be read again).
     fn extend_taken_range(&mut self, src: &mut ColumnVector, a: usize, b: usize) {
@@ -476,6 +513,24 @@ impl ColumnBatch {
     #[inline]
     pub fn columns(&self) -> &[ColumnVector] {
         &self.columns
+    }
+
+    /// Mutable access to the column vectors, for gather-style writers that
+    /// assemble output rows column-by-column from several sources (the
+    /// columnar hash-join probe). Callers must append the same number of
+    /// slots to every column and then declare them with
+    /// [`ColumnBatch::commit_rows`]; selection must be unset.
+    #[inline]
+    pub fn columns_mut(&mut self) -> &mut [ColumnVector] {
+        debug_assert!(self.selection.is_none(), "gather writes under a selection vector");
+        &mut self.columns
+    }
+
+    /// Declare `n` rows appended through [`ColumnBatch::columns_mut`].
+    #[inline]
+    pub fn commit_rows(&mut self, n: usize) {
+        self.rows += n;
+        debug_assert!(self.columns.iter().all(|c| c.len() == self.rows));
     }
 
     /// Iterate the live physical row indices in emission order.
@@ -622,6 +677,35 @@ impl ColumnBatch {
         }
         out.rows = b - a;
         out
+    }
+
+    /// Move-append every physical row of `other` (which must be dense and
+    /// share this batch's column typing). Fixed-width payloads copy with
+    /// one `memcpy` per column; string payloads hand their buffers over —
+    /// no per-row `String` clone. This is the bulk-ingest primitive of the
+    /// columnar hash-join build side.
+    pub fn append_dense(&mut self, mut other: ColumnBatch) {
+        debug_assert!(self.selection.is_none(), "append under a selection vector");
+        debug_assert!(other.selection.is_none(), "dense append of a selected batch");
+        debug_assert_eq!(self.columns.len(), other.columns.len());
+        let n = other.rows;
+        for (dst, src) in self.columns.iter_mut().zip(&mut other.columns) {
+            dst.extend_taken_range(src, 0, n);
+        }
+        self.rows += n;
+    }
+
+    /// Append the physical row `phys` of `src`, *moving* string payloads
+    /// out of the source slot (single-visit consumption; typing must
+    /// match). The per-row companion of [`ColumnBatch::append_dense`] for
+    /// batches that carry a selection vector or need null-key skips.
+    pub fn append_taken_row(&mut self, src: &mut ColumnBatch, phys: usize) {
+        debug_assert!(self.selection.is_none(), "append under a selection vector");
+        debug_assert_eq!(self.columns.len(), src.columns.len());
+        for (dst, s) in self.columns.iter_mut().zip(&mut src.columns) {
+            dst.push_taken(s, phys);
+        }
+        self.rows += 1;
     }
 
     /// Consume into rows (the column→row adapter), honoring the selection
@@ -942,6 +1026,45 @@ mod tests {
         let rows: Vec<i64> =
             std::iter::from_fn(|| buf.pop_row()).map(|r| r.int(0).unwrap_or(9999)).collect();
         assert_eq!(rows, (1990..2000).chain([9999]).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn gather_and_move_primitives() {
+        let s = schema();
+        let src = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        // push_from clones (the gather primitive): source stays intact.
+        let mut out = ColumnBatch::for_schema(&s);
+        {
+            let cols = out.columns_mut();
+            for (dst, sc) in cols.iter_mut().zip(src.columns()) {
+                dst.push_from(sc, 2);
+                dst.push_from(sc, 0);
+            }
+        }
+        out.commit_rows(2);
+        assert_eq!(out.row(0), rows()[2]);
+        assert_eq!(out.row(1), rows()[0]);
+        assert_eq!(src.column(1).str(2).unwrap(), "z", "gather never moves the source");
+        // push_taken moves string payloads out (single-visit consumption).
+        let mut taken_src = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        let mut taken = ColumnVector::for_type(DataType::Text);
+        {
+            let cols = taken_src.columns_mut();
+            taken.push_taken(&mut cols[1], 0);
+        }
+        assert_eq!(taken.str(0).unwrap(), "x");
+        assert_eq!(taken_src.column(1).str(0).unwrap(), "", "source slot left empty");
+        // append_taken_row moves a whole row; append_dense a whole batch.
+        let mut dst = ColumnBatch::for_schema(&s);
+        let mut row_src = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        dst.append_taken_row(&mut row_src, 1);
+        assert_eq!(dst.physical_rows(), 1);
+        assert_eq!(dst.row(0), rows()[1]);
+        let mut dense_dst = ColumnBatch::for_schema(&s);
+        dense_dst.append_dense(ColumnBatch::from_rows(&s, &rows()).unwrap());
+        dense_dst.append_dense(ColumnBatch::from_rows(&s, &rows()[..1]).unwrap());
+        assert_eq!(dense_dst.physical_rows(), 4);
+        assert_eq!(dense_dst.row(3), rows()[0]);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Cross-driver differential property suite: proptest-generated random
+//! plans — scan kind × predicates × join shapes × aggregates ×
+//! Smooth/Switch policies — must produce the **exact row sequence**,
+//! the **exact virtual CPU/IO clock totals** and the **exact I/O
+//! counters** across all three pipeline drivers:
+//!
+//! * the Volcano row-at-a-time driver (the permanent semantics oracle),
+//! * the single-threaded columnar driver (`Database::run` at 1 worker),
+//! * the morsel-driven parallel driver at worker counts {1, 2, 4, 8}.
+//!
+//! Every execution strategy in this repo — batching, columnar layout,
+//! worker pools, the partitioned parallel hash-join build — is required
+//! to be *accounting-invisible*: it may change who does the work, never
+//! what work the engine is charged for. This suite pins that invariant
+//! end to end through the planner, for plan shapes no single-crate suite
+//! composes.
+
+use proptest::prelude::*;
+use smooth_executor::collect_rows_volcano;
+use smooth_planner::{
+    AccessPathChoice, Database, JoinStrategy, LogicalPlan, QueryResult, RunStats, ScanSpec,
+};
+use smooth_storage::{CpuCosts, DeviceProfile, IoStatsDelta, StorageConfig};
+use smoothscan::prelude::{
+    AggFunc, Column, DataType, JoinType, PolicyKind, Predicate, Row, Schema, SmoothScanConfig,
+    Value,
+};
+
+const WORKER_GRID: [usize; 3] = [2, 4, 8];
+
+/// Deterministic pseudo-random column: spreads keys over [0, domain).
+fn scramble(i: i64, domain: i64) -> i64 {
+    ((i.wrapping_mul(2654435761)) % domain + domain) % domain
+}
+
+fn database(rows: i64) -> Database {
+    let mut db = Database::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: 48,
+    });
+    let schema = Schema::new(vec![
+        Column::new("c0", DataType::Int64),
+        Column::new("c1", DataType::Int64),
+        Column::nullable("c2", DataType::Int64),
+        Column::new("pad", DataType::Text),
+    ])
+    .unwrap();
+    db.load_table(
+        "t",
+        schema.clone(),
+        (0..rows).map(|i| {
+            let c2 = if i % 11 == 0 { Value::Null } else { Value::Int(scramble(i * 7, 500)) };
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(scramble(i, 300)),
+                c2,
+                Value::str("x".repeat(24)),
+            ])
+        }),
+    )
+    .unwrap();
+    db.create_index("t", 1, "t_c1").unwrap();
+    // A second, smaller table for build sides.
+    db.load_table(
+        "r",
+        schema,
+        (0..rows / 3).map(|i| {
+            Row::new(vec![
+                Value::Int(scramble(i, 300)),
+                Value::Int(scramble(i + 13, 300)),
+                Value::Int(i),
+                Value::str(format!("r{i}")),
+            ])
+        }),
+    )
+    .unwrap();
+    db.create_index("r", 1, "r_c1").unwrap();
+    db
+}
+
+/// One scan-kind choice from the full repertoire.
+fn access_strategy() -> impl Strategy<Value = AccessPathChoice> {
+    prop_oneof![
+        Just(AccessPathChoice::ForceFull),
+        Just(AccessPathChoice::ForceIndex),
+        Just(AccessPathChoice::ForceSort),
+        (0usize..3, any::<bool>()).prop_map(|(p, ordered)| {
+            let policy =
+                [PolicyKind::Greedy, PolicyKind::SelectivityIncrease, PolicyKind::Elastic][p];
+            AccessPathChoice::Smooth(
+                SmoothScanConfig::default().with_policy(policy).with_order(ordered),
+            )
+        }),
+        (1u64..400).prop_map(|estimate| AccessPathChoice::Switch { estimate }),
+        Just(AccessPathChoice::Auto),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum JoinShape {
+    None,
+    HashInner,
+    HashSemi,
+    IndexNested,
+}
+
+fn join_strategy() -> impl Strategy<Value = JoinShape> {
+    prop_oneof![
+        2 => Just(JoinShape::None),
+        2 => Just(JoinShape::HashInner),
+        1 => Just(JoinShape::HashSemi),
+        1 => Just(JoinShape::IndexNested),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AggShape {
+    None,
+    ExactGrouped,
+    FloatAvg,
+    Scalar,
+}
+
+fn agg_strategy() -> impl Strategy<Value = AggShape> {
+    prop_oneof![
+        2 => Just(AggShape::None),
+        1 => Just(AggShape::ExactGrouped),
+        1 => Just(AggShape::FloatAvg),
+        1 => Just(AggShape::Scalar),
+    ]
+}
+
+/// Assemble the plan under test.
+fn plan_for(
+    access: &AccessPathChoice,
+    lo: i64,
+    width: i64,
+    residual: Option<i64>,
+    join: JoinShape,
+    agg: AggShape,
+) -> LogicalPlan {
+    let mut pred = Predicate::int_half_open(1, lo, lo + width);
+    if let Some(hi) = residual {
+        pred = Predicate::and(vec![pred, Predicate::int_lt(0, hi)]);
+    }
+    let scan = LogicalPlan::scan(ScanSpec::new("t", pred).with_access(access.clone()));
+    let joined = match join {
+        JoinShape::None => scan,
+        JoinShape::HashInner => scan.join(
+            LogicalPlan::scan(ScanSpec::new("r", Predicate::True)),
+            1,
+            0,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+        ),
+        JoinShape::HashSemi => scan.join(
+            LogicalPlan::scan(ScanSpec::new("r", Predicate::int_lt(2, 200))),
+            1,
+            0,
+            JoinType::LeftSemi,
+            JoinStrategy::Hash,
+        ),
+        JoinShape::IndexNested => scan.join(
+            LogicalPlan::scan(ScanSpec::new("r", Predicate::True)),
+            1,
+            1,
+            JoinType::Inner,
+            JoinStrategy::IndexNestedLoop,
+        ),
+    };
+    match agg {
+        AggShape::None => joined,
+        AggShape::ExactGrouped => {
+            joined.aggregate(vec![1], vec![AggFunc::CountStar, AggFunc::Min(0), AggFunc::Max(0)])
+        }
+        AggShape::FloatAvg => joined.aggregate(vec![1], vec![AggFunc::Avg(0), AggFunc::CountStar]),
+        AggShape::Scalar => joined.aggregate(vec![], vec![AggFunc::CountStar, AggFunc::Sum(0)]),
+    }
+}
+
+/// The per-run I/O counters that must match exactly between drivers
+/// (`distinct_pages` is a monotone per-database set, so its *delta*
+/// differs between a first and a repeated run of the same query).
+fn io_key(io: &IoStatsDelta) -> (u64, u64, u64, u64, u64) {
+    (io.io_requests, io.pages_read, io.seq_pages, io.rand_pages, io.buffer_hits)
+}
+
+/// Cold-run through the Volcano row-at-a-time oracle on a fresh database.
+///
+/// Every driver run in this suite gets its own (deterministically
+/// identical) database: the disk model classifies a transfer as
+/// sequential when it physically continues the previous one, so two runs
+/// sharing one database are *not* independent — the second run's first
+/// transfer may continue the first run's last page. Fresh databases make
+/// each measurement exactly the cold run the serial driver would see.
+fn run_volcano(plan: &LogicalPlan) -> QueryResult {
+    let db = database(900);
+    let mut op = db.build(plan).expect("plan builds");
+    db.storage().flush_pool();
+    let clock0 = db.storage().clock().snapshot();
+    let io0 = db.storage().io_snapshot();
+    let rows = collect_rows_volcano(op.as_mut()).expect("volcano run");
+    let stats = RunStats {
+        rows: rows.len() as u64,
+        clock: db.storage().clock().snapshot().since(&clock0),
+        io: db.storage().io_snapshot().since(&io0),
+    };
+    QueryResult { rows, stats }
+}
+
+/// Cold-run through `Database::run` at a fixed worker count, again on a
+/// fresh database.
+fn run_with_workers(plan: &LogicalPlan, workers: usize) -> QueryResult {
+    let mut db = database(900);
+    db.set_workers(workers);
+    db.run(plan).expect("driver run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rows, virtual clock and I/O counters are identical across the
+    /// Volcano, columnar and parallel drivers for random plans.
+    #[test]
+    fn drivers_agree_on_random_plans(
+        access in access_strategy(),
+        lo in 0i64..300,
+        width in 0i64..330,
+        residual in prop_oneof![2 => Just(None), 1 => (0i64..900).prop_map(Some)],
+        join in join_strategy(),
+        agg in agg_strategy(),
+    ) {
+        let plan = plan_for(&access, lo, width, residual, join, agg);
+        let context = format!("{access:?} lo={lo} width={width} res={residual:?} {join:?} {agg:?}");
+
+        // Oracle: the Volcano row-at-a-time driver.
+        let volcano = run_volcano(&plan);
+
+        // Single-threaded columnar driver.
+        let columnar = run_with_workers(&plan, 1);
+        prop_assert!(columnar.rows == volcano.rows, "columnar rows diverge: {context}");
+        prop_assert!(
+            (columnar.stats.clock.cpu_ns, columnar.stats.clock.io_ns)
+                == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+            "columnar clock diverges: {context} ({:?} vs {:?})",
+            columnar.stats.clock,
+            volcano.stats.clock
+        );
+        prop_assert!(
+            io_key(&columnar.stats.io) == io_key(&volcano.stats.io),
+            "columnar I/O diverges: {context}"
+        );
+
+        // Parallel driver at every worker count.
+        for workers in WORKER_GRID {
+            let parallel = run_with_workers(&plan, workers);
+            prop_assert!(
+                parallel.rows == volcano.rows,
+                "parallel rows diverge at {workers} workers: {context}"
+            );
+            prop_assert!(
+                (parallel.stats.clock.cpu_ns, parallel.stats.clock.io_ns)
+                    == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "parallel clock diverges at {workers} workers: {context} ({:?} vs {:?})",
+                parallel.stats.clock,
+                volcano.stats.clock
+            );
+            prop_assert!(
+                io_key(&parallel.stats.io) == io_key(&volcano.stats.io),
+                "parallel I/O diverges at {workers} workers: {context}"
+            );
+        }
+    }
+
+    /// Ordered Smooth Scan with Result-Cache spilling: the PR 3 latent
+    /// divergence regime, pinned across drivers and spill thresholds.
+    #[test]
+    fn drivers_agree_on_ordered_smooth_scan_with_spill(
+        lo in 0i64..200,
+        width in 1i64..300,
+        spill in 10usize..200,
+        partitions in 2usize..24,
+    ) {
+        let mut cfg = SmoothScanConfig::default().with_order(true);
+        cfg.result_cache_spill = Some(spill);
+        cfg.result_cache_partitions = partitions;
+        let plan = plan_for(&AccessPathChoice::Smooth(cfg), lo, width, None,
+            JoinShape::None, AggShape::None);
+        let volcano = run_volcano(&plan);
+        let columnar = run_with_workers(&plan, 1);
+        prop_assert!(columnar.rows == volcano.rows, "rows diverge (spill={spill})");
+        prop_assert!(
+            (columnar.stats.clock.cpu_ns, columnar.stats.clock.io_ns)
+                == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+            "ordered+spill clock diverges (spill={spill}, partitions={partitions}): {:?} vs {:?}",
+            columnar.stats.clock,
+            volcano.stats.clock
+        );
+        for workers in [2usize, 8] {
+            let parallel = run_with_workers(&plan, workers);
+            prop_assert!(parallel.rows == volcano.rows);
+            prop_assert!(
+                (parallel.stats.clock.cpu_ns, parallel.stats.clock.io_ns)
+                    == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "parallel ordered+spill clock diverges at {workers} workers"
+            );
+        }
+    }
+}
