@@ -16,6 +16,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod join;
 pub mod parallel;
+pub mod serve;
 
 /// Known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
@@ -37,6 +38,7 @@ pub const ALL: &[&str] = &[
     "columnar",
     "parallel",
     "join",
+    "serve",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -59,6 +61,7 @@ pub fn run(id: &str) -> bool {
         "columnar" => columnar::run(),
         "parallel" => parallel::run(),
         "join" => join::run(),
+        "serve" => serve::run(),
         _ => return false,
     }
     true

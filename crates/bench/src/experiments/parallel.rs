@@ -129,6 +129,26 @@ pub fn run() {
             );
         }
 
+        // How source-bound the shape is: the modeled time workers spend
+        // blocked on the serialized source lock at 4 workers
+        // (deterministic, from the ledger), next to the lock wait the
+        // 4-worker run actually measured (wall time — host-dependent,
+        // informational).
+        db.set_workers(4);
+        let measured = db.run(&plan).expect("measured run");
+        json_metric(Metric::info(
+            format!("parallel.{shape}.sel10.model_src_wait_ms.w4"),
+            ledger.modeled_src_wait_ns(4) as f64 / 1e6,
+            "virtual_ms",
+            false,
+        ));
+        json_metric(Metric::info(
+            format!("parallel.{shape}.sel10.measured_lock_wait_ms.w4"),
+            measured.scan.lock_wait_ns as f64 / 1e6,
+            "wall_ms",
+            false,
+        ));
+
         let speedups: Vec<f64> = [2, 4, 8].iter().map(|&w| ledger.speedup(w)).collect();
         table.row(vec![
             shape.into(),

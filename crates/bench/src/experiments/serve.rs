@@ -1,0 +1,250 @@
+//! Concurrent multi-session serving on the shared engine.
+//!
+//! Not a paper figure: this experiment records what PR 6 buys — one
+//! engine-global worker pool serving several sessions at once instead
+//! of executing queries one at a time. Four deterministic client
+//! sessions each drive one shape of a mixed plan set (filtered scan,
+//! scalar aggregate, grouped average, hash join) against a single
+//! shared [`Database`] on the NVMe-like profile.
+//!
+//! **Gates.** As everywhere in this repo, only machine-comparable
+//! numbers gate (see `report.rs`). The headline metric is the modeled
+//! throughput ratio `serve.mixed.model_qps_ratio.w4`: the deterministic
+//! greedy schedule of all four queries' traced virtual-clock ledgers
+//! over one shared 4-worker pool
+//! ([`smooth_executor::multi_query_makespan_ns`]), compared against
+//! running the same four queries one at a time at the same worker
+//! count. The ratio is > 1 exactly because cross-query scheduling fills
+//! the stalls each query's serialized source chain leaves on the pool
+//! with another query's decode work — and it is bit-stable across
+//! machines. Wall-clock queries/s is reported ungated.
+//!
+//! **Correctness leg.** The experiment also runs the four sessions for
+//! real on `std::thread` and hard-asserts every session's rows — and
+//! per-query [`smooth_planner::QueryResult::scan`] row attribution —
+//! are identical to a solo run of the same plan. Rows must be
+//! interleaving-invariant; virtual clock and I/O are legitimately *not*
+//! (the sessions share one disk arm and one buffer pool), so they stay
+//! unasserted here and byte-identical single-session elsewhere.
+
+use std::time::Instant;
+
+use smooth_executor::{
+    multi_query_makespan_ns, run_pipeline_traced, AggFunc, JoinType, ScalingLedger,
+};
+use smooth_planner::{AccessPathChoice, Database, JoinStrategy, LogicalPlan, ScanSpec};
+use smooth_storage::DeviceProfile;
+use smooth_workload::micro;
+
+use crate::report::{json_metric, Metric, Report};
+use crate::setup;
+
+/// Concurrent client sessions (one per mixed-set shape).
+pub const SESSIONS: usize = 4;
+/// Worker-pool width the gate models and the real leg runs.
+pub const WORKERS: usize = 4;
+/// Floor on the modeled 4-worker throughput ratio of serving the mixed
+/// set concurrently vs one at a time.
+pub const MODEL_QPS_RATIO_FLOOR: f64 = 1.05;
+/// Times each real session repeats its plan (exercises steady-state
+/// admission, not just a single burst).
+const REPEATS: usize = 2;
+
+/// NVMe-like profile (same as the `parallel` and `join` experiments):
+/// the regime where queries are CPU-bound enough for the pool to matter.
+fn nvme() -> DeviceProfile {
+    DeviceProfile::custom("nvme", 3_000, 6_000)
+}
+
+/// The mixed plan set: one shape per session.
+fn plans() -> Vec<(&'static str, LogicalPlan)> {
+    let scan = micro::query(0.1, false, AccessPathChoice::ForceFull);
+    let agg = micro::query(0.1, false, AccessPathChoice::ForceFull).aggregate(
+        vec![],
+        vec![AggFunc::CountStar, AggFunc::Sum(2), AggFunc::Min(0), AggFunc::Max(0)],
+    );
+    let group = micro::query(0.01, false, AccessPathChoice::ForceFull)
+        .aggregate(vec![micro::C2], vec![AggFunc::Avg(2), AggFunc::CountStar]);
+    let join = micro::query(1.0, false, AccessPathChoice::ForceFull)
+        .join(
+            LogicalPlan::scan(
+                ScanSpec::new(micro::TABLE, micro::predicate(0.1))
+                    .with_access(AccessPathChoice::ForceFull),
+            ),
+            micro::C2,
+            micro::C2,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+        )
+        .aggregate(vec![], vec![AggFunc::CountStar, AggFunc::Sum(0)]);
+    vec![("scan", scan), ("agg", agg), ("group", group), ("join", join)]
+}
+
+/// Cold-run the plan through the traced single-worker pipeline.
+fn traced_run(db: &Database, plan: &LogicalPlan) -> (usize, ScalingLedger) {
+    let pipeline = db.parallel_pipeline(plan).expect("plan builds").expect("plan parallelizes");
+    db.storage().flush_pool();
+    let (rows, ledger) = run_pipeline_traced(pipeline).expect("traced run");
+    (rows.len(), ledger)
+}
+
+/// Run the serving experiment: the modeled throughput gate and the real
+/// concurrent-session correctness leg.
+pub fn run() {
+    let mut db = setup::micro_db(nvme());
+    let mixed = plans();
+    let mut table = Report::new(
+        "serve",
+        "N concurrent sessions on one shared engine, mixed plan set (modeled qps ratio \
+         from the per-query virtual-clock ledgers; wall qps is host-dependent and ungated)",
+        &["shape", "rows", "rows_processed", "pages_read", "virtual_ms_1w"],
+    );
+
+    // Solo references: per-plan rows + per-query scan statistics through
+    // the shared scheduler (one session, nothing else running), and the
+    // traced ledgers the multi-query model consumes.
+    db.set_workers(WORKERS);
+    db.set_max_queries(SESSIONS);
+    let solo: Vec<_> = mixed
+        .iter()
+        .map(|(shape, plan)| {
+            let got = db.session().run(plan).expect("solo run");
+            let (n_traced, ledger) = traced_run(&db, plan);
+            assert_eq!(n_traced, got.rows.len(), "{shape}: traced row count");
+            table.row(vec![
+                (*shape).into(),
+                got.rows.len().to_string(),
+                got.scan.rows_processed.to_string(),
+                got.scan.pages_read.to_string(),
+                format!("{:.2}", ledger.total_ns() as f64 / 1e6),
+            ]);
+            // Per-query scan statistics, surfaced in the JSON report
+            // (deterministic when the query runs alone).
+            json_metric(Metric::info(
+                format!("serve.{shape}.scan.rows_processed"),
+                got.scan.rows_processed as f64,
+                "rows",
+                true,
+            ));
+            json_metric(Metric::info(
+                format!("serve.{shape}.scan.pages_read"),
+                got.scan.pages_read as f64,
+                "pages",
+                false,
+            ));
+            json_metric(Metric::info(
+                format!("serve.{shape}.scan.mb_read"),
+                got.scan.mb_read(),
+                "mb",
+                false,
+            ));
+            (got.rows, got.scan, ledger)
+        })
+        .collect();
+
+    // The deterministic throughput model: four traced queries over one
+    // shared pool vs the same four chained one at a time.
+    let ledgers: Vec<ScalingLedger> = solo.iter().map(|(_, _, l)| l.clone()).collect();
+    let chained: u64 = ledgers.iter().map(|l| l.makespan_ns(WORKERS)).sum();
+    let served = multi_query_makespan_ns(&ledgers, WORKERS, SESSIONS);
+    let ratio = chained as f64 / served.max(1) as f64;
+    let modeled_wait: u64 = ledgers.iter().map(|l| l.modeled_src_wait_ns(WORKERS)).sum();
+    json_metric(
+        Metric::gated(format!("serve.mixed.model_qps_ratio.w{WORKERS}"), ratio, "x", true)
+            .with_floor(MODEL_QPS_RATIO_FLOOR),
+    );
+    json_metric(Metric::info(
+        format!("serve.mixed.model_src_wait_ms.w{WORKERS}"),
+        modeled_wait as f64 / 1e6,
+        "virtual_ms",
+        false,
+    ));
+
+    // The real concurrent leg: one thread per session, every run's rows
+    // and scan attribution must equal the solo run exactly.
+    let wall = Instant::now();
+    let lock_wait_ns: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = mixed
+            .iter()
+            .zip(&solo)
+            .map(|((shape, plan), (rows, scan, _))| {
+                let db = &db;
+                scope.spawn(move || {
+                    let session = db.session();
+                    let mut wait = 0u64;
+                    for _ in 0..REPEATS {
+                        let got = session.run(plan).expect("concurrent run");
+                        assert_eq!(&got.rows, rows, "{shape}: concurrent rows diverge from solo");
+                        assert_eq!(
+                            got.scan.rows_processed, scan.rows_processed,
+                            "{shape}: per-query row attribution diverges under concurrency"
+                        );
+                        wait += got.scan.lock_wait_ns;
+                    }
+                    wait
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread")).sum()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let queries = (SESSIONS * REPEATS) as f64;
+    json_metric(Metric::info("serve.mixed.wall_qps.w4", queries / elapsed.max(1e-12), "qps", true));
+    json_metric(Metric::info(
+        "serve.mixed.measured_lock_wait_ms",
+        lock_wait_ns as f64 / 1e6,
+        "wall_ms",
+        false,
+    ));
+
+    table.finish();
+    println!(
+        "  [modeled qps ratio {ratio:.3}x over one-at-a-time at {WORKERS} workers; \
+         {queries:.0} concurrent queries row-identical to solo]"
+    );
+
+    // Survives to the report only after every concurrent-equality assert
+    // held (the serve analogue of the clock_match gates).
+    json_metric(Metric::gated("serve.mixed.rows_match", 1.0, "bool", true).with_floor(1.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke-scale gate invariants: the modeled concurrent-serving
+    /// ratio clears the committed floor, and real concurrent sessions
+    /// return solo-identical rows.
+    #[test]
+    fn model_ratio_clears_floor_and_concurrent_rows_match() {
+        let mut db = setup::micro_db(nvme());
+        db.set_workers(WORKERS);
+        db.set_max_queries(SESSIONS);
+        let mixed = plans();
+        let solo: Vec<_> = mixed
+            .iter()
+            .map(|(_, plan)| {
+                let rows = db.session().run(plan).expect("solo").rows;
+                let (_, ledger) = traced_run(&db, plan);
+                (rows, ledger)
+            })
+            .collect();
+        let ledgers: Vec<ScalingLedger> = solo.iter().map(|(_, l)| l.clone()).collect();
+        let chained: u64 = ledgers.iter().map(|l| l.makespan_ns(WORKERS)).sum();
+        let served = multi_query_makespan_ns(&ledgers, WORKERS, SESSIONS);
+        let ratio = chained as f64 / served.max(1) as f64;
+        assert!(
+            ratio >= MODEL_QPS_RATIO_FLOOR,
+            "modeled serving ratio {ratio:.3} under the {MODEL_QPS_RATIO_FLOOR} floor"
+        );
+        std::thread::scope(|scope| {
+            for ((shape, plan), (rows, _)) in mixed.iter().zip(&solo) {
+                let db = &db;
+                scope.spawn(move || {
+                    let got = db.session().run(plan).expect("concurrent").rows;
+                    assert_eq!(&got, rows, "{shape}: concurrent rows diverge");
+                });
+            }
+        });
+    }
+}

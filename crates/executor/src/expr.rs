@@ -516,6 +516,7 @@ impl ScanFilter {
     /// Decode the encoded tuple `bytes` if it qualifies; `None` otherwise.
     pub fn filter_decode(&mut self, schema: &Schema, bytes: &[u8]) -> Result<Option<Row>> {
         if matches!(self.predicate, Predicate::True) {
+            smooth_storage::tap_rows(1, 1);
             return Ok(Some(Row::decode(schema, bytes)?));
         }
         let matched = if self.probe_pays() {
@@ -531,6 +532,7 @@ impl ScanFilter {
             self.matched += u64::from(matched);
             matched.then_some(row)
         };
+        smooth_storage::tap_rows(1, u64::from(matched.is_some()));
         Ok(matched)
     }
 
@@ -557,6 +559,7 @@ impl ScanFilter {
             for t in tuples {
                 out.push_tuple(schema, t)?;
             }
+            smooth_storage::tap_rows(inspected, inspected);
             return Ok((inspected, inspected));
         }
         let mut emitted = 0u64;
@@ -597,6 +600,7 @@ impl ScanFilter {
         }
         self.probed += inspected;
         self.matched += emitted;
+        smooth_storage::tap_rows(inspected, emitted);
         Ok((inspected, emitted))
     }
 }

@@ -45,6 +45,7 @@ pub mod join;
 pub mod operator;
 pub mod parallel;
 pub mod scan;
+pub mod schedule;
 pub mod sort;
 
 pub use agg::{AggFunc, HashAggregate};
@@ -58,8 +59,9 @@ pub use operator::{
     batch_size, collect_rows, collect_rows_batch, collect_rows_volcano, BoxedOperator, Operator,
 };
 pub use parallel::{
-    run_pipeline, run_pipeline_traced, BuildSpec, Morsel, ParallelPipeline, ParallelSource,
-    ScalingLedger, SinkSpec, StageSpec,
+    multi_query_makespan_ns, run_pipeline, run_pipeline_traced, BuildSpec, Morsel,
+    ParallelPipeline, ParallelSource, ScalingLedger, SinkSpec, StageSpec,
 };
 pub use scan::{FullTableScan, IndexScan, SortScan};
+pub use schedule::{QueryHandle, QueryOutput, Scheduler};
 pub use sort::Sort;

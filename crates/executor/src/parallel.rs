@@ -40,15 +40,23 @@
 //! per-worker **hash-partitioned** partial builds
 //! ([`crate::JoinBuildPartial`]: a payload [`ColumnBatch`] plus
 //! position-keyed match lists — no `Vec<Row>` anywhere), which then merge
-//! by global build position ([`crate::JoinBuildTable::merge_partition`],
-//! partitions merging in parallel) — mirroring the aggregate sink's
-//! first-seen-position rule, so the probe table is byte-identical to the
-//! serial [`crate::HashJoin`] build no matter which worker ingested
-//! which morsel. Grouped aggregates use per-worker partial maps merged by
-//! global first-seen position when the merge is exact
-//! ([`AggFunc::merge_exact`]), and otherwise fold on the ordered sink in
-//! morsel order so float sums stay byte-identical; plain row output is
-//! concatenated in morsel order.
+//! by global build position ([`crate::JoinBuildTable::merge_partition`]) —
+//! mirroring the aggregate sink's first-seen-position rule, so the probe
+//! table is byte-identical to the serial [`crate::HashJoin`] build no
+//! matter which worker ingested which morsel. Grouped aggregates use
+//! per-worker partial maps merged by global first-seen position when the
+//! merge is exact ([`AggFunc::merge_exact`]), and otherwise fold on the
+//! ordered sink in morsel order so float sums stay byte-identical; plain
+//! row output is concatenated in morsel order.
+//!
+//! Multi-worker execution lives in [`crate::schedule`]: since the
+//! engine-global refactor the worker pool belongs to a persistent
+//! [`crate::Scheduler`] serving *queries* (each an independent phase
+//! state machine with its own source lock and sink), not to a single
+//! pipeline run. [`run_pipeline`] at `workers > 1` submits the pipeline
+//! as the sole query of an ephemeral scheduler; this module keeps the
+//! specs, the per-morsel machinery (sources, stages, partial sinks) and
+//! the single-worker inline driver that the traced ledger runs on.
 //!
 //! [`run_pipeline_traced`] additionally records a per-morsel
 //! virtual-clock ledger ([`ScalingLedger`]) — now with separate
@@ -60,16 +68,15 @@
 //! build hosts), it is bit-stable across machines.
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use smooth_storage::{HeapFile, PageBuf, PageView, Storage};
 use smooth_types::{ColumnBatch, Error, PageId, Result, Row, Schema, Value};
 
 use crate::agg::Acc;
 use crate::expr::{Predicate, ScanFilter};
-use crate::join::{BuildRef, JoinBuildPartial, JoinBuildTable, PartialPartition};
+use crate::join::{JoinBuildPartial, JoinBuildTable};
 use crate::operator::BoxedOperator;
 use crate::scan::fill_page_columns;
 use crate::{AggFunc, JoinType};
@@ -137,7 +144,7 @@ pub enum ParallelSource {
 
 impl ParallelSource {
     /// The schema of the morsels this source emits.
-    fn schema(&self) -> Schema {
+    pub(crate) fn schema(&self) -> Schema {
         match self {
             ParallelSource::Heap { heap, .. } => heap.schema().clone(),
             ParallelSource::Shared { op } => op.schema().clone(),
@@ -220,16 +227,16 @@ pub struct ParallelPipeline {
 
 /// A shared, read-only hash-join probe table: the merged columnar build
 /// plus the probe-side key ordinal and join semantics.
-struct ProbeTable {
-    table: JoinBuildTable,
-    left_col: usize,
-    ty: JoinType,
+pub(crate) struct ProbeTable {
+    pub(crate) table: JoinBuildTable,
+    pub(crate) left_col: usize,
+    pub(crate) ty: JoinType,
 }
 
 /// A runtime stage (build references resolved; the probe stage carries
 /// its output schema so gathered batches type correctly).
 #[derive(Clone)]
-enum Stage {
+pub(crate) enum Stage {
     Filter(Predicate),
     Project(Vec<usize>),
     Probe(Arc<ProbeTable>, Schema),
@@ -321,34 +328,41 @@ type FirstPos = (u64, u64);
 /// A (partial) grouped-aggregation state — per worker when the merge is
 /// exact, on the ordered sink otherwise. Accumulator semantics and
 /// clock charges mirror [`crate::HashAggregate`] exactly.
-struct PartialAgg {
+pub(crate) struct PartialAgg {
     group_cols: Vec<usize>,
     aggs: Vec<AggFunc>,
     groups: HashMap<Vec<Value>, (FirstPos, Vec<Acc>)>,
 }
 
 impl PartialAgg {
-    fn new(group_cols: &[usize], aggs: &[AggFunc]) -> Self {
+    pub(crate) fn new(group_cols: &[usize], aggs: &[AggFunc]) -> Self {
         PartialAgg { group_cols: group_cols.to_vec(), aggs: aggs.to_vec(), groups: HashMap::new() }
     }
 
     /// Fold one morsel in, charging `(hash + update·|aggs|)` per live
     /// row — the serial operator's per-batch bulk charge, which is
     /// per-row underneath and therefore boundary-independent.
-    fn update(&mut self, storage: &Storage, seq: u64, morsel: &Morsel) -> Result<()> {
+    pub(crate) fn update(&mut self, storage: &Storage, seq: u64, morsel: &Morsel) -> Result<()> {
         let cpu = *storage.cpu();
         storage.clock().charge_cpu(
             (cpu.hash_op_ns + cpu.agg_update_ns * self.aggs.len() as u64) * morsel.len() as u64,
         );
+        // A partial is no longer fed by one worker in monotone seq
+        // order: the scheduler's slot pool hands a partial to whichever
+        // worker frees up next, so one slot can fold seq 3 before
+        // seq 2. Minimizing the first-seen position on *every* row (not
+        // just on insert) keeps the recorded position equal to the
+        // global first occurrence regardless of fold order.
         let PartialAgg { group_cols, aggs, groups } = self;
         match morsel {
             Morsel::Cols(batch) => {
                 for (idx, phys) in batch.live_rows().enumerate() {
                     let key: Vec<Value> =
                         group_cols.iter().map(|&c| batch.column(c).value(phys)).collect();
-                    let (_, accs) = groups.entry(key).or_insert_with(|| {
-                        ((seq, idx as u64), aggs.iter().map(Acc::new).collect())
+                    let (pos, accs) = groups.entry(key).or_insert_with(|| {
+                        ((u64::MAX, u64::MAX), aggs.iter().map(Acc::new).collect())
                     });
+                    *pos = (*pos).min((seq, idx as u64));
                     for (acc, f) in accs.iter_mut().zip(aggs.iter()) {
                         acc.update_columns(f, batch, phys)?;
                     }
@@ -357,9 +371,10 @@ impl PartialAgg {
             Morsel::Rows(rows) => {
                 for (idx, row) in rows.iter().enumerate() {
                     let key: Vec<Value> = group_cols.iter().map(|&c| row.get(c).clone()).collect();
-                    let (_, accs) = groups.entry(key).or_insert_with(|| {
-                        ((seq, idx as u64), aggs.iter().map(Acc::new).collect())
+                    let (pos, accs) = groups.entry(key).or_insert_with(|| {
+                        ((u64::MAX, u64::MAX), aggs.iter().map(Acc::new).collect())
                     });
+                    *pos = (*pos).min((seq, idx as u64));
                     for (acc, f) in accs.iter_mut().zip(aggs.iter()) {
                         acc.update_values(f, row.values())?;
                     }
@@ -371,7 +386,7 @@ impl PartialAgg {
 
     /// Combine another worker's partial in (order-independent: the
     /// caller guarantees every aggregate merges exactly).
-    fn merge(&mut self, other: PartialAgg) {
+    pub(crate) fn merge(&mut self, other: PartialAgg) {
         for (key, (pos, accs)) in other.groups {
             match self.groups.entry(key) {
                 Entry::Vacant(slot) => {
@@ -391,7 +406,7 @@ impl PartialAgg {
     /// Emit the groups in global first-seen order (a scalar aggregate
     /// over empty input still yields one row, as in the serial
     /// operator).
-    fn finish(mut self) -> Vec<Row> {
+    pub(crate) fn finish(mut self) -> Vec<Row> {
         if self.groups.is_empty() && self.group_cols.is_empty() {
             self.groups.insert(Vec::new(), ((0, 0), self.aggs.iter().map(Acc::new).collect()));
         }
@@ -409,7 +424,7 @@ impl PartialAgg {
 }
 
 /// What the source hands a worker under the lock.
-enum SourceItem {
+pub(crate) enum SourceItem {
     /// A page run still to be probed + decoded (worker-side CPU).
     Pages(Vec<(PageId, PageBuf)>),
     /// A ready columnar morsel pulled from a shared operator.
@@ -418,13 +433,13 @@ enum SourceItem {
 
 /// The serial section: pulled in morsel order under one lock, so all
 /// charged I/O happens in exactly the single-threaded order.
-enum SourceCore {
+pub(crate) enum SourceCore {
     Heap { heap: Arc<HeapFile>, next: u32, readahead: u32 },
     Shared { op: BoxedOperator, max: usize },
 }
 
 impl SourceCore {
-    fn pull(&mut self, storage: &Storage) -> Result<Option<SourceItem>> {
+    pub(crate) fn pull(&mut self, storage: &Storage) -> Result<Option<SourceItem>> {
         match self {
             SourceCore::Heap { heap, next, readahead } => {
                 let total = heap.page_count();
@@ -440,7 +455,7 @@ impl SourceCore {
         }
     }
 
-    fn close(self) -> Result<()> {
+    pub(crate) fn close(self) -> Result<()> {
         match self {
             SourceCore::Heap { .. } => Ok(()),
             SourceCore::Shared { mut op, .. } => op.close(),
@@ -450,7 +465,7 @@ impl SourceCore {
 
 /// Open a [`ParallelSource`] into its locked core plus (for heap
 /// sources) the thread-local decoder recipe.
-fn open_source(
+pub(crate) fn open_source(
     source: ParallelSource,
     morsel_rows: usize,
 ) -> Result<(SourceCore, Option<(Schema, Predicate)>)> {
@@ -470,13 +485,13 @@ fn open_source(
 }
 
 /// Thread-local decode state for the partitioned heap source.
-struct HeapDecoder {
+pub(crate) struct HeapDecoder {
     schema: Schema,
     filter: ScanFilter,
 }
 
 impl HeapDecoder {
-    fn new(schema: Schema, predicate: Predicate) -> Self {
+    pub(crate) fn new(schema: Schema, predicate: Predicate) -> Self {
         let filter = ScanFilter::new(predicate, &schema);
         HeapDecoder { schema, filter }
     }
@@ -499,7 +514,7 @@ impl HeapDecoder {
 }
 
 /// Run one source item through the worker's stage chain.
-fn process_item(
+pub(crate) fn process_item(
     item: SourceItem,
     decoder: &mut Option<HeapDecoder>,
     stages: &[Stage],
@@ -561,19 +576,24 @@ impl ScalingLedger {
     /// Greedy list-schedule of one phase: source sections serialize in
     /// morsel order (one lock, one disk arm), worker sections pack onto
     /// the earliest-free worker (the dynamic claiming the driver
-    /// performs), sink sections serialize on the coordinator.
-    fn schedule(
+    /// performs), sink sections serialize on the coordinator. Returns
+    /// the phase end time plus the total time claiming workers sat
+    /// blocked on the source lock (the contention the per-morsel
+    /// `src_ns` hold sections induce at this worker count).
+    fn schedule_with_wait(
         start: u64,
         src: &[u64],
         proc: &[u64],
         sink: Option<&[u64]>,
         workers: usize,
-    ) -> u64 {
+    ) -> (u64, u64) {
         let mut worker_free = vec![start; workers];
         let mut src_free = start;
         let mut sink_free = start;
+        let mut wait = 0u64;
         for i in 0..src.len() {
             let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+            wait += src_free.saturating_sub(worker_free[w]);
             let src_done = worker_free[w].max(src_free) + src[i];
             src_free = src_done;
             worker_free[w] = src_done + proc[i];
@@ -581,7 +601,17 @@ impl ScalingLedger {
                 sink_free = sink_free.max(worker_free[w]) + sink[i];
             }
         }
-        worker_free.into_iter().max().unwrap_or(start).max(sink_free)
+        (worker_free.into_iter().max().unwrap_or(start).max(sink_free), wait)
+    }
+
+    fn schedule(
+        start: u64,
+        src: &[u64],
+        proc: &[u64],
+        sink: Option<&[u64]>,
+        workers: usize,
+    ) -> u64 {
+        Self::schedule_with_wait(start, src, proc, sink, workers).0
     }
 
     /// The per-build section ranges within the build vectors. The driver
@@ -635,6 +665,36 @@ impl ScalingLedger {
         self.makespan_ns(1) as f64 / self.makespan_ns(workers).max(1) as f64
     }
 
+    /// Modeled time workers spend blocked on the serialized source lock
+    /// at `workers` workers, summed over every build phase and the
+    /// probe phase. Zero at one worker by construction (the sole worker
+    /// never races itself for the lock); growth with the worker count
+    /// measures how source-bound the pipeline is.
+    pub fn modeled_src_wait_ns(&self, workers: usize) -> u64 {
+        let workers = workers.max(1);
+        let mut t = self.prefix_ns;
+        let mut wait = 0u64;
+        for seg in self.build_segments() {
+            let (end, w) = Self::schedule_with_wait(
+                t,
+                &self.build_src_ns[seg.clone()],
+                &self.build_proc_ns[seg],
+                None,
+                workers,
+            );
+            t = end;
+            wait += w;
+        }
+        wait + Self::schedule_with_wait(
+            t,
+            &self.src_ns,
+            &self.proc_ns,
+            Some(&self.sink_ns),
+            workers,
+        )
+        .1
+    }
+
     /// Makespan of the build phases alone (without the prefix).
     pub fn build_makespan_ns(&self, workers: usize) -> u64 {
         self.schedule_builds(0, workers.max(1))
@@ -645,11 +705,177 @@ impl ScalingLedger {
     pub fn build_speedup(&self, workers: usize) -> f64 {
         self.build_makespan_ns(1) as f64 / self.build_makespan_ns(workers).max(1) as f64
     }
+
+    /// The per-phase morsel sections in execution order: every build
+    /// segment (source + worker sections, no sink) followed by the
+    /// probe phase (source + worker + ordered-sink sections). Input to
+    /// the multi-query model.
+    fn phases(&self) -> Vec<SimPhase<'_>> {
+        let mut phases: Vec<SimPhase<'_>> = self
+            .build_segments()
+            .into_iter()
+            .map(|seg| SimPhase {
+                src: &self.build_src_ns[seg.clone()],
+                proc: &self.build_proc_ns[seg],
+                sink: None,
+            })
+            .collect();
+        phases.push(SimPhase { src: &self.src_ns, proc: &self.proc_ns, sink: Some(&self.sink_ns) });
+        phases
+    }
+}
+
+/// One phase of a traced query inside the multi-query model.
+struct SimPhase<'a> {
+    src: &'a [u64],
+    proc: &'a [u64],
+    sink: Option<&'a [u64]>,
+}
+
+/// One traced query's progress through its phases.
+struct SimQuery<'a> {
+    phases: Vec<SimPhase<'a>>,
+    prefix_ns: u64,
+    /// Current phase / next morsel within it.
+    phase: usize,
+    idx: usize,
+    /// Serialized per-query resources.
+    src_free: u64,
+    sink_free: u64,
+    /// Running completion max of the current phase (the barrier the
+    /// next phase waits behind).
+    phase_done: u64,
+    /// Earliest time the current phase may start.
+    avail: u64,
+    admitted: bool,
+    finished: Option<u64>,
+}
+
+impl SimQuery<'_> {
+    fn admit(&mut self, at: u64) {
+        self.admitted = true;
+        self.avail = at;
+        // The serial prefix (source open) heads the query's own
+        // serialized source chain.
+        self.src_free = at + self.prefix_ns;
+        self.sink_free = at;
+        self.phase_done = at + self.prefix_ns;
+        self.advance();
+    }
+
+    /// Cross empty phases / barrier into the next phase; mark finished
+    /// when every phase is drained.
+    fn advance(&mut self) {
+        while self.finished.is_none() {
+            match self.phases.get(self.phase) {
+                Some(p) if self.idx < p.src.len() => return,
+                Some(_) => {
+                    self.phase += 1;
+                    self.idx = 0;
+                    self.avail = self.phase_done;
+                }
+                None => self.finished = Some(self.phase_done.max(self.sink_free)),
+            }
+        }
+    }
+}
+
+/// Deterministic makespan of several traced queries served concurrently
+/// by one shared worker pool — the model behind the `serve`
+/// experiment's cross-query scheduling gate. Each query keeps exactly
+/// the single-query model's structure ([`ScalingLedger::makespan_ns`]):
+/// its own serialized source chain, its own ordered sink, and a barrier
+/// between build phases. The workers are shared: a freed worker claims
+/// the morsel that can start earliest across all admitted queries (ties
+/// to the lowest query index) — the greedy dynamic the cross-query
+/// scheduler performs. At most `max_queries` queries run at once;
+/// the rest wait FIFO and are admitted when a running query completes.
+/// With one query (or `max_queries == 1`) this reduces to chained
+/// single-query makespans by construction.
+pub fn multi_query_makespan_ns(
+    ledgers: &[ScalingLedger],
+    workers: usize,
+    max_queries: usize,
+) -> u64 {
+    let workers = workers.max(1);
+    let max_queries = max_queries.max(1);
+    let mut queries: Vec<SimQuery<'_>> = ledgers
+        .iter()
+        .map(|l| SimQuery {
+            phases: l.phases(),
+            prefix_ns: l.prefix_ns,
+            phase: 0,
+            idx: 0,
+            src_free: 0,
+            sink_free: 0,
+            phase_done: 0,
+            avail: 0,
+            admitted: false,
+            finished: None,
+        })
+        .collect();
+    let mut waiting: std::collections::VecDeque<usize> = (0..queries.len()).collect();
+    let mut makespan = 0u64;
+    // Admit one query at `at`; if it finishes instantly (empty ledger),
+    // its slot frees immediately — chain into the next waiting query.
+    fn admit_chain(
+        queries: &mut [SimQuery<'_>],
+        waiting: &mut std::collections::VecDeque<usize>,
+        mut at: u64,
+        makespan: &mut u64,
+    ) {
+        while let Some(next) = waiting.pop_front() {
+            queries[next].admit(at);
+            match queries[next].finished {
+                Some(end) => {
+                    *makespan = (*makespan).max(end);
+                    at = end;
+                }
+                None => break,
+            }
+        }
+    }
+    for _ in 0..max_queries.min(queries.len()) {
+        admit_chain(&mut queries, &mut waiting, 0, &mut makespan);
+    }
+    let mut worker_free = vec![0u64; workers];
+    loop {
+        // The earliest-free worker claims the earliest-startable morsel.
+        let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+        let claim = queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.admitted && q.finished.is_none())
+            .map(|(i, q)| (worker_free[w].max(q.avail).max(q.src_free), i))
+            .min();
+        let Some((start, qi)) = claim else { break };
+        let (src, proc, sink) = {
+            let q = &queries[qi];
+            let p = &q.phases[q.phase];
+            (p.src[q.idx], p.proc[q.idx], p.sink.map(|s| s[q.idx]))
+        };
+        let q = &mut queries[qi];
+        let src_done = start + src;
+        q.src_free = src_done;
+        let proc_done = src_done + proc;
+        worker_free[w] = proc_done;
+        q.phase_done = q.phase_done.max(proc_done);
+        if let Some(sink) = sink {
+            q.sink_free = q.sink_free.max(proc_done) + sink;
+        }
+        q.idx += 1;
+        q.advance();
+        if let Some(end) = q.finished {
+            makespan = makespan.max(end);
+            admit_chain(&mut queries, &mut waiting, end, &mut makespan);
+        }
+    }
+    makespan
 }
 
 /// The build-side output schema: the build source's schema pushed
 /// through the build stages' projections.
-fn staged_schema(mut schema: Schema, stages: &[StageSpec]) -> Result<Schema> {
+pub(crate) fn staged_schema(mut schema: Schema, stages: &[StageSpec]) -> Result<Schema> {
     for stage in stages {
         match stage {
             StageSpec::Filter(_) => {}
@@ -675,7 +901,7 @@ fn staged_schema(mut schema: Schema, stages: &[StageSpec]) -> Result<Schema> {
 }
 
 /// Resolve build-side stage specs (filters and projections only).
-fn resolve_build_stages(stages: &[StageSpec]) -> Result<Vec<Stage>> {
+pub(crate) fn resolve_build_stages(stages: &[StageSpec]) -> Result<Vec<Stage>> {
     stages
         .iter()
         .map(|spec| match spec {
@@ -689,23 +915,21 @@ fn resolve_build_stages(stages: &[StageSpec]) -> Result<Vec<Stage>> {
 }
 
 /// Ensure a morsel arriving at a build sink is columnar.
-fn build_batch(morsel: Morsel, schema: &Schema) -> Result<ColumnBatch> {
+pub(crate) fn build_batch(morsel: Morsel, schema: &Schema) -> Result<ColumnBatch> {
     match morsel {
         Morsel::Cols(batch) => Ok(batch),
         Morsel::Rows(rows) => ColumnBatch::from_rows(schema, &rows),
     }
 }
 
-/// Drain one build pipeline into its probe table, charging the clock
-/// exactly like the serial [`crate::HashJoin`] build (one hash op per
-/// build-input row, build-input I/O in serial morsel order). With more
-/// than one worker, morsels fan out into per-worker hash-partitioned
-/// partials and partitions merge in parallel; the merged table is
-/// byte-identical to the serial build either way.
+/// Drain one build pipeline into its probe table on the calling thread,
+/// charging the clock exactly like the serial [`crate::HashJoin`] build
+/// (one hash op per build-input row, build-input I/O in serial morsel
+/// order). Multi-worker builds run as a scheduler phase instead
+/// ([`crate::schedule`]); the merged table is byte-identical either way.
 fn run_build(
     spec: BuildSpec,
     storage: &Storage,
-    workers: usize,
     morsel_rows: usize,
     ledger: Option<&mut ScalingLedger>,
 ) -> Result<ProbeTable> {
@@ -718,20 +942,8 @@ fn run_build(
     }
     let stages = resolve_build_stages(&stages)?;
     let (core, decoder_spec) = open_source(source, morsel_rows)?;
-    let table = if workers <= 1 {
-        build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?
-    } else {
-        build_threaded(
-            core,
-            decoder_spec,
-            &stages,
-            &schema,
-            right_col,
-            partitions,
-            storage,
-            workers,
-        )?
-    };
+    let table =
+        build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?;
     Ok(ProbeTable { table, left_col, ty })
 }
 
@@ -772,131 +984,6 @@ fn build_inline(
     Ok(partial.into_table(schema))
 }
 
-/// Multi-worker partitioned build: phase 1 claims build morsels under
-/// the source lock and folds them into per-worker partials; phase 2
-/// merges the hash partitions (claimed by index) in parallel.
-#[allow(clippy::too_many_arguments)]
-fn build_threaded(
-    core: SourceCore,
-    decoder_spec: Option<(Schema, Predicate)>,
-    stages: &[Stage],
-    schema: &Schema,
-    right_col: usize,
-    partitions: usize,
-    storage: &Storage,
-    workers: usize,
-) -> Result<JoinBuildTable> {
-    let cpu_hash = storage.cpu().hash_op_ns;
-    let source = Mutex::new(SourceState { core, seq: 0, done: false });
-    let stop = AtomicBool::new(false);
-    let first_err: Mutex<Option<(u64, Error)>> = Mutex::new(None);
-    let record_err = |seq: u64, e: Error| {
-        stop.store(true, Ordering::Relaxed);
-        let mut guard = first_err.lock().expect("error lock");
-        if guard.as_ref().is_none_or(|(s, _)| seq < *s) {
-            *guard = Some((seq, e));
-        }
-    };
-    let mut slots: Vec<Option<JoinBuildPartial>> = (0..workers).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for slot in slots.iter_mut() {
-            let storage = storage.clone();
-            let mut decoder =
-                decoder_spec.as_ref().map(|(s, p)| HeapDecoder::new(s.clone(), p.clone()));
-            let mut partial = JoinBuildPartial::new(schema, right_col, partitions);
-            let source = &source;
-            let stop = &stop;
-            let record_err = &record_err;
-            scope.spawn(move || {
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let pulled = {
-                        let mut guard = source.lock().expect("build source lock");
-                        if guard.done {
-                            None
-                        } else {
-                            match guard.core.pull(&storage) {
-                                Ok(Some(item)) => {
-                                    let seq = guard.seq;
-                                    guard.seq += 1;
-                                    Some((seq, item))
-                                }
-                                Ok(None) => {
-                                    guard.done = true;
-                                    None
-                                }
-                                Err(e) => {
-                                    guard.done = true;
-                                    record_err(guard.seq, e);
-                                    None
-                                }
-                            }
-                        }
-                    };
-                    let Some((seq, item)) = pulled else { break };
-                    let outcome = process_item(item, &mut decoder, stages, &storage)
-                        .and_then(|morsel| build_batch(morsel, schema))
-                        .and_then(|batch| {
-                            storage.clock().charge_cpu(cpu_hash * batch.len() as u64);
-                            partial.fold(seq, batch)
-                        });
-                    if let Err(e) = outcome {
-                        record_err(seq, e);
-                        break;
-                    }
-                }
-                *slot = Some(partial);
-            });
-        }
-    });
-    source.into_inner().expect("build source lock").core.close()?;
-    if let Some((_, e)) = first_err.into_inner().expect("error lock") {
-        return Err(e);
-    }
-    // Transpose per-worker partials into per-partition worker maps.
-    let mut payloads = Vec::with_capacity(workers);
-    let mut per_part: Vec<Vec<PartialPartition>> =
-        (0..partitions).map(|_| Vec::with_capacity(workers)).collect();
-    for slot in slots {
-        let (payload, parts) = slot.expect("worker finished").into_parts();
-        payloads.push(payload);
-        for (p, map) in parts.into_iter().enumerate() {
-            per_part[p].push(map);
-        }
-    }
-    // Merge partitions in parallel: disjoint key sets, claimed by index.
-    let work: Vec<Mutex<Option<Vec<PartialPartition>>>> =
-        per_part.into_iter().map(|maps| Mutex::new(Some(maps))).collect();
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, HashMap<Value, Vec<BuildRef>>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(work.len()) {
-            let tx = tx.clone();
-            let work = &work;
-            let next = &next;
-            scope.spawn(move || loop {
-                let p = next.fetch_add(1, Ordering::Relaxed);
-                if p >= work.len() {
-                    break;
-                }
-                let maps = work[p].lock().expect("merge lock").take().expect("claimed once");
-                if tx.send((p, JoinBuildTable::merge_partition(maps))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-    });
-    let mut merged: Vec<HashMap<Value, Vec<BuildRef>>> =
-        (0..partitions).map(|_| HashMap::new()).collect();
-    for (p, map) in rx {
-        merged[p] = map;
-    }
-    Ok(JoinBuildTable::from_merged(schema, right_col, payloads, merged))
-}
-
 /// Everything a pipeline run needs after the open/build prefix.
 struct Prepared {
     core: SourceCore,
@@ -906,14 +993,9 @@ struct Prepared {
     storage: Storage,
 }
 
-/// Open the source, run the builds (bottom-up, exactly the serial open
-/// cascade's order — each one a parallel phase at `workers` workers),
-/// and instantiate the runtime stages.
-fn prepare(
-    pipeline: ParallelPipeline,
-    workers: usize,
-    mut ledger: Option<&mut ScalingLedger>,
-) -> Result<Prepared> {
+/// Open the source, run the builds inline (bottom-up, exactly the serial
+/// open cascade's order), and instantiate the runtime stages.
+fn prepare(pipeline: ParallelPipeline, mut ledger: Option<&mut ScalingLedger>) -> Result<Prepared> {
     let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
     let clock = storage.clock();
     let open_start = clock.snapshot();
@@ -924,13 +1006,7 @@ fn prepare(
     }
     let mut tables = Vec::with_capacity(builds.len());
     for build in builds {
-        tables.push(Arc::new(run_build(
-            build,
-            &storage,
-            workers,
-            morsel_rows,
-            ledger.as_deref_mut(),
-        )?));
+        tables.push(Arc::new(run_build(build, &storage, morsel_rows, ledger.as_deref_mut())?));
         // Close this build's ledger segment: the next build (and the
         // probe phase) starts only after this one completed.
         if let Some(l) = ledger.as_deref_mut() {
@@ -963,13 +1039,16 @@ fn prepare(
 }
 
 /// Execute the pipeline on `workers` worker threads (1 runs inline on
-/// the calling thread). Returns the result rows, byte-identical to
+/// the calling thread; more submit it as the sole query of an ephemeral
+/// [`crate::Scheduler`]). Returns the result rows, byte-identical to
 /// [`crate::collect_rows`] over the equivalent serial operator tree.
 pub fn run_pipeline(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Row>> {
     if workers <= 1 {
         run_inline(pipeline, None)
     } else {
-        run_threaded(pipeline, workers)
+        let scheduler = crate::schedule::Scheduler::new(workers, 1);
+        let handle = scheduler.submit(pipeline)?;
+        Ok(handle.wait()?.rows)
     }
 }
 
@@ -988,7 +1067,7 @@ fn run_inline(
     let clock_storage = pipeline.storage.clone();
     let clock = clock_storage.clock();
     let Prepared { mut core, decoder_spec, stages, sink, storage } =
-        prepare(pipeline, 1, ledger.as_deref_mut())?;
+        prepare(pipeline, ledger.as_deref_mut())?;
     let mut decoder = decoder_spec.map(|(schema, pred)| HeapDecoder::new(schema, pred));
     let (mut agg, exact) = match &sink {
         SinkSpec::Collect => (None, false),
@@ -1032,162 +1111,11 @@ fn run_inline(
     Ok(rows)
 }
 
-/// Messages from workers to the ordered sink.
-enum Msg {
-    Out(u64, Morsel),
-    Partial(Box<PartialAgg>),
-    Fail(u64, Error),
-}
-
-struct SourceState {
-    core: SourceCore,
-    seq: u64,
-    done: bool,
-}
-
-fn run_threaded(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Row>> {
-    let Prepared { core, decoder_spec, stages, sink, storage } = prepare(pipeline, workers, None)?;
-    let (agg_spec, exact) = match &sink {
-        SinkSpec::Collect => (None, false),
-        SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
-            (Some((group_cols.clone(), aggs.clone())), *merge_exact)
-        }
-    };
-    let source = Mutex::new(SourceState { core, seq: 0, done: false });
-    let stop = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<Msg>();
-    let result = std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let stages = stages.clone();
-            let storage = storage.clone();
-            let mut decoder =
-                decoder_spec.as_ref().map(|(s, p)| HeapDecoder::new(s.clone(), p.clone()));
-            let mut agg =
-                if exact { agg_spec.as_ref().map(|(g, a)| PartialAgg::new(g, a)) } else { None };
-            let source = &source;
-            let stop = &stop;
-            scope.spawn(move || {
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let pulled = {
-                        let mut guard = source.lock().expect("source lock");
-                        if guard.done {
-                            None
-                        } else {
-                            match guard.core.pull(&storage) {
-                                Ok(Some(item)) => {
-                                    let seq = guard.seq;
-                                    guard.seq += 1;
-                                    Some((seq, item))
-                                }
-                                Ok(None) => {
-                                    guard.done = true;
-                                    None
-                                }
-                                Err(e) => {
-                                    guard.done = true;
-                                    stop.store(true, Ordering::Relaxed);
-                                    let _ = tx.send(Msg::Fail(guard.seq, e));
-                                    None
-                                }
-                            }
-                        }
-                    };
-                    let Some((seq, item)) = pulled else { break };
-                    let outcome =
-                        process_item(item, &mut decoder, &stages, &storage).and_then(|morsel| {
-                            match agg.as_mut() {
-                                Some(state) => state.update(&storage, seq, &morsel).map(|()| None),
-                                None => Ok(Some(morsel)),
-                            }
-                        });
-                    match outcome {
-                        Ok(Some(morsel)) => {
-                            if tx.send(Msg::Out(seq, morsel)).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(None) => {}
-                        Err(e) => {
-                            stop.store(true, Ordering::Relaxed);
-                            let _ = tx.send(Msg::Fail(seq, e));
-                            break;
-                        }
-                    }
-                }
-                if let Some(state) = agg {
-                    let _ = tx.send(Msg::Partial(Box::new(state)));
-                }
-            });
-        }
-        drop(tx);
-        // Ordered sink: merge morsels back into source order.
-        let mut rows = Vec::new();
-        let mut pending: BTreeMap<u64, Morsel> = BTreeMap::new();
-        let mut next = 0u64;
-        let mut first_err: Option<(u64, Error)> = None;
-        let mut partials: Vec<Box<PartialAgg>> = Vec::new();
-        let mut ordered_agg =
-            if !exact { agg_spec.as_ref().map(|(g, a)| PartialAgg::new(g, a)) } else { None };
-        for msg in rx {
-            match msg {
-                Msg::Out(seq, morsel) => {
-                    pending.insert(seq, morsel);
-                    while let Some(morsel) = pending.remove(&next) {
-                        match ordered_agg.as_mut() {
-                            Some(state) => {
-                                if let Err(e) = state.update(&storage, next, &morsel) {
-                                    stop.store(true, Ordering::Relaxed);
-                                    if first_err.is_none() {
-                                        first_err = Some((next, e));
-                                    }
-                                }
-                            }
-                            None => rows.extend(morsel.into_rows()),
-                        }
-                        next += 1;
-                    }
-                }
-                Msg::Partial(state) => partials.push(state),
-                Msg::Fail(seq, e) => {
-                    if first_err.as_ref().is_none_or(|(s, _)| seq < *s) {
-                        first_err = Some((seq, e));
-                    }
-                }
-            }
-        }
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
-        debug_assert!(pending.is_empty(), "morsel sequence has holes without an error");
-        if exact {
-            if let Some((group_cols, aggs)) = agg_spec.as_ref() {
-                let mut merged = PartialAgg::new(group_cols, aggs);
-                for partial in partials {
-                    merged.merge(*partial);
-                }
-                rows = merged.finish();
-            }
-        } else if let Some(state) = ordered_agg {
-            rows = state.finish();
-        }
-        Ok(rows)
-    });
-    let rows = result?;
-    source.into_inner().expect("source lock").core.close()?;
-    Ok(rows)
-}
-
 // Compile-time Send audit: everything a worker thread touches.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Morsel>();
     assert_send::<Stage>();
-    assert_send::<Msg>();
-    assert_send::<SourceState>();
     assert_send::<Storage>();
     assert_send::<BoxedOperator>();
     assert_send::<JoinBuildPartial>();
@@ -1522,6 +1450,43 @@ mod tests {
         let src_total: u64 = ledger.src_ns.iter().sum();
         assert!(m4 >= src_total, "source sections serialize");
         assert!(ledger.speedup(4) >= 1.0);
+        // Modeled source-lock wait: zero at one worker (a lone worker
+        // never races itself), monotone data: more workers can only add
+        // contention on the serialized source.
+        assert_eq!(ledger.modeled_src_wait_ns(1), 0);
+        assert!(ledger.modeled_src_wait_ns(8) >= ledger.modeled_src_wait_ns(2));
+    }
+
+    #[test]
+    fn multi_query_model_reduces_to_single_query_chains() {
+        let heap = table(3000);
+        let s = storage();
+        let pipeline = heap_pipeline(&heap, &s, vec![StageSpec::Filter(Predicate::int_lt(1, 500))]);
+        let (_, ledger) = run_pipeline_traced(pipeline).unwrap();
+        for workers in [1usize, 2, 4] {
+            // One query: the multi-query schedule IS the single-query one.
+            assert_eq!(
+                multi_query_makespan_ns(std::slice::from_ref(&ledger), workers, 4),
+                ledger.makespan_ns(workers),
+                "single-query equivalence at {workers} workers"
+            );
+            // Admission cap 1: queries chain back to back.
+            assert_eq!(
+                multi_query_makespan_ns(&[ledger.clone(), ledger.clone()], workers, 1),
+                2 * ledger.makespan_ns(workers),
+                "one-at-a-time chaining at {workers} workers"
+            );
+        }
+        // Serving two copies concurrently on 4 workers beats (or ties)
+        // running them one at a time — cross-query scheduling fills the
+        // source-lock stalls with the other query's work.
+        let solo_chain = 2 * ledger.makespan_ns(4);
+        let served = multi_query_makespan_ns(&[ledger.clone(), ledger.clone()], 4, 2);
+        assert!(served <= solo_chain, "served {served} > chained {solo_chain}");
+        // And never beats the total-work lower bound on the serialized
+        // per-query source chains.
+        let src_total: u64 = ledger.src_ns.iter().sum();
+        assert!(served >= src_total + ledger.prefix_ns);
     }
 
     #[test]

@@ -1,0 +1,913 @@
+//! The engine-global multi-query morsel scheduler.
+//!
+//! Before the engine-global refactor the worker pool belonged to a
+//! single pipeline run: threads were spawned per query and died with
+//! it. Here the pool belongs to a persistent [`Scheduler`] — the
+//! database engine's one worker pool — and *queries* come and go:
+//! [`Scheduler::submit`] plans a [`ParallelPipeline`] into an
+//! `ActiveQuery` (a self-contained phase state machine), admission
+//! caps how many run at once (FIFO beyond `max_queries`), and every
+//! worker pulls morsels from whichever admitted query has work,
+//! round-robin offset by worker index so no query starves.
+//!
+//! **What is shared and what is per-query.** The storage engine
+//! (buffer pool, disk-arm tracker, virtual clock) is engine-global:
+//! concurrent queries contend for pool frames and perturb each other's
+//! seq/random classification exactly as concurrent backends do on one
+//! disk. Everything that determines *results* is per-query: the morsel
+//! source and its lock, the sequence numbers, the build tables, the
+//! sink/merge state. That split keeps the core invariant intact —
+//! result rows are byte-identical to the serial driver regardless of
+//! worker count, interleaving, or what else is running — while clock
+//! and I/O counters stay byte-identical to serial only when the query
+//! runs alone (concurrent queries genuinely share the arm and the
+//! pool, so their accounting legitimately interleaves).
+//!
+//! **Per-query attribution** rides on the thread-local tap
+//! ([`smooth_storage::tap_mark`]): all charged page traffic happens on
+//! the claiming worker's thread inside the query's source lock, so
+//! bracketing each unit of work with a mark/delta pair attributes
+//! pages, requests, hits and tuple flow to exactly one query even
+//! under full concurrency. Workers also measure the wall-clock time
+//! they spend blocked acquiring each query's source lock
+//! ([`ScanStatistics::lock_wait_ns`] — informational; the *modeled*
+//! contention lives in [`crate::ScalingLedger`]).
+//!
+//! **Phases.** A query with hash-join builds runs each build as its
+//! own phase, barriered exactly like the serial open cascade: the
+//! probe source opens at admission (the serial driver's open order)
+//! and parks; build `i`'s source drains under the query's source lock
+//! in morsel order; when the last in-flight build morsel lands, the
+//! finalizing worker merges the per-worker partial builds — the
+//! charge-free partition merge of [`crate::JoinBuildTable`], so it is
+//! accounting-identical to the serial merge — installs the probe
+//! table, and opens the next phase. Worker-side partial state (build
+//! partials, exact-merge aggregation partials) lives in per-query
+//! *slot pools*: a worker pops a slot, folds its morsel, and pushes
+//! the slot back. Worker-count invariance of the merges (established
+//! by the single-query drivers) makes any slot↔morsel assignment
+//! byte-identical, so slots need not be pinned to threads.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use smooth_storage::{tap_mark, ScanStatistics, Storage};
+use smooth_types::{Error, Result, Row, Schema};
+
+use crate::expr::Predicate;
+use crate::join::{JoinBuildPartial, JoinBuildTable, PartialPartition};
+use crate::parallel::{
+    build_batch, open_source, process_item, resolve_build_stages, staged_schema, BuildSpec,
+    HeapDecoder, Morsel, ParallelPipeline, ParallelSource, PartialAgg, ProbeTable, SinkSpec,
+    SourceCore, SourceItem, Stage, StageSpec,
+};
+use crate::{AggFunc, JoinType};
+
+/// A completed query: result rows plus the per-query scan statistics
+/// accumulated from the worker-side tap deltas.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Result rows, byte-identical to the serial driver's.
+    pub rows: Vec<Row>,
+    /// Per-query scan/flow counters (`rows_total` is stamped by the
+    /// planner, which knows catalog cardinalities).
+    pub stats: ScanStatistics,
+}
+
+/// The submitting session's end of a query: blocks until the worker
+/// pool finishes it.
+pub struct QueryHandle {
+    rx: Receiver<Result<QueryOutput>>,
+}
+
+impl QueryHandle {
+    /// Wait for the query to finish (or fail).
+    pub fn wait(self) -> Result<QueryOutput> {
+        self.rx.recv().map_err(|_| Error::exec("scheduler shut down before the query completed"))?
+    }
+}
+
+/// Which phase a query's source lock is currently feeding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseKind {
+    /// Draining build `i`'s input into the per-worker build partials.
+    Build(usize),
+    /// Draining the probe source through the probe stages.
+    Probe,
+}
+
+/// The serialized heart of a query: its morsel source, pulled under
+/// one lock in sequence order so all charged I/O happens in exactly
+/// the serial order. One `SrcState` per *phase*; advancing a phase
+/// installs a fresh one (seq restarts at 0, matching the serial
+/// drivers' per-phase numbering).
+struct SrcState {
+    core: Option<SourceCore>,
+    decoder_spec: Option<(Schema, Predicate)>,
+    /// Idle decoder pool: claiming workers pop one (or build a fresh
+    /// one from the spec) and return it after decoding.
+    decoders: Vec<HeapDecoder>,
+    seq: u64,
+    done: bool,
+    finalized: bool,
+    kind: PhaseKind,
+}
+
+impl SrcState {
+    fn new(
+        core: SourceCore,
+        decoder_spec: Option<(Schema, Predicate)>,
+        kind: PhaseKind,
+    ) -> SrcState {
+        SrcState {
+            core: Some(core),
+            decoder_spec,
+            decoders: Vec::new(),
+            seq: 0,
+            done: false,
+            finalized: false,
+            kind,
+        }
+    }
+
+    fn empty() -> SrcState {
+        SrcState {
+            core: None,
+            decoder_spec: None,
+            decoders: Vec::new(),
+            seq: 0,
+            done: false,
+            finalized: false,
+            kind: PhaseKind::Probe,
+        }
+    }
+}
+
+/// One validated hash-join build phase.
+struct BuildPhase {
+    /// The unopened build source (taken when the phase starts).
+    source: Mutex<Option<ParallelSource>>,
+    stages: Vec<Stage>,
+    schema: Schema,
+    right_col: usize,
+    left_col: usize,
+    ty: JoinType,
+    partitions: usize,
+}
+
+/// A probe stage validated at plan time: probe references are checked
+/// and output schemas precomputed, so resolution after the builds is
+/// infallible.
+enum PlannedStage {
+    Filter(Predicate),
+    Project(Vec<usize>),
+    Probe(usize, Schema),
+}
+
+/// Terminal merge discipline.
+enum SinkKind {
+    Collect,
+    Agg { group_cols: Vec<usize>, aggs: Vec<AggFunc>, exact: bool },
+}
+
+/// Order-preserving sink state: morsels buffer in a seq-keyed map and
+/// fold in sequence order, exactly as the serial driver emits them.
+struct SinkState {
+    pending: BTreeMap<u64, Morsel>,
+    next: u64,
+    rows: Vec<Row>,
+    /// The in-order aggregation fold (non-exact merges only).
+    ordered_agg: Option<PartialAgg>,
+}
+
+/// A probe source parked at admission: the opened core plus the
+/// scan-filter spec it re-assembles with once the builds finish.
+type ParkedProbe = (SourceCore, Option<(Schema, Predicate)>);
+
+/// One admitted query: a self-contained phase state machine the worker
+/// pool drives. Everything result-bearing is per-query state here; the
+/// only engine-global state a query touches is [`Storage`].
+struct ActiveQuery {
+    storage: Storage,
+    morsel_rows: usize,
+    builds: Vec<BuildPhase>,
+    probe_specs: Vec<PlannedStage>,
+    sink_kind: SinkKind,
+    /// The probe source, opened at admission (serial open order) and
+    /// parked until the builds finish.
+    probe_source: Mutex<Option<ParallelSource>>,
+    parked_probe: Mutex<Option<ParkedProbe>>,
+    /// Finished probe tables, one per build, in build order.
+    tables: Mutex<Vec<Arc<ProbeTable>>>,
+    /// Probe stages, resolved once the last build's table lands.
+    probe_stages: Mutex<Option<Arc<Vec<Stage>>>>,
+    src: Mutex<SrcState>,
+    sink: Mutex<SinkState>,
+    /// Slot pools for worker-side partial state (see module docs).
+    agg_slots: Mutex<Vec<PartialAgg>>,
+    build_slots: Mutex<Vec<JoinBuildPartial>>,
+    /// Morsels claimed but not yet delivered in the current phase.
+    inflight: AtomicUsize,
+    failed: AtomicBool,
+    /// First error by morsel seq (the serial driver would have hit the
+    /// lowest-seq failure first).
+    err: Mutex<Option<(u64, Error)>>,
+    stats: Mutex<ScanStatistics>,
+    lock_wait_ns: AtomicU64,
+    done_tx: Mutex<Option<Sender<Result<QueryOutput>>>>,
+}
+
+impl ActiveQuery {
+    /// Validate and decompose a pipeline. All plan errors surface here,
+    /// before the query is ever queued.
+    fn plan(pipeline: ParallelPipeline, tx: Sender<Result<QueryOutput>>) -> Result<ActiveQuery> {
+        let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
+        let mut schema = source.schema();
+        let mut build_phases = Vec::with_capacity(builds.len());
+        for build in builds {
+            let BuildSpec { source, stages, right_col, left_col, ty, partitions } = build;
+            let build_schema = staged_schema(source.schema(), &stages)?;
+            if right_col >= build_schema.len() {
+                return Err(Error::plan(format!(
+                    "hash-join build key column {right_col} out of range"
+                )));
+            }
+            build_phases.push(BuildPhase {
+                source: Mutex::new(Some(source)),
+                stages: resolve_build_stages(&stages)?,
+                schema: build_schema,
+                right_col,
+                left_col,
+                ty,
+                partitions: partitions.max(1),
+            });
+        }
+        let mut probe_specs = Vec::with_capacity(stages.len());
+        for spec in stages {
+            match spec {
+                StageSpec::Filter(p) => probe_specs.push(PlannedStage::Filter(p)),
+                StageSpec::Project(cols) => {
+                    schema = staged_schema(schema, &[StageSpec::Project(cols.clone())])?;
+                    probe_specs.push(PlannedStage::Project(cols));
+                }
+                StageSpec::Probe(i) => {
+                    let phase = build_phases
+                        .get(i)
+                        .ok_or_else(|| Error::plan(format!("probe stage references build {i}")))?;
+                    schema = match phase.ty {
+                        JoinType::Inner => schema.join(&phase.schema),
+                        JoinType::LeftSemi => schema,
+                    };
+                    probe_specs.push(PlannedStage::Probe(i, schema.clone()));
+                }
+            }
+        }
+        let (sink_kind, ordered_agg) = match sink {
+            SinkSpec::Collect => (SinkKind::Collect, None),
+            SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
+                let ordered =
+                    if merge_exact { None } else { Some(PartialAgg::new(&group_cols, &aggs)) };
+                (SinkKind::Agg { group_cols, aggs, exact: merge_exact }, ordered)
+            }
+        };
+        Ok(ActiveQuery {
+            storage,
+            morsel_rows,
+            builds: build_phases,
+            probe_specs,
+            sink_kind,
+            probe_source: Mutex::new(Some(source)),
+            parked_probe: Mutex::new(None),
+            tables: Mutex::new(Vec::new()),
+            probe_stages: Mutex::new(None),
+            src: Mutex::new(SrcState::empty()),
+            sink: Mutex::new(SinkState {
+                pending: BTreeMap::new(),
+                next: 0,
+                rows: Vec::new(),
+                ordered_agg,
+            }),
+            agg_slots: Mutex::new(Vec::new()),
+            build_slots: Mutex::new(Vec::new()),
+            inflight: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            err: Mutex::new(None),
+            stats: Mutex::new(ScanStatistics::default()),
+            lock_wait_ns: AtomicU64::new(0),
+            done_tx: Mutex::new(Some(tx)),
+        })
+    }
+
+    /// Open the query's sources for its first phase. Runs at admission,
+    /// outside the scheduler state lock. The probe source opens first —
+    /// the exact open order of the serial driver — then the first build
+    /// source (if any), so single-query accounting is byte-identical.
+    fn admit(&self) -> Result<()> {
+        let mark = tap_mark();
+        let result = (|| {
+            let probe = lock(&self.probe_source).take().expect("a query admits once");
+            let (probe_core, probe_decoder) = open_source(probe, self.morsel_rows)?;
+            if self.builds.is_empty() {
+                self.resolve_probe_stages();
+                *lock(&self.src) = SrcState::new(probe_core, probe_decoder, PhaseKind::Probe);
+            } else {
+                *lock(&self.parked_probe) = Some((probe_core, probe_decoder));
+                let build = lock(&self.builds[0].source).take().expect("each build opens once");
+                let (core, decoder) = open_source(build, self.morsel_rows)?;
+                *lock(&self.src) = SrcState::new(core, decoder, PhaseKind::Build(0));
+            }
+            Ok(())
+        })();
+        lock(&self.stats).merge(&mark.delta());
+        result
+    }
+
+    /// Swap probe references for the finished tables (infallible: the
+    /// references and schemas were validated at plan time).
+    fn resolve_probe_stages(&self) {
+        let tables = lock(&self.tables);
+        let resolved: Vec<Stage> = self
+            .probe_specs
+            .iter()
+            .map(|spec| match spec {
+                PlannedStage::Filter(p) => Stage::Filter(p.clone()),
+                PlannedStage::Project(cols) => Stage::Project(cols.clone()),
+                PlannedStage::Probe(i, schema) => {
+                    Stage::Probe(Arc::clone(&tables[*i]), schema.clone())
+                }
+            })
+            .collect();
+        *lock(&self.probe_stages) = Some(Arc::new(resolved));
+    }
+
+    /// Process one claimed source item outside the source lock and
+    /// deliver it to the phase's partial state.
+    fn process(
+        &self,
+        kind: PhaseKind,
+        seq: u64,
+        item: SourceItem,
+        decoder: &mut Option<HeapDecoder>,
+    ) -> Result<()> {
+        match kind {
+            PhaseKind::Build(i) => {
+                let phase = &self.builds[i];
+                let morsel = process_item(item, decoder, &phase.stages, &self.storage)?;
+                let batch = build_batch(morsel, &phase.schema)?;
+                self.storage.clock().charge_cpu(self.storage.cpu().hash_op_ns * batch.len() as u64);
+                let mut partial = lock(&self.build_slots).pop().unwrap_or_else(|| {
+                    JoinBuildPartial::new(&phase.schema, phase.right_col, phase.partitions)
+                });
+                partial.fold(seq, batch)?;
+                lock(&self.build_slots).push(partial);
+                Ok(())
+            }
+            PhaseKind::Probe => {
+                let stages =
+                    lock(&self.probe_stages).clone().expect("probe phase has resolved stages");
+                let morsel = process_item(item, decoder, &stages, &self.storage)?;
+                if let SinkKind::Agg { group_cols, aggs, exact: true } = &self.sink_kind {
+                    let mut slot = lock(&self.agg_slots)
+                        .pop()
+                        .unwrap_or_else(|| PartialAgg::new(group_cols, aggs));
+                    slot.update(&self.storage, seq, &morsel)?;
+                    lock(&self.agg_slots).push(slot);
+                    return Ok(());
+                }
+                let mut sink = lock(&self.sink);
+                sink.pending.insert(seq, morsel);
+                let SinkState { pending, next, rows, ordered_agg } = &mut *sink;
+                while let Some(m) = pending.remove(next) {
+                    match ordered_agg.as_mut() {
+                        Some(agg) => agg.update(&self.storage, *next, &m)?,
+                        None => rows.extend(m.into_rows()),
+                    }
+                    *next += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Record a failure, keeping the lowest-seq error (the one the
+    /// serial driver would have surfaced).
+    fn record_err(&self, seq: u64, e: Error) {
+        self.failed.store(true, Ordering::Release);
+        let mut slot = lock(&self.err);
+        match slot.as_ref() {
+            Some((s, _)) if *s <= seq => {}
+            _ => *slot = Some((seq, e)),
+        }
+    }
+}
+
+/// Poison-free std mutex lock: worker panics abort the test binary's
+/// assertions anyway, and the scheduler holds no invariants a poisoned
+/// guard could corrupt further.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Scheduler-wide shared state.
+struct SchedState {
+    running: Vec<Arc<ActiveQuery>>,
+    waiting: VecDeque<Arc<ActiveQuery>>,
+    /// Queries mid-admission (counted against `max_queries` so a burst
+    /// of submits cannot over-admit).
+    admitting: usize,
+    /// Bumped on every state change workers might sleep on.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct SchedCore {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    max_queries: usize,
+}
+
+/// The engine's persistent worker pool: serves every submitted query
+/// until dropped. Dropping the scheduler drains queries already
+/// admitted, then joins the workers; queries still waiting for
+/// admission complete with an error on their handle.
+pub struct Scheduler {
+    core: Arc<SchedCore>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawn a pool of `workers` threads admitting at most
+    /// `max_queries` concurrent queries (both clamped to at least 1).
+    pub fn new(workers: usize, max_queries: usize) -> Scheduler {
+        let core = Arc::new(SchedCore {
+            state: Mutex::new(SchedState {
+                running: Vec::new(),
+                waiting: VecDeque::new(),
+                admitting: 0,
+                epoch: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            max_queries: max_queries.max(1),
+        });
+        let threads = (0..workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || worker_loop(&core, i))
+            })
+            .collect();
+        Scheduler { core, threads }
+    }
+
+    /// Plan and enqueue a query. Plan errors return immediately;
+    /// admission beyond `max_queries` queues FIFO.
+    pub fn submit(&self, pipeline: ParallelPipeline) -> Result<QueryHandle> {
+        let (tx, rx) = mpsc::channel();
+        let query = Arc::new(ActiveQuery::plan(pipeline, tx)?);
+        {
+            let mut st = lock(&self.core.state);
+            if st.shutdown {
+                return Err(Error::exec("scheduler is shut down"));
+            }
+            st.waiting.push_back(query);
+        }
+        pump(&self.core);
+        Ok(QueryHandle { rx })
+    }
+
+    /// The pool size.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The admission cap.
+    pub fn max_queries(&self) -> usize {
+        self.core.max_queries
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.core.state);
+            st.shutdown = true;
+            st.epoch += 1;
+        }
+        self.core.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Admit waiting queries up to the cap. Source opening runs outside
+/// the state lock (it performs I/O); `admitting` holds the slot.
+fn pump(core: &SchedCore) {
+    loop {
+        let query = {
+            let mut st = lock(&core.state);
+            if st.shutdown || st.running.len() + st.admitting >= core.max_queries {
+                return;
+            }
+            let Some(q) = st.waiting.pop_front() else { return };
+            st.admitting += 1;
+            q
+        };
+        let opened = query.admit();
+        {
+            let mut st = lock(&core.state);
+            st.admitting -= 1;
+            if let Ok(()) = opened {
+                st.running.push(Arc::clone(&query));
+                st.epoch += 1;
+            }
+        }
+        core.cv.notify_all();
+        if let Err(e) = opened {
+            query.record_err(0, e);
+            complete_err(&query, core);
+        }
+    }
+}
+
+fn worker_loop(core: &SchedCore, index: usize) {
+    loop {
+        let (queries, epoch) = {
+            let st = lock(&core.state);
+            if st.shutdown && st.running.is_empty() {
+                return;
+            }
+            (st.running.clone(), st.epoch)
+        };
+        let mut worked = false;
+        let n = queries.len();
+        for i in 0..n {
+            // Round-robin offset by worker index: workers spread over
+            // queries instead of ganging up on the first one.
+            if try_work(&queries[(index + i) % n], core) {
+                worked = true;
+            }
+        }
+        if !worked {
+            let st = lock(&core.state);
+            if st.shutdown && st.running.is_empty() {
+                return;
+            }
+            if st.epoch == epoch {
+                let _unused = core.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+}
+
+/// Try to claim and process one morsel for `q`. Returns whether any
+/// progress was made.
+fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
+    let wait_start = Instant::now();
+    let mut src = lock(&q.src);
+    q.lock_wait_ns.fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if src.finalized || src.done || src.core.is_none() {
+        return false;
+    }
+    if q.failed.load(Ordering::Acquire) {
+        src.done = true;
+        drop(src);
+        maybe_finalize(q, core);
+        return true;
+    }
+    let mark = tap_mark();
+    match src.core.as_mut().expect("checked above").pull(&q.storage) {
+        Ok(Some(item)) => {
+            let seq = src.seq;
+            src.seq += 1;
+            let kind = src.kind;
+            let mut decoder = src
+                .decoders
+                .pop()
+                .or_else(|| src.decoder_spec.clone().map(|(s, p)| HeapDecoder::new(s, p)));
+            // Claimed: the phase cannot advance until this lands.
+            q.inflight.fetch_add(1, Ordering::AcqRel);
+            drop(src);
+            let result = q.process(kind, seq, item, &mut decoder);
+            if let Some(d) = decoder {
+                let mut src = lock(&q.src);
+                // inflight > 0 pins the phase, so this SrcState is
+                // still the one the decoder came from.
+                src.decoders.push(d);
+            }
+            let mut delta = mark.delta();
+            delta.morsels = 1;
+            lock(&q.stats).merge(&delta);
+            if let Err(e) = result {
+                q.record_err(seq, e);
+            }
+            if q.inflight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                maybe_finalize(q, core);
+            }
+            true
+        }
+        Ok(None) => {
+            src.done = true;
+            drop(src);
+            lock(&q.stats).merge(&mark.delta());
+            maybe_finalize(q, core);
+            true
+        }
+        Err(e) => {
+            let seq = src.seq;
+            src.done = true;
+            drop(src);
+            lock(&q.stats).merge(&mark.delta());
+            q.record_err(seq, e);
+            maybe_finalize(q, core);
+            true
+        }
+    }
+}
+
+/// If the current phase is fully drained (source exhausted, no morsel
+/// in flight), close it out: merge build partials and open the next
+/// phase, or complete the query. Runs under the source lock; the
+/// `finalized` flag makes it idempotent.
+fn maybe_finalize(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    let mut src = lock(&q.src);
+    if src.finalized || !src.done || q.inflight.load(Ordering::Acquire) != 0 {
+        return;
+    }
+    src.finalized = true;
+    let end_seq = src.seq;
+    if let Some(c) = src.core.take() {
+        let mark = tap_mark();
+        if let Err(e) = c.close() {
+            q.record_err(end_seq, e);
+        }
+        lock(&q.stats).merge(&mark.delta());
+    }
+    let kind = src.kind;
+    if q.failed.load(Ordering::Acquire) {
+        drop(src);
+        complete_err(q, core);
+        return;
+    }
+    match kind {
+        PhaseKind::Build(i) => {
+            let advanced = advance_build(q, i, &mut src);
+            drop(src);
+            match advanced {
+                Ok(()) => {
+                    let mut st = lock(&core.state);
+                    st.epoch += 1;
+                    drop(st);
+                    core.cv.notify_all();
+                }
+                Err(e) => {
+                    q.record_err(end_seq, e);
+                    complete_err(q, core);
+                }
+            }
+        }
+        PhaseKind::Probe => {
+            drop(src);
+            complete_ok(q, core);
+        }
+    }
+}
+
+/// Merge build `i`'s per-worker partials into its probe table and
+/// install the next phase into `src`.
+fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<()> {
+    let phase = &q.builds[i];
+    let slots = std::mem::take(&mut *lock(&q.build_slots));
+    let table = merge_partials(slots, &phase.schema, phase.right_col, phase.partitions);
+    lock(&q.tables).push(Arc::new(ProbeTable { table, left_col: phase.left_col, ty: phase.ty }));
+    if i + 1 < q.builds.len() {
+        let next = lock(&q.builds[i + 1].source).take().expect("each build opens once");
+        let mark = tap_mark();
+        let opened = open_source(next, q.morsel_rows);
+        lock(&q.stats).merge(&mark.delta());
+        let (core, decoder) = opened?;
+        *src = SrcState::new(core, decoder, PhaseKind::Build(i + 1));
+    } else {
+        q.resolve_probe_stages();
+        let (core, decoder) =
+            lock(&q.parked_probe).take().expect("probe source parked at admission");
+        *src = SrcState::new(core, decoder, PhaseKind::Probe);
+    }
+    Ok(())
+}
+
+/// Merge per-worker build partials into one probe table. One slot
+/// converts directly (its match lists are already in global order);
+/// several merge by global build position via the charge-free
+/// [`JoinBuildTable::merge_partition`], so the result — and the clock —
+/// are byte-identical to the single-worker build.
+fn merge_partials(
+    slots: Vec<JoinBuildPartial>,
+    schema: &Schema,
+    right_col: usize,
+    partitions: usize,
+) -> JoinBuildTable {
+    if slots.len() <= 1 {
+        return slots
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| JoinBuildPartial::new(schema, right_col, partitions))
+            .into_table(schema);
+    }
+    let mut payloads = Vec::with_capacity(slots.len());
+    let mut part_iters = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (payload, parts) = slot.into_parts();
+        payloads.push(payload);
+        part_iters.push(parts.into_iter());
+    }
+    let mut parts = Vec::with_capacity(partitions);
+    for _ in 0..partitions {
+        let worker_maps: Vec<PartialPartition> = part_iters
+            .iter_mut()
+            .map(|it| it.next().expect("every partial has `partitions` partitions"))
+            .collect();
+        parts.push(JoinBuildTable::merge_partition(worker_maps));
+    }
+    JoinBuildTable::from_merged(schema, right_col, payloads, parts)
+}
+
+/// Finish a successful query: fold the sink state into result rows and
+/// hand them to the session.
+fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    let rows = match &q.sink_kind {
+        SinkKind::Collect => {
+            let mut sink = lock(&q.sink);
+            debug_assert!(sink.pending.is_empty(), "ordered sink drained every seq");
+            std::mem::take(&mut sink.rows)
+        }
+        SinkKind::Agg { group_cols, aggs, exact: true } => {
+            let slots = std::mem::take(&mut *lock(&q.agg_slots));
+            let mut merged = PartialAgg::new(group_cols, aggs);
+            for slot in slots {
+                merged.merge(slot);
+            }
+            merged.finish()
+        }
+        SinkKind::Agg { .. } => {
+            let mut sink = lock(&q.sink);
+            debug_assert!(sink.pending.is_empty(), "ordered sink drained every seq");
+            sink.ordered_agg.take().expect("ordered agg installed at plan time").finish()
+        }
+    };
+    let mut stats = *lock(&q.stats);
+    stats.lock_wait_ns = stats.lock_wait_ns.saturating_add(q.lock_wait_ns.load(Ordering::Relaxed));
+    finish(q, core, Ok(QueryOutput { rows, stats }));
+}
+
+/// Finish a failed query with its first (lowest-seq) error.
+fn complete_err(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    let err = lock(&q.err)
+        .take()
+        .map(|(_, e)| e)
+        .unwrap_or_else(|| Error::exec("query failed without a recorded error"));
+    finish(q, core, Err(err));
+}
+
+fn finish(q: &Arc<ActiveQuery>, core: &SchedCore, result: Result<QueryOutput>) {
+    if let Some(tx) = lock(&q.done_tx).take() {
+        let _ = tx.send(result);
+    }
+    {
+        let mut st = lock(&core.state);
+        st.running.retain(|r| !Arc::ptr_eq(r, q));
+        st.epoch += 1;
+    }
+    core.cv.notify_all();
+    pump(core);
+}
+
+// Compile-time Send/Sync audit: queries are shared across the pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ActiveQuery>();
+    assert_send_sync::<SchedCore>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::collect_rows;
+    use crate::{batch_size, FullTableScan, SinkSpec};
+    use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, StorageConfig};
+    use smooth_types::{Column, DataType, DataType::Int64, Value};
+
+    fn table(rows: i64, name: &str) -> Arc<HeapFile> {
+        let schema = Schema::new(vec![
+            Column::new("c0", Int64),
+            Column::new("c1", Int64),
+            Column::new("pad", DataType::Text),
+        ])
+        .unwrap();
+        let mut loader = HeapLoader::new_mem(name, schema);
+        for i in 0..rows {
+            let c1 = (i * 2654435761 % 1000 + 1000) % 1000;
+            loader
+                .push(&Row::new(vec![Value::Int(i), Value::Int(c1), Value::str("y".repeat(24))]))
+                .unwrap();
+        }
+        Arc::new(loader.finish().unwrap())
+    }
+
+    fn storage() -> Storage {
+        Storage::new(StorageConfig {
+            device: DeviceProfile::custom("t", 1, 10),
+            cpu: CpuCosts::default(),
+            pool_pages: 64,
+        })
+    }
+
+    fn scan_pipeline(heap: &Arc<HeapFile>, s: &Storage, lo: i64, hi: i64) -> ParallelPipeline {
+        // The predicate rides in the scan itself (the planner pushes it
+        // there), so `rows_processed` reflects qualifying tuples.
+        ParallelPipeline {
+            source: ParallelSource::Heap {
+                heap: Arc::clone(heap),
+                predicate: Predicate::int_half_open(1, lo, hi),
+                readahead: crate::scan::FULL_SCAN_READAHEAD,
+            },
+            builds: Vec::new(),
+            stages: Vec::new(),
+            sink: SinkSpec::Collect,
+            storage: s.clone(),
+            morsel_rows: batch_size(),
+        }
+    }
+
+    fn serial_rows(heap: &Arc<HeapFile>, lo: i64, hi: i64) -> Vec<Row> {
+        let s = storage();
+        let mut op = FullTableScan::new(Arc::clone(heap), s, Predicate::int_half_open(1, lo, hi));
+        collect_rows(&mut op).unwrap()
+    }
+
+    #[test]
+    fn concurrent_queries_on_one_scheduler_are_row_identical() {
+        let heap = table(3000, "shared");
+        let s = storage();
+        let scheduler = Scheduler::new(4, 4);
+        let ranges = [(0i64, 250i64), (250, 600), (600, 1000), (0, 1000)];
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| scheduler.submit(scan_pipeline(&heap, &s, lo, hi)).unwrap())
+            .collect();
+        for (handle, &(lo, hi)) in handles.into_iter().zip(&ranges) {
+            let out = handle.wait().unwrap();
+            assert_eq!(out.rows, serial_rows(&heap, lo, hi), "range [{lo},{hi})");
+            assert!(out.stats.rows_scanned >= out.stats.rows_processed);
+            assert_eq!(out.stats.rows_processed, out.rows.len() as u64);
+            assert!(out.stats.morsels > 0);
+        }
+    }
+
+    #[test]
+    fn admission_caps_concurrency_and_queues_fifo() {
+        // max_queries = 1: queries run strictly one at a time, yet all
+        // queued submissions complete correctly.
+        let heap = table(2000, "fifo");
+        let s = storage();
+        let scheduler = Scheduler::new(2, 1);
+        let handles: Vec<_> = (0..5)
+            .map(|i| {
+                let hi = 100 * (i + 1) as i64;
+                scheduler.submit(scan_pipeline(&heap, &s, 0, hi)).unwrap()
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let hi = 100 * (i + 1) as i64;
+            assert_eq!(handle.wait().unwrap().rows, serial_rows(&heap, 0, hi));
+        }
+    }
+
+    #[test]
+    fn per_query_stats_attribute_io_under_concurrency() {
+        // Two concurrent full scans over *different* heaps on one
+        // shared storage: each query's pages must equal its own heap's
+        // page count (attribution never leaks across queries), and the
+        // sum of per-query pages equals the engine-global counter.
+        let a = table(2400, "heap_a");
+        let b = table(1200, "heap_b");
+        let s = storage();
+        s.reset_metrics();
+        let scheduler = Scheduler::new(4, 4);
+        let ha = scheduler.submit(scan_pipeline(&a, &s, 0, 1000)).unwrap();
+        let hb = scheduler.submit(scan_pipeline(&b, &s, 0, 1000)).unwrap();
+        let oa = ha.wait().unwrap();
+        let ob = hb.wait().unwrap();
+        assert_eq!(oa.stats.pages_read, u64::from(a.page_count()));
+        assert_eq!(ob.stats.pages_read, u64::from(b.page_count()));
+        assert_eq!(oa.stats.rows_scanned, 2400);
+        assert_eq!(ob.stats.rows_scanned, 1200);
+        let engine = s.io_snapshot();
+        assert_eq!(engine.pages_read, oa.stats.pages_read + ob.stats.pages_read);
+        assert_eq!(engine.buffer_hits, oa.stats.buffer_hits + ob.stats.buffer_hits);
+    }
+}

@@ -15,24 +15,39 @@
 //!
 //! With more than one worker configured (`SMOOTH_WORKERS` /
 //! [`Database::with_workers`], default = available cores), `run`
-//! decomposes the plan via [`Database::parallel_pipeline`] and executes
-//! it on the morsel-driven worker pool
-//! ([`smooth_executor::parallel`]) — same rows, byte for byte, and the
-//! same virtual clock/I-O totals, with per-worker stages doing the
-//! CPU-heavy work in parallel.
+//! decomposes the plan via [`Database::parallel_pipeline`] and submits
+//! it to the database's **persistent** worker pool
+//! ([`smooth_executor::Scheduler`]) — same rows, byte for byte, and
+//! (when the query runs alone) the same virtual clock/I-O totals, with
+//! per-worker stages doing the CPU-heavy work in parallel.
+//!
+//! The pool is engine-global: concurrent [`Session`]s (cheap handles
+//! from [`Database::session`]) share it, along with the buffer pool,
+//! disk-arm tracker and virtual clock. At most
+//! [`Database::max_queries`] queries run concurrently
+//! (`SMOOTH_MAX_QUERIES`, default 4); submissions beyond the cap queue
+//! FIFO. Every [`QueryResult`] carries per-query
+//! [`ScanStatistics`] — tuple flow, pages/bytes read, buffer hits,
+//! source-lock wait — attributed exactly to that query even under
+//! concurrency (`RunStats`' clock/I-O *deltas*, by contrast, read the
+//! shared engine counters and are only meaningful single-session).
 
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use smooth_core::{SmoothScan, SmoothScanConfig, SwitchScan};
 use smooth_executor::scan::FULL_SCAN_READAHEAD;
 use smooth_executor::sort::SortKey;
 use smooth_executor::{
-    batch_size, collect_rows, run_pipeline, BoxedOperator, BuildSpec, Filter, FullTableScan,
-    HashAggregate, HashJoin, IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator,
-    ParallelPipeline, ParallelSource, Predicate, Project, SinkSpec, Sort, SortScan, StageSpec,
+    batch_size, collect_rows, BoxedOperator, BuildSpec, Filter, FullTableScan, HashAggregate,
+    HashJoin, IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator,
+    ParallelPipeline, ParallelSource, Predicate, Project, Scheduler, SinkSpec, Sort, SortScan,
+    StageSpec,
 };
 use smooth_stats::StatsQuality;
-use smooth_storage::{ClockSnapshot, HeapLoader, IoStatsDelta, Storage, StorageConfig};
+use smooth_storage::{
+    tap_mark, ClockSnapshot, HeapLoader, IoStatsDelta, ScanStatistics, Storage, StorageConfig,
+};
 use smooth_types::{Error, Result, Row, Schema};
 
 use crate::catalog::{Catalog, TableEntry};
@@ -62,8 +77,14 @@ impl RunStats {
 pub struct QueryResult {
     /// The result rows.
     pub rows: Vec<Row>,
-    /// The measurements.
+    /// Engine-counter deltas around the run (clock, I/O). Meaningful
+    /// when the query ran alone; under concurrent sessions they include
+    /// whatever else the engine did in the window.
     pub stats: RunStats,
+    /// Per-query scan statistics, attributed exactly to this query even
+    /// under concurrent sessions (`rows_total` is stamped from catalog
+    /// cardinalities of the plan's base tables).
+    pub scan: ScanStatistics,
 }
 
 /// Worker-pool width used by [`Database::run`] when none is set on the
@@ -81,17 +102,42 @@ pub fn default_workers() -> usize {
     })
 }
 
-/// An engine instance: storage manager + catalog.
+/// Concurrent-query admission cap used when none is set on the
+/// instance: the `SMOOTH_MAX_QUERIES` environment variable (clamped to
+/// 1..=1024, read **once per process** and latched), else 4.
+pub fn default_max_queries() -> usize {
+    static MAX_QUERIES: OnceLock<usize> = OnceLock::new();
+    *MAX_QUERIES.get_or_init(|| {
+        std::env::var("SMOOTH_MAX_QUERIES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, 1024))
+            .unwrap_or(4)
+    })
+}
+
+/// An engine instance: storage manager + catalog + (lazily) the
+/// persistent worker pool concurrent sessions share.
 pub struct Database {
     storage: Storage,
     catalog: Catalog,
     workers: Option<usize>,
+    max_queries: Option<usize>,
+    /// The engine's worker pool, built on first parallel run and keyed
+    /// by the (workers, max_queries) knobs so knob changes rebuild it.
+    scheduler: Mutex<Option<(usize, usize, Arc<Scheduler>)>>,
 }
 
 impl Database {
     /// A database over the given storage configuration.
     pub fn new(cfg: StorageConfig) -> Self {
-        Database { storage: Storage::new(cfg), catalog: Catalog::new(), workers: None }
+        Database {
+            storage: Storage::new(cfg),
+            catalog: Catalog::new(),
+            workers: None,
+            max_queries: None,
+            scheduler: Mutex::new(None),
+        }
     }
 
     /// Builder: fix the worker-pool width for [`Database::run`]
@@ -110,6 +156,50 @@ impl Database {
     /// Worker-pool width `run` will use.
     pub fn workers(&self) -> usize {
         self.workers.unwrap_or_else(default_workers)
+    }
+
+    /// Builder: fix the concurrent-query admission cap (overrides
+    /// `SMOOTH_MAX_QUERIES`). Submissions beyond the cap queue FIFO.
+    pub fn with_max_queries(mut self, max_queries: usize) -> Self {
+        self.set_max_queries(max_queries);
+        self
+    }
+
+    /// Fix the admission cap (see [`Database::with_max_queries`]).
+    pub fn set_max_queries(&mut self, max_queries: usize) {
+        self.max_queries = Some(max_queries.max(1));
+    }
+
+    /// Concurrent queries the shared worker pool admits at once.
+    pub fn max_queries(&self) -> usize {
+        self.max_queries.unwrap_or_else(default_max_queries)
+    }
+
+    /// A session handle onto this shared database. Sessions are cheap,
+    /// carry a process-unique id, and any number may run queries
+    /// concurrently: result rows are always exactly the rows a solo run
+    /// would return, while clock/I-O deltas interleave (one disk arm,
+    /// one buffer pool) — use [`QueryResult::scan`] for per-query
+    /// attribution.
+    pub fn session(&self) -> Session<'_> {
+        static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+        Session { db: self, id: NEXT_SESSION.fetch_add(1, Ordering::Relaxed) }
+    }
+
+    /// The persistent worker pool for the current knob settings,
+    /// building (or rebuilding, after a knob change) it on demand.
+    fn scheduler(&self) -> Arc<Scheduler> {
+        let workers = self.workers();
+        let max_queries = self.max_queries();
+        let mut slot = self.scheduler.lock().unwrap_or_else(|p| p.into_inner());
+        match slot.as_ref() {
+            Some((w, m, s)) if *w == workers && *m == max_queries => Arc::clone(s),
+            _ => {
+                let s = Arc::new(Scheduler::new(workers, max_queries));
+                *slot = Some((workers, max_queries, Arc::clone(&s)));
+                s
+            }
+        }
     }
 
     /// The shared storage handle.
@@ -590,53 +680,87 @@ impl Database {
         }
     }
 
+    /// Total catalog cardinality of the plan's base tables (the
+    /// denominator behind "processed X of Y rows" progress reporting).
+    /// Tables missing from the catalog count 0 — the run itself
+    /// surfaces the error.
+    fn plan_rows_total(&self, plan: &LogicalPlan) -> u64 {
+        match plan {
+            LogicalPlan::Scan(spec) => self
+                .catalog
+                .get(&spec.table)
+                .map(|entry| entry.stats.honest().row_count)
+                .unwrap_or(0),
+            LogicalPlan::Join(spec) => {
+                self.plan_rows_total(&spec.left) + self.plan_rows_total(&spec.right)
+            }
+            LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. } => self.plan_rows_total(input),
+        }
+    }
+
     /// Cold-run a plan: flush the buffer pool, execute to completion, and
-    /// report rows plus clock/I-O deltas.
+    /// report rows plus clock/I-O deltas and per-query scan statistics.
     ///
     /// With more than one worker configured (`SMOOTH_WORKERS` /
     /// [`Database::with_workers`]) and a plan with parallelizable work,
-    /// execution goes through the morsel-driven worker pool — the rows
-    /// and the virtual clock/I-O totals are identical to the
-    /// single-threaded columnar driver either way.
+    /// execution goes through the engine's persistent worker pool — the
+    /// rows are identical to the single-threaded columnar driver either
+    /// way, and so are the virtual clock/I-O totals when the query runs
+    /// alone.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryResult> {
-        if self.workers() > 1 {
-            if let Some(pipeline) = self.parallel_pipeline(plan)? {
-                return self.run_parallel(pipeline);
+        let mut result = if self.workers() > 1 {
+            match self.parallel_pipeline(plan)? {
+                Some(pipeline) => self.run_parallel(pipeline)?,
+                None => {
+                    let mut op = self.build(plan)?;
+                    self.run_operator(op.as_mut())?
+                }
             }
-        }
-        let mut op = self.build(plan)?;
-        self.run_operator(op.as_mut())
+        } else {
+            let mut op = self.build(plan)?;
+            self.run_operator(op.as_mut())?
+        };
+        result.scan.rows_total = self.plan_rows_total(plan);
+        Ok(result)
     }
 
-    /// Cold-run an already-decomposed pipeline on this database's worker
-    /// pool.
+    /// Cold-run an already-decomposed pipeline on the database's
+    /// persistent worker pool (`scan.rows_total` stays 0 here — only
+    /// [`Database::run`] sees the plan).
     pub fn run_parallel(&self, pipeline: ParallelPipeline) -> Result<QueryResult> {
         self.storage.flush_pool();
         let clock0 = self.storage.clock().snapshot();
         let io0 = self.storage.io_snapshot();
-        let rows = run_pipeline(pipeline, self.workers())?;
+        let scheduler = self.scheduler();
+        let out = scheduler.submit(pipeline)?.wait()?;
         let stats = RunStats {
-            rows: rows.len() as u64,
+            rows: out.rows.len() as u64,
             clock: self.storage.clock().snapshot().since(&clock0),
             io: self.storage.io_snapshot().since(&io0),
         };
-        Ok(QueryResult { rows, stats })
+        Ok(QueryResult { rows: out.rows, stats, scan: out.stats })
     }
 
     /// Cold-run an already-built operator (used when the caller needs to
     /// keep the operator around for its metrics). Drives the columnar
-    /// protocol end to end.
+    /// protocol end to end; scan statistics come from this thread's
+    /// accounting tap bracketing the run.
     pub fn run_operator(&self, op: &mut dyn Operator) -> Result<QueryResult> {
         self.storage.flush_pool();
         let clock0 = self.storage.clock().snapshot();
         let io0 = self.storage.io_snapshot();
+        let mark = tap_mark();
         let rows = collect_rows(op)?;
+        let scan = mark.delta();
         let stats = RunStats {
             rows: rows.len() as u64,
             clock: self.storage.clock().snapshot().since(&clock0),
             io: self.storage.io_snapshot().since(&io0),
         };
-        Ok(QueryResult { rows, stats })
+        Ok(QueryResult { rows, stats, scan })
     }
 
     /// Run with a filter applied on top (for plans whose predicate cannot
@@ -644,6 +768,46 @@ impl Database {
     /// filter becomes a per-worker stage under the parallel driver.
     pub fn run_filtered(&self, plan: &LogicalPlan, pred: Predicate) -> Result<QueryResult> {
         self.run(&plan.clone().filter(pred))
+    }
+}
+
+/// One client's handle onto a shared [`Database`]: queries submitted
+/// through concurrent sessions interleave on the engine's one worker
+/// pool, buffer pool and disk arm (admission-capped at
+/// [`Database::max_queries`]), yet each returns exactly the rows a solo
+/// run would — only the accounting interleaves. Obtained from
+/// [`Database::session`]; cheap enough to create per client or per
+/// request.
+#[derive(Clone, Copy)]
+pub struct Session<'db> {
+    db: &'db Database,
+    id: u64,
+}
+
+impl<'db> Session<'db> {
+    /// This session's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared database this session serves queries against.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Run a plan on the shared engine (see [`Database::run`]).
+    pub fn run(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        self.db.run(plan)
+    }
+
+    /// Run with a filter applied on top (see [`Database::run_filtered`]).
+    pub fn run_filtered(&self, plan: &LogicalPlan, pred: Predicate) -> Result<QueryResult> {
+        self.db.run_filtered(plan, pred)
+    }
+
+    /// EXPLAIN a plan (see [`Database::explain`]).
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        self.db.explain(plan)
     }
 }
 
@@ -905,6 +1069,50 @@ mod tests {
         let db = db.with_workers(0);
         assert_eq!(db.workers(), 1, "worker count floors at 1");
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn scan_statistics_attach_to_every_driver() {
+        let mut db = db(3000);
+        let plan = q(250, AccessPathChoice::ForceFull);
+        for workers in [1usize, 4] {
+            db.set_workers(workers);
+            let got = db.run(&plan).unwrap();
+            assert_eq!(
+                got.scan.rows_processed,
+                got.rows.len() as u64,
+                "{workers} workers: processed = emitted"
+            );
+            assert_eq!(got.scan.rows_scanned, 3000, "{workers} workers: full scan inspects all");
+            assert_eq!(got.scan.rows_total, 3000, "{workers} workers: catalog cardinality");
+            assert_eq!(got.scan.pages_read, got.stats.io.pages_read, "{workers} workers: solo IO");
+            assert!(got.scan.selectivity() < 1.0);
+            assert!(got.scan.mb_read() > 0.0);
+        }
+        // Joins sum both sides' cardinalities into rows_total.
+        db.set_workers(1);
+        let join = q(50, AccessPathChoice::ForceFull).join(
+            LogicalPlan::scan(ScanSpec::new("t", Predicate::True)),
+            1,
+            1,
+            smooth_executor::JoinType::Inner,
+            JoinStrategy::Hash,
+        );
+        assert_eq!(db.run(&join).unwrap().scan.rows_total, 6000);
+    }
+
+    #[test]
+    fn sessions_share_the_engine_and_number_uniquely() {
+        let db = db(1000).with_workers(2).with_max_queries(2);
+        let a = db.session();
+        let b = db.session();
+        assert_ne!(a.id(), b.id());
+        let plan = q(100, AccessPathChoice::ForceFull);
+        let ra = a.run(&plan).unwrap();
+        let rb = b.run(&plan).unwrap();
+        assert_eq!(ra.rows, rb.rows);
+        assert!(std::ptr::eq(a.database(), b.database()));
+        assert!(db.max_queries() == 2);
     }
 
     #[test]

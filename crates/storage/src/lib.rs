@@ -26,6 +26,7 @@ pub mod device;
 pub mod heap;
 pub mod page;
 pub mod pool;
+pub mod scanstats;
 pub mod stats;
 pub mod storage;
 pub mod tracker;
@@ -37,6 +38,7 @@ pub use device::DeviceProfile;
 pub use heap::{HeapFile, HeapLoader};
 pub use page::{PageBuf, PageBuilder, PageView};
 pub use pool::BufferPool;
+pub use scanstats::{tap_mark, tap_rows, ScanStatistics, TapMark};
 pub use stats::{IoSnapshot, IoStatsDelta};
 pub use storage::{FileId, Storage, StorageConfig};
 pub use tracker::DiskTracker;

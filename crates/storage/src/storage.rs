@@ -18,6 +18,7 @@ use crate::device::DeviceProfile;
 use crate::heap::HeapFile;
 use crate::page::PageBuf;
 use crate::pool::{BufferPool, Cached};
+use crate::scanstats::{tap_hits, tap_io};
 use crate::stats::IoSnapshot;
 use crate::tracker::DiskTracker;
 
@@ -110,10 +111,12 @@ impl Storage {
             let mut pool = self.inner.pool.lock();
             if let Some(Cached::Heap(buf)) = pool.get(file, page.0) {
                 self.inner.tracker.lock().note_buffer_hit();
+                tap_hits(1);
                 return Ok(buf);
             }
         }
         self.inner.tracker.lock().read_run(&self.inner.clock, file, page.0, 1);
+        tap_io(1, 1);
         let buf = heap.read_raw(page)?;
         self.inner.pool.lock().insert(file, page.0, Cached::Heap(buf.clone()));
         Ok(buf)
@@ -146,6 +149,7 @@ impl Storage {
                 }
             }
         }
+        tap_hits(out.len() as u64);
         // Coalesce misses into maximal contiguous runs and fetch each.
         let mut i = 0;
         while i < missing.len() {
@@ -157,6 +161,7 @@ impl Storage {
                 run_len += 1;
             }
             self.inner.tracker.lock().read_run(&self.inner.clock, file, run_start, run_len);
+            tap_io(run_len as u64, 1);
             for p in run_start..run_start + run_len {
                 let buf = heap.read_raw(PageId(p))?;
                 self.inner.pool.lock().insert(file, p, Cached::Heap(buf.clone()));
@@ -176,11 +181,13 @@ impl Storage {
             let mut pool = self.inner.pool.lock();
             if pool.get(file, node).is_some() {
                 self.inner.tracker.lock().note_buffer_hit();
+                tap_hits(1);
                 return true;
             }
             pool.insert(file, node, Cached::Virtual);
         }
         self.inner.tracker.lock().read_run(&self.inner.clock, file, node, 1);
+        tap_io(1, 1);
         false
     }
 

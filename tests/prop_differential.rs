@@ -206,7 +206,7 @@ fn run_volcano(plan: &LogicalPlan) -> QueryResult {
         clock: db.storage().clock().snapshot().since(&clock0),
         io: db.storage().io_snapshot().since(&io0),
     };
-    QueryResult { rows, stats }
+    QueryResult { rows, stats, scan: Default::default() }
 }
 
 /// Cold-run through `Database::run` at a fixed worker count, again on a
