@@ -17,6 +17,7 @@ pub mod fig9;
 pub mod join;
 pub mod parallel;
 pub mod serve;
+pub mod spill;
 
 /// Known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
@@ -39,6 +40,7 @@ pub const ALL: &[&str] = &[
     "parallel",
     "join",
     "serve",
+    "spill",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -62,6 +64,7 @@ pub fn run(id: &str) -> bool {
         "parallel" => parallel::run(),
         "join" => join::run(),
         "serve" => serve::run(),
+        "spill" => spill::run(),
         _ => return false,
     }
     true

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use smooth_storage::Storage;
-use smooth_types::{Row, Tid, PAGE_SIZE};
+use smooth_types::{Row, Tid};
 
 /// Counters reported by Fig. 9a.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -205,9 +205,16 @@ impl ResultCache {
 
     /// Cost of writing or reading `tuples` rows of an overflow file: one
     /// seek plus sequential page transfers on the scan's device.
+    ///
+    /// Shared invariant: this routes through the engine-wide overflow-file
+    /// formula ([`smooth_executor::spill_io_ns`]) so the Result Cache, the
+    /// grace hash join and the external sort all price spill bytes
+    /// identically — one charged sequential run on the scan's device,
+    /// never the disk-arm counters (see `docs/larger_than_memory.md`).
+    /// `row_bytes` is clamped to ≥ 1 at construction, so `tuples > 0`
+    /// always yields a non-zero transfer.
     fn spill_io_ns(storage: &Storage, row_bytes: usize, tuples: u64) -> u64 {
-        let pages = (tuples * row_bytes as u64).div_ceil(PAGE_SIZE as u64).max(1);
-        storage.device().run_cost_ns(pages)
+        smooth_executor::spill_io_ns(&storage.device(), tuples * row_bytes as u64)
     }
 
     fn maybe_spill(&mut self, storage: &Storage) {

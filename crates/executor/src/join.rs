@@ -7,6 +7,7 @@
 //! "Interaction with Other Operators").
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use smooth_index::BTreeIndex;
@@ -17,6 +18,7 @@ use smooth_types::{
 
 use crate::expr::Predicate;
 use crate::operator::{batch_size, BoxedOperator, Operator};
+use crate::spill::{charge_spill_io, spill_partitions, SpillFile};
 
 /// Supported join semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,14 +72,61 @@ fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
 /// partitioning uses it; the per-partition maps hash with the std hasher.
 #[inline]
 fn key_partition(key: &Value, parts: usize) -> usize {
+    key_partition_at(key, 0, parts)
+}
+
+/// [`key_partition`] salted by grace-recursion `level`: level 0 is the
+/// top-level build partitioning, level `n ≥ 1` re-partitions an
+/// overflowing spilled partition's keys independently of every level
+/// above it (same FNV walk, level-perturbed offset basis).
+#[inline]
+fn key_partition_at(key: &Value, level: u32, parts: usize) -> usize {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let offset = OFFSET ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let h = match key {
-        Value::Null => fnv(OFFSET, &[0]),
-        Value::Int(v) => fnv(fnv(OFFSET, &[1]), &v.to_le_bytes()),
-        Value::Float(v) => fnv(fnv(OFFSET, &[2]), &v.to_bits().to_le_bytes()),
-        Value::Str(s) => fnv(fnv(OFFSET, &[3]), s.as_bytes()),
+        Value::Null => fnv(offset, &[0]),
+        Value::Int(v) => fnv(fnv(offset, &[1]), &v.to_le_bytes()),
+        Value::Float(v) => fnv(fnv(offset, &[2]), &v.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv(fnv(offset, &[3]), s.as_bytes()),
     };
     (h % parts as u64) as usize
+}
+
+/// Grace-recursion tree node for one spilled partition: modeled
+/// sub-partition sizes for the charged repartition passes, plus
+/// order-independent probe-overflow tallies the probe loop accumulates
+/// (atomic sums, so parallel workers race freely without perturbing the
+/// final charge).
+struct GraceNode {
+    /// Recursion level (the spilled top-level partition is level 0).
+    level: u32,
+    /// Encoded build bytes in this node's key range.
+    bytes: u64,
+    /// Build tuples in this node's key range.
+    tuples: u64,
+    /// `spill_partitions()` children when this node overflowed the
+    /// budget and re-partitioned; empty for a leaf.
+    children: Vec<GraceNode>,
+    /// Probe rows routed through this node's key range (leaves only).
+    probe_rows: AtomicU64,
+    /// Encoded probe bytes routed through this node (leaves only).
+    probe_bytes: AtomicU64,
+}
+
+/// Spill state of one over-budget [`JoinBuildTable`]: the per-partition
+/// grace trees plus the really-serialized overflow files for the
+/// spilled top-level partitions.
+struct GraceSpill {
+    /// Grace fan-out used by every recursion level.
+    fanout: usize,
+    /// `trees[p]` is `Some` exactly when top-level partition `p`
+    /// spilled.
+    trees: Vec<Option<GraceNode>>,
+    /// Serialized overflow file per spilled top-level partition,
+    /// parallel to `trees`.
+    files: Vec<Option<SpillFile>>,
+    /// One-shot latch for [`JoinBuildTable::finish_probe`].
+    finished: AtomicBool,
 }
 
 /// The columnar build side of a hash join: hash-partitioned match lists
@@ -91,6 +140,42 @@ fn key_partition(key: &Value, parts: usize) -> usize {
 /// batch's vectors ([`JoinBuildTable::gather_payload`]); build ingest
 /// moves `Text` buffers in by handoff ([`ColumnBatch::append_dense`] /
 /// [`ColumnBatch::append_taken_row`]) rather than cloning per row.
+///
+/// # Partition lifecycle
+///
+/// Every build row lives in exactly one of [`BUILD_PARTITIONS`] hash
+/// partitions from ingest to close:
+///
+/// 1. **Ingest** — [`JoinBuildTable::insert_batch`] (serial) or
+///    [`JoinBuildPartial::fold`] (one per parallel worker) routes each
+///    non-null key to `key_partition(key)` and appends its payload row.
+/// 2. **Merge** — per-worker partials merge partition-wise
+///    ([`JoinBuildTable::merge_partition`]) into match lists in global
+///    build order; a serial build is already merged. From here the
+///    table is byte-identical no matter which driver built it.
+/// 3. **Budget** — [`JoinBuildTable::apply_budget`] sizes every
+///    partition under the spill codec and, if the total exceeds the
+///    operator's memory budget, spills whole partitions largest-first
+///    (ties to the lowest index) until the retained set fits. A spilled
+///    partition becomes an overflow file plus a grace tree: while a
+///    (sub-)partition still exceeds the budget it re-partitions into
+///    [`crate::spill::spill_partitions`] children under a level-salted
+///    hash, and each repartition pass charges a re-read and re-write of
+///    the bytes it moves.
+/// 4. **Probe** — [`JoinBuildTable::probe_columns`] routes each probe
+///    row whose key hashes to a spilled partition down that partition's
+///    grace tree, tallying the probe-overflow bytes that must spool to
+///    the partition's probe file (order-independent atomic sums).
+/// 5. **Finalize** — [`JoinBuildTable::finish_probe`] (idempotent)
+///    charges the deferred join passes: the probe overflow written,
+///    re-partitioned alongside the build files, and each leaf pair
+///    re-read to join.
+///
+/// Spilled partitions keep their match lists addressable — spilling is
+/// a *charged accounting* state, like the Result Cache's partition
+/// spills, so probe results stay byte-identical to the unbudgeted run
+/// by construction while the virtual clock pays the full grace-join
+/// I/O. See `docs/larger_than_memory.md`.
 pub struct JoinBuildTable {
     /// `parts[key_partition(key)]` maps a key to its match list.
     parts: Vec<HashMap<Value, Vec<BuildRef>>>,
@@ -99,6 +184,8 @@ pub struct JoinBuildTable {
     /// Build-side schema (column typing of the payload batches).
     schema: Schema,
     key_col: usize,
+    /// Budget-overflow state, set by [`JoinBuildTable::apply_budget`].
+    spill: Option<GraceSpill>,
 }
 
 impl JoinBuildTable {
@@ -117,6 +204,7 @@ impl JoinBuildTable {
             payloads: vec![ColumnBatch::for_schema(schema)],
             schema: schema.clone(),
             key_col,
+            spill: None,
         }
     }
 
@@ -151,6 +239,7 @@ impl JoinBuildTable {
             p.clear();
         }
         self.payloads = vec![ColumnBatch::for_schema(&self.schema)];
+        self.spill = None;
     }
 
     /// Ingest one morsel of build input (the serial build path): null-key
@@ -253,6 +342,9 @@ impl JoinBuildTable {
                 continue;
             }
             let key = col.value(phys);
+            if self.spill.is_some() {
+                self.note_probe_row(&key, batch, phys);
+            }
             let Some(matches) = self.matches(&key) else { continue };
             match ty {
                 JoinType::Inner => {
@@ -314,7 +406,221 @@ impl JoinBuildTable {
         parts: Vec<HashMap<Value, Vec<BuildRef>>>,
     ) -> Self {
         debug_assert!(!parts.is_empty());
-        JoinBuildTable { parts, payloads, schema: schema.clone(), key_col }
+        JoinBuildTable { parts, payloads, schema: schema.clone(), key_col, spill: None }
+    }
+
+    /// Encoded spill-codec bytes of build row `r`.
+    #[inline]
+    fn build_row_bytes(&self, r: BuildRef) -> u64 {
+        let batch = &self.payloads[(r >> 32) as usize];
+        smooth_types::spill::batch_row_len(batch, (r & u32::MAX as u64) as usize) as u64
+    }
+
+    /// Key of build row `r` (never NULL — null keys drop at ingest).
+    #[inline]
+    fn build_row_key(&self, r: BuildRef) -> Value {
+        let batch = &self.payloads[(r >> 32) as usize];
+        batch.column(self.key_col).value((r & u32::MAX as u64) as usize)
+    }
+
+    /// Enforce the operator memory budget on the fully-built (merged)
+    /// table: size every partition under the spill codec and, while the
+    /// retained total exceeds `budget_bytes`, spill whole partitions
+    /// largest-first (ties to the lowest partition index) into charged
+    /// overflow files, recursing on any partition that alone still
+    /// exceeds the budget (see the type-level partition-lifecycle docs).
+    /// A zero budget means unlimited: the call is free and charges
+    /// nothing. Must run at exactly one deterministic point per build —
+    /// after the serial build loop, or after the parallel partial merge
+    /// — so every driver charges identical spill I/O.
+    pub fn apply_budget(&mut self, storage: &Storage, budget_bytes: usize) {
+        self.spill = None;
+        if budget_bytes == 0 || self.is_empty() {
+            return;
+        }
+        let budget = budget_bytes as u64;
+        let sizes: Vec<u64> = self
+            .parts
+            .iter()
+            .map(|m| m.values().flatten().map(|&r| self.build_row_bytes(r)).sum())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        if total <= budget {
+            return;
+        }
+        // Spill order: largest partition first, ties to the lowest
+        // index — deterministic, and frees the most memory per file.
+        let mut order: Vec<usize> = (0..sizes.len()).filter(|&p| sizes[p] > 0).collect();
+        order.sort_by_key(|&p| (std::cmp::Reverse(sizes[p]), p));
+        let fanout = spill_partitions();
+        let mut trees: Vec<Option<GraceNode>> = (0..sizes.len()).map(|_| None).collect();
+        let mut files: Vec<Option<SpillFile>> = (0..sizes.len()).map(|_| None).collect();
+        let mut retained = total;
+        for p in order {
+            if retained <= budget {
+                break;
+            }
+            retained -= sizes[p];
+            // Refs in global build order: the file contents — and the
+            // recursion tree — are independent of map iteration order.
+            let mut refs: Vec<BuildRef> = self.parts[p].values().flatten().copied().collect();
+            refs.sort_unstable();
+            let mut data = Vec::with_capacity(sizes[p] as usize);
+            for &r in &refs {
+                let batch = &self.payloads[(r >> 32) as usize];
+                smooth_types::spill::encode_batch_row(
+                    batch,
+                    (r & u32::MAX as u64) as usize,
+                    &mut data,
+                );
+            }
+            // The initial spill writes the whole partition once …
+            charge_spill_io(storage, sizes[p]);
+            files[p] = Some(SpillFile::new(data, refs.len() as u64));
+            // … and every overflowing (sub-)partition re-reads and
+            // re-writes its bytes per recursion level (charged inside).
+            trees[p] = Some(self.grace_node(storage, &refs, sizes[p], 0, budget, fanout));
+        }
+        self.spill = Some(GraceSpill { fanout, trees, files, finished: AtomicBool::new(false) });
+    }
+
+    /// Build (and charge) the grace tree over one spilled key range:
+    /// an over-budget node re-partitions into `fanout` children under
+    /// the next level's salted hash, paying one re-read of its bytes
+    /// plus the re-write of every non-empty child. Recursion stops when
+    /// a node fits the budget, stops shrinking (one dominant key), or
+    /// hits a depth backstop.
+    fn grace_node(
+        &self,
+        storage: &Storage,
+        refs: &[BuildRef],
+        bytes: u64,
+        level: u32,
+        budget: u64,
+        fanout: usize,
+    ) -> GraceNode {
+        const MAX_LEVELS: u32 = 12;
+        let leaf = GraceNode {
+            level,
+            bytes,
+            tuples: refs.len() as u64,
+            children: Vec::new(),
+            probe_rows: AtomicU64::new(0),
+            probe_bytes: AtomicU64::new(0),
+        };
+        if bytes <= budget || refs.len() <= 1 || level >= MAX_LEVELS {
+            return leaf;
+        }
+        let mut buckets: Vec<Vec<BuildRef>> = (0..fanout).map(|_| Vec::new()).collect();
+        let mut bucket_bytes = vec![0u64; fanout];
+        for &r in refs {
+            let b = key_partition_at(&self.build_row_key(r), level + 1, fanout);
+            buckets[b].push(r);
+            bucket_bytes[b] += self.build_row_bytes(r);
+        }
+        if bucket_bytes.contains(&bytes) {
+            // One key range dominates: re-partitioning cannot shrink it.
+            return leaf;
+        }
+        // Repartition pass: re-read this node, re-write the children.
+        charge_spill_io(storage, bytes);
+        for &b in &bucket_bytes {
+            charge_spill_io(storage, b);
+        }
+        let children = buckets
+            .into_iter()
+            .zip(bucket_bytes)
+            .map(|(refs, b)| self.grace_node(storage, &refs, b, level + 1, budget, fanout))
+            .collect();
+        GraceNode { children, ..leaf }
+    }
+
+    /// Route one probe row through the grace tree of its (spilled)
+    /// partition, tallying the probe-overflow bytes its partition's
+    /// probe file must spool. Atomic sums: callers may race.
+    #[inline]
+    fn note_probe_row(&self, key: &Value, batch: &ColumnBatch, phys: usize) {
+        let Some(spill) = &self.spill else { return };
+        let Some(root) = &spill.trees[key_partition(key, self.parts.len())] else { return };
+        let mut node = root;
+        while !node.children.is_empty() {
+            node = &node.children[key_partition_at(key, node.level + 1, spill.fanout)];
+        }
+        let bytes = smooth_types::spill::batch_row_len(batch, phys) as u64;
+        node.probe_rows.fetch_add(1, Ordering::Relaxed);
+        node.probe_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Charge the deferred grace passes once the probe input is fully
+    /// consumed: per spilled partition, the probe overflow is written,
+    /// re-partitioned level by level alongside the build files, and
+    /// every leaf pair (build bytes + probe bytes) is re-read for the
+    /// final join pass. Idempotent — the first caller wins — and
+    /// charge-free when nothing spilled, so every driver may call it
+    /// defensively at probe completion.
+    pub fn finish_probe(&self, storage: &Storage) {
+        let Some(spill) = &self.spill else { return };
+        if spill.finished.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for root in spill.trees.iter().flatten() {
+            // Probe overflow spools to the partition's probe file once.
+            charge_spill_io(storage, Self::probe_subtree_bytes(root));
+            Self::finish_node(root, storage);
+        }
+    }
+
+    /// Total probe bytes routed at or below `node`.
+    fn probe_subtree_bytes(node: &GraceNode) -> u64 {
+        if node.children.is_empty() {
+            node.probe_bytes.load(Ordering::Relaxed)
+        } else {
+            node.children.iter().map(Self::probe_subtree_bytes).sum()
+        }
+    }
+
+    /// Deferred-pass charges below one spilled partition root: internal
+    /// nodes re-read and re-write the probe bytes they re-partition
+    /// (mirroring the build-side passes already charged at build time);
+    /// leaves re-read their build and probe files to join.
+    fn finish_node(node: &GraceNode, storage: &Storage) {
+        if node.children.is_empty() {
+            charge_spill_io(storage, node.bytes);
+            charge_spill_io(storage, node.probe_bytes.load(Ordering::Relaxed));
+            return;
+        }
+        charge_spill_io(storage, Self::probe_subtree_bytes(node));
+        for c in &node.children {
+            charge_spill_io(storage, Self::probe_subtree_bytes(c));
+            Self::finish_node(c, storage);
+        }
+    }
+
+    /// Number of top-level partitions currently spilled (0 when the
+    /// table fits its budget).
+    pub fn spilled_partition_count(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.trees.iter().flatten().count())
+    }
+
+    /// Encoded bytes written by the initial partition spills (the
+    /// overflow files' total length; recursion re-writes not included).
+    pub fn spilled_build_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.files.iter().flatten().map(SpillFile::bytes_len).sum())
+    }
+
+    /// Build tuples living in spilled partitions (0 when the table fits
+    /// its budget).
+    pub fn spilled_build_rows(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.trees.iter().flatten().map(|t| t.tuples).sum())
+    }
+
+    /// The spilled partitions' overflow files (partition index, file),
+    /// for inspection by tests and experiments.
+    pub fn spill_files(&self) -> impl Iterator<Item = (usize, &SpillFile)> {
+        self.spill
+            .iter()
+            .flat_map(|s| s.files.iter().enumerate())
+            .filter_map(|(p, f)| f.as_ref().map(|f| (p, f)))
     }
 }
 
@@ -364,24 +670,33 @@ impl JoinBuildPartial {
         (self.payload, self.parts)
     }
 
-    /// Convert a *single* builder's partial straight into a table: one
-    /// worker claims morsels in sequence, so its match lists are already
-    /// in global build order and the position tags strip without any
-    /// merge or re-sort (the 1-worker and traced drivers take this
-    /// path).
+    /// Convert a *single* builder's partial straight into a table. The
+    /// match lists re-sort by their global-position tags before the
+    /// tags strip: a lone inline worker folds morsels in sequence (the
+    /// sort is a no-op), but under the scheduler the partial slots are
+    /// a shared pool, so one slot can receive morsels out of sequence
+    /// when workers interleave — the sort restores global build order
+    /// either way.
     pub fn into_table(self, schema: &Schema) -> JoinBuildTable {
         let JoinBuildPartial { payload, parts, key_col } = self;
         let parts = parts
             .into_iter()
             .map(|map| {
                 map.into_iter()
-                    .map(|(key, list)| {
+                    .map(|(key, mut list)| {
+                        list.sort_unstable_by_key(|&(pos, _)| pos);
                         (key, list.into_iter().map(|(_, row)| build_ref(0, row as usize)).collect())
                     })
                     .collect()
             })
             .collect();
-        JoinBuildTable { parts, payloads: vec![payload], schema: schema.clone(), key_col }
+        JoinBuildTable {
+            parts,
+            payloads: vec![payload],
+            schema: schema.clone(),
+            key_col,
+            spill: None,
+        }
     }
 }
 
@@ -403,6 +718,9 @@ pub struct HashJoin {
     storage: Storage,
     schema: Schema,
     table: JoinBuildTable,
+    /// Per-operator memory budget in bytes (0 = unlimited); the build
+    /// table spills to overflow files beyond it.
+    mem_bytes: usize,
     /// Pending join output (filled by whole probe morsels, drained by
     /// whichever protocol the parent speaks).
     out: ColumnBuffer,
@@ -410,7 +728,8 @@ pub struct HashJoin {
 
 impl HashJoin {
     /// `left.left_col = right.right_col`; the right side is materialized
-    /// into the hash table.
+    /// into the hash table. The memory budget defaults to the
+    /// process-wide [`crate::spill::mem_budget_bytes`] knob.
     pub fn new(
         left: BoxedOperator,
         right: BoxedOperator,
@@ -422,7 +741,14 @@ impl HashJoin {
         let schema = join_schema(left.schema(), right.schema(), ty);
         let table = JoinBuildTable::new(right.schema(), right_col);
         let out = ColumnBuffer::for_schema(&schema);
-        HashJoin { left, right, left_col, ty, storage, schema, table, out }
+        let mem_bytes = crate::spill::mem_budget_bytes();
+        HashJoin { left, right, left_col, ty, storage, schema, table, mem_bytes, out }
+    }
+
+    /// Builder: override the operator memory budget (0 = unlimited).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_bytes = bytes;
+        self
     }
 
     /// Pull one probe morsel from the left child and run it through the
@@ -441,7 +767,12 @@ impl HashJoin {
                 )?;
                 Ok(true)
             }
-            None => Ok(false),
+            None => {
+                // Probe input fully consumed: charge the deferred grace
+                // passes (idempotent; free when nothing spilled).
+                self.table.finish_probe(&self.storage);
+                Ok(false)
+            }
         }
     }
 }
@@ -464,6 +795,7 @@ impl Operator for HashJoin {
             self.table.insert_batch(batch)?;
         }
         self.right.close()?;
+        self.table.apply_budget(&self.storage, self.mem_bytes);
         Ok(())
     }
 
@@ -506,6 +838,7 @@ impl Operator for HashJoin {
     }
 
     fn close(&mut self) -> Result<()> {
+        self.table.finish_probe(&self.storage);
         self.table.clear();
         self.out.reset();
         self.left.close()
@@ -1255,5 +1588,126 @@ mod tests {
         mj_rows.sort();
         assert_eq!(hj_rows, mj_rows);
         assert!(!hj_rows.is_empty());
+    }
+
+    type Pairs = Vec<(i64, i64)>;
+
+    /// Build/probe inputs big enough that a small budget must spill.
+    fn spill_inputs() -> (Pairs, Pairs) {
+        let left: Pairs = (0..600).map(|i| (i, i % 53)).collect();
+        let right: Pairs = (0..400).map(|i| (i % 53, i)).collect();
+        (left, right)
+    }
+
+    /// Drain a join *without* closing it, so the spill state stays
+    /// inspectable (probe exhaustion already finalizes the charges).
+    fn drain(j: &mut HashJoin) -> Vec<Row> {
+        j.open().unwrap();
+        let mut rows = Vec::new();
+        while let Some(batch) = j.next_columns(crate::operator::batch_size()).unwrap() {
+            rows.extend(batch.into_rows());
+        }
+        rows
+    }
+
+    fn run_budgeted(budget: usize) -> (Vec<Vec<i64>>, u64, u64, usize) {
+        let (left, right) = spill_inputs();
+        let st = storage();
+        let mut j = HashJoin::new(
+            values("a", "k", left),
+            values("k2", "b", right),
+            1,
+            0,
+            JoinType::Inner,
+            st.clone(),
+        )
+        .with_mem_budget(budget);
+        let rows = pairs(&drain(&mut j));
+        let snap = st.clock().snapshot();
+        let spilled = j.table.spilled_partition_count();
+        j.close().unwrap();
+        (rows, snap.cpu_ns, snap.io_ns, spilled)
+    }
+
+    #[test]
+    fn budgeted_join_rows_identical_clock_larger() {
+        let (rows_free, cpu_free, io_free, spilled_free) = run_budgeted(0);
+        assert_eq!(spilled_free, 0, "unlimited budget must not spill");
+        let (rows_tight, cpu_tight, io_tight, spilled_tight) = run_budgeted(2048);
+        assert!(spilled_tight > 0, "2 KiB budget must spill partitions");
+        assert_eq!(rows_tight, rows_free, "spilling must not change the rows");
+        assert_eq!(cpu_tight, cpu_free, "modeled spill charges only the I/O lane");
+        assert!(io_tight > io_free, "spilled run must charge overflow-file I/O");
+    }
+
+    #[test]
+    fn huge_budget_is_byte_identical_to_unbudgeted() {
+        let (rows_free, cpu_free, io_free, _) = run_budgeted(0);
+        let (rows_big, cpu_big, io_big, spilled) = run_budgeted(1 << 30);
+        assert_eq!(spilled, 0);
+        assert_eq!(rows_big, rows_free);
+        assert_eq!((cpu_big, io_big), (cpu_free, io_free));
+    }
+
+    #[test]
+    fn overflow_files_round_trip_the_spilled_partitions() {
+        let (_, right) = spill_inputs();
+        let st = storage();
+        let mut j = HashJoin::new(
+            values("a", "k", vec![(0, 0)]),
+            values("k2", "b", right.clone()),
+            1,
+            0,
+            JoinType::Inner,
+            st.clone(),
+        )
+        .with_mem_budget(1024);
+        let _ = drain(&mut j);
+        let table = &j.table;
+        assert!(table.spilled_partition_count() > 0);
+        assert_eq!(table.spilled_build_bytes(), {
+            let mut total = 0u64;
+            for (_, file) in table.spill_files() {
+                total += file.bytes_len();
+            }
+            total
+        });
+        let mut decoded_rows = 0u64;
+        for (_, file) in table.spill_files() {
+            let mut at = 0;
+            while at < file.data().len() {
+                let (row, used) = smooth_types::spill::decode_row(&file.data()[at..], 2).unwrap();
+                // Every spilled row is a real build-side row.
+                let pair = (row.int(0).unwrap(), row.int(1).unwrap());
+                assert!(right.contains(&pair), "decoded {pair:?} not in build input");
+                decoded_rows += 1;
+                at += used;
+            }
+            assert_eq!(decoded_rows, file.rows(), "file row count matches its contents");
+            decoded_rows = 0;
+        }
+        assert_eq!(
+            table.spill_files().map(|(_, f)| f.rows()).sum::<u64>(),
+            table.spilled_build_rows(),
+        );
+    }
+
+    #[test]
+    fn finish_probe_charges_once() {
+        let (left, right) = spill_inputs();
+        let st = storage();
+        let mut j = HashJoin::new(
+            values("a", "k", left),
+            values("k2", "b", right),
+            1,
+            0,
+            JoinType::Inner,
+            st.clone(),
+        )
+        .with_mem_budget(2048);
+        let _ = drain(&mut j);
+        let after_drain = st.clock().snapshot();
+        j.close().unwrap();
+        assert_eq!(st.clock().snapshot(), after_drain, "close must not re-charge finalize");
     }
 }

@@ -37,9 +37,17 @@
 //! execution (HyPer-style worker pool over [`smooth_types::ColumnBatch`]
 //! morsels) that is byte-identical to [`collect_rows`] and charges the
 //! exact same virtual clock totals.
+//!
+//! The [`spill`] module owns larger-than-memory execution's accounting:
+//! the per-operator memory budget (`SMOOTH_MEM_BYTES`) and the one
+//! charged overflow-file I/O formula behind the grace hash join's
+//! partition spills ([`JoinBuildTable`]), the external merge sort
+//! ([`extsort`]) and the Smooth Scan Result Cache in `smooth-core`. See
+//! `docs/larger_than_memory.md`.
 
 pub mod agg;
 pub mod expr;
+pub mod extsort;
 pub mod filter;
 pub mod join;
 pub mod operator;
@@ -47,9 +55,11 @@ pub mod parallel;
 pub mod scan;
 pub mod schedule;
 pub mod sort;
+pub mod spill;
 
 pub use agg::{AggFunc, HashAggregate};
 pub use expr::{Predicate, ScanFilter};
+pub use extsort::ExternalSorter;
 pub use filter::{Filter, Project};
 pub use join::{
     BuildRef, HashJoin, IndexNestedLoopJoin, JoinBuildPartial, JoinBuildTable, JoinType, MergeJoin,
@@ -65,3 +75,4 @@ pub use parallel::{
 pub use scan::{FullTableScan, IndexScan, SortScan};
 pub use schedule::{QueryHandle, QueryOutput, Scheduler};
 pub use sort::Sort;
+pub use spill::{charge_spill_io, mem_budget_bytes, spill_io_ns, spill_partitions, SpillFile};

@@ -174,6 +174,11 @@ pub struct BuildSpec {
     /// Hash partitions of the build table (probe results are independent
     /// of it; [`crate::BUILD_PARTITIONS`] is the default).
     pub partitions: usize,
+    /// Operator memory budget in bytes for the build table (0 =
+    /// unlimited); enforced after the partial merge, so every worker
+    /// count charges identical spill I/O
+    /// ([`crate::JoinBuildTable::apply_budget`]).
+    pub mem_bytes: usize,
 }
 
 /// A per-worker morsel transform, declared against the build list.
@@ -933,7 +938,7 @@ fn run_build(
     morsel_rows: usize,
     ledger: Option<&mut ScalingLedger>,
 ) -> Result<ProbeTable> {
-    let BuildSpec { source, stages, right_col, left_col, ty, partitions } = spec;
+    let BuildSpec { source, stages, right_col, left_col, ty, partitions, mem_bytes } = spec;
     let partitions = partitions.max(1);
     let source_schema = source.schema();
     let schema = staged_schema(source_schema.clone(), &stages)?;
@@ -942,8 +947,9 @@ fn run_build(
     }
     let stages = resolve_build_stages(&stages)?;
     let (core, decoder_spec) = open_source(source, morsel_rows)?;
-    let table =
+    let mut table =
         build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?;
+    table.apply_budget(storage, mem_bytes);
     Ok(ProbeTable { table, left_col, ty })
 }
 
@@ -1107,6 +1113,13 @@ fn run_inline(
     if let Some(state) = agg {
         rows = state.finish();
     }
+    // Probe input fully consumed: charge any deferred grace-join spill
+    // passes, exactly where the serial probe exhaustion would.
+    for stage in &stages {
+        if let Stage::Probe(table, _) = stage {
+            table.table.finish_probe(&storage);
+        }
+    }
     core.close()?;
     Ok(rows)
 }
@@ -1171,6 +1184,7 @@ mod tests {
             left_col,
             ty,
             partitions: crate::BUILD_PARTITIONS,
+            mem_bytes: crate::spill::mem_budget_bytes(),
         }
     }
 
@@ -1317,6 +1331,7 @@ mod tests {
                 left_col: 1,
                 ty: JoinType::Inner,
                 partitions: crate::BUILD_PARTITIONS,
+                mem_bytes: crate::spill::mem_budget_bytes(),
             });
             let got = run_pipeline(pipeline, workers).unwrap();
             assert_eq!(got, expected, "rows diverge at {workers} workers");
@@ -1426,6 +1441,7 @@ mod tests {
                 left_col: 1,
                 ty: JoinType::Inner,
                 partitions: crate::BUILD_PARTITIONS,
+                mem_bytes: crate::spill::mem_budget_bytes(),
             });
             assert!(run_pipeline(pipeline, workers).is_err(), "{workers} workers");
         }
@@ -1506,6 +1522,7 @@ mod tests {
             left_col: 1,
             ty: JoinType::Inner,
             partitions: crate::BUILD_PARTITIONS,
+            mem_bytes: crate::spill::mem_budget_bytes(),
         });
         let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
         assert!(!rows.is_empty());
@@ -1542,6 +1559,7 @@ mod tests {
                 left_col: 1,
                 ty: JoinType::LeftSemi,
                 partitions: crate::BUILD_PARTITIONS,
+                mem_bytes: crate::spill::mem_budget_bytes(),
             });
         }
         let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
@@ -1572,6 +1590,7 @@ mod tests {
                     left_col: 1,
                     ty: JoinType::LeftSemi,
                     partitions: crate::BUILD_PARTITIONS,
+                    mem_bytes: crate::spill::mem_budget_bytes(),
                 });
             }
             let got = run_pipeline(pipeline, workers).unwrap();

@@ -157,6 +157,9 @@ struct BuildPhase {
     left_col: usize,
     ty: JoinType,
     partitions: usize,
+    /// Operator memory budget for the merged build table (0 =
+    /// unlimited), enforced at [`advance_build`].
+    mem_bytes: usize,
 }
 
 /// A probe stage validated at plan time: probe references are checked
@@ -229,7 +232,8 @@ impl ActiveQuery {
         let mut schema = source.schema();
         let mut build_phases = Vec::with_capacity(builds.len());
         for build in builds {
-            let BuildSpec { source, stages, right_col, left_col, ty, partitions } = build;
+            let BuildSpec { source, stages, right_col, left_col, ty, partitions, mem_bytes } =
+                build;
             let build_schema = staged_schema(source.schema(), &stages)?;
             if right_col >= build_schema.len() {
                 return Err(Error::plan(format!(
@@ -244,6 +248,7 @@ impl ActiveQuery {
                 left_col,
                 ty,
                 partitions: partitions.max(1),
+                mem_bytes,
             });
         }
         let mut probe_specs = Vec::with_capacity(stages.len());
@@ -682,7 +687,10 @@ fn maybe_finalize(q: &Arc<ActiveQuery>, core: &SchedCore) {
 fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<()> {
     let phase = &q.builds[i];
     let slots = std::mem::take(&mut *lock(&q.build_slots));
-    let table = merge_partials(slots, &phase.schema, phase.right_col, phase.partitions);
+    let mut table = merge_partials(slots, &phase.schema, phase.right_col, phase.partitions);
+    // The merged table is byte-identical to the serial build, so the
+    // budget enforcement — and its charged spill I/O — is too.
+    table.apply_budget(&q.storage, phase.mem_bytes);
     lock(&q.tables).push(Arc::new(ProbeTable { table, left_col: phase.left_col, ty: phase.ty }));
     if i + 1 < q.builds.len() {
         let next = lock(&q.builds[i + 1].source).take().expect("each build opens once");
@@ -739,6 +747,12 @@ fn merge_partials(
 /// Finish a successful query: fold the sink state into result rows and
 /// hand them to the session.
 fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    // Probe input fully consumed: charge any deferred grace-join spill
+    // passes (order-independent sums, so the charge is identical no
+    // matter how workers interleaved the probe morsels).
+    for t in lock(&q.tables).iter() {
+        t.table.finish_probe(&q.storage);
+    }
     let rows = match &q.sink_kind {
         SinkKind::Collect => {
             let mut sink = lock(&q.sink);

@@ -1,13 +1,20 @@
-//! Blocking in-memory sort.
+//! Blocking sort: in-memory under the operator budget, external beyond.
 //!
 //! Restores "interesting orders" (Section II): plans that need key order on
 //! top of Full Scan or Sort Scan place this operator above the access path
 //! — the posterior-sorting overhead that Smooth Scan avoids in Fig. 5a.
+//!
+//! With a memory budget set ([`Sort::with_mem_budget`] /
+//! `SMOOTH_MEM_BYTES`), the sort runs through the external merge sort in
+//! [`crate::extsort`]: sorted runs cut at the budget boundary spill to
+//! charged overflow files and k-way-merge back, emitting exactly the
+//! rows — in exactly the order — the unbudgeted in-memory sort emits.
 
 use std::cmp::Ordering;
 
 use smooth_types::{Result, Row, RowBatch, Schema};
 
+use crate::extsort::ExternalSorter;
 use crate::operator::{batch_size, BoxedOperator, Operator};
 
 /// One sort key: column ordinal and direction.
@@ -31,18 +38,44 @@ impl SortKey {
     }
 }
 
+/// Lexicographic row comparison under `keys` ([`Value::total_cmp`] per
+/// column, descending keys reversed) — the one ordering the in-memory
+/// sort, the external runs and the k-way merge all share.
+pub(crate) fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a.get(k.column).total_cmp(b.get(k.column));
+        let ord = if k.ascending { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
 /// Blocking sort operator.
 pub struct Sort {
     child: BoxedOperator,
     keys: Vec<SortKey>,
     storage: smooth_storage::Storage,
+    /// Operator memory budget in bytes (0 = unlimited): beyond it the
+    /// sort goes external ([`crate::extsort`]).
+    mem_bytes: usize,
     sorted: Option<std::vec::IntoIter<Row>>,
 }
 
 impl Sort {
-    /// Sort child output by `keys` (lexicographic).
+    /// Sort child output by `keys` (lexicographic). The memory budget
+    /// defaults to the process-wide [`crate::spill::mem_budget_bytes`]
+    /// knob.
     pub fn new(child: BoxedOperator, storage: smooth_storage::Storage, keys: Vec<SortKey>) -> Self {
-        Sort { child, keys, storage, sorted: None }
+        let mem_bytes = crate::spill::mem_budget_bytes();
+        Sort { child, keys, storage, mem_bytes, sorted: None }
+    }
+
+    /// Builder: override the operator memory budget (0 = unlimited).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_bytes = bytes;
+        self
     }
 }
 
@@ -53,26 +86,36 @@ impl Operator for Sort {
 
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
-        let mut rows = Vec::new();
-        while let Some(batch) = self.child.next_batch(batch_size())? {
-            rows.extend(batch.into_rows());
-        }
-        self.child.close()?;
-        let n = rows.len() as u64;
-        if n > 1 {
-            self.storage.clock().charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
-        }
-        let keys = self.keys.clone();
-        rows.sort_by(|a, b| {
-            for k in &keys {
-                let ord = a.get(k.column).total_cmp(b.get(k.column));
-                let ord = if k.ascending { ord } else { ord.reverse() };
-                if ord != Ordering::Equal {
-                    return ord;
+        let rows = if self.mem_bytes > 0 {
+            // Budgeted: accumulate through the external sorter, which
+            // cuts (and charges) a spilled run whenever the working set
+            // crosses the budget. When nothing ever spills its charges
+            // are exactly the in-memory path's.
+            let mut sorter =
+                ExternalSorter::new(self.storage.clone(), self.keys.clone(), self.mem_bytes);
+            while let Some(batch) = self.child.next_batch(batch_size())? {
+                for row in batch.into_rows() {
+                    sorter.push(row);
                 }
             }
-            Ordering::Equal
-        });
+            self.child.close()?;
+            sorter.finish()
+        } else {
+            let mut rows = Vec::new();
+            while let Some(batch) = self.child.next_batch(batch_size())? {
+                rows.extend(batch.into_rows());
+            }
+            self.child.close()?;
+            let n = rows.len() as u64;
+            if n > 1 {
+                self.storage
+                    .clock()
+                    .charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
+            }
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| compare_rows(a, b, &keys));
+            rows
+        };
         self.sorted = Some(rows.into_iter());
         Ok(())
     }

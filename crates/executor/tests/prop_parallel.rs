@@ -276,6 +276,7 @@ proptest! {
                     left_col: 1,
                     ty,
                     partitions: smooth_executor::BUILD_PARTITIONS,
+                    mem_bytes: smooth_executor::mem_budget_bytes(),
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,

@@ -135,6 +135,7 @@ proptest! {
                     left_col: 1,
                     ty,
                     partitions,
+                    mem_bytes: smooth_executor::mem_budget_bytes(),
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,
@@ -196,6 +197,7 @@ proptest! {
                     left_col: 1,
                     ty,
                     partitions,
+                    mem_bytes: smooth_executor::mem_budget_bytes(),
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,
@@ -254,6 +256,7 @@ proptest! {
                     left_col: 1,
                     ty: JoinType::Inner,
                     partitions: BUILD_PARTITIONS,
+                    mem_bytes: smooth_executor::mem_budget_bytes(),
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,

@@ -102,6 +102,16 @@ pub fn default_workers() -> usize {
     })
 }
 
+/// Per-operator memory budget used when none is set on the instance:
+/// the process-wide `SMOOTH_MEM_BYTES` knob
+/// ([`smooth_executor::mem_budget_bytes`]); `0` = unlimited. Each
+/// blocking operator instance (hash-join build, sort) of an active
+/// query gets this budget and spills to charged overflow files beyond
+/// it — see `docs/larger_than_memory.md`.
+pub fn default_mem_bytes() -> usize {
+    smooth_executor::mem_budget_bytes()
+}
+
 /// Concurrent-query admission cap used when none is set on the
 /// instance: the `SMOOTH_MAX_QUERIES` environment variable (clamped to
 /// 1..=1024, read **once per process** and latched), else 4.
@@ -123,6 +133,7 @@ pub struct Database {
     catalog: Catalog,
     workers: Option<usize>,
     max_queries: Option<usize>,
+    mem_bytes: Option<usize>,
     /// The engine's worker pool, built on first parallel run and keyed
     /// by the (workers, max_queries) knobs so knob changes rebuild it.
     scheduler: Mutex<Option<(usize, usize, Arc<Scheduler>)>>,
@@ -136,6 +147,7 @@ impl Database {
             catalog: Catalog::new(),
             workers: None,
             max_queries: None,
+            mem_bytes: None,
             scheduler: Mutex::new(None),
         }
     }
@@ -173,6 +185,26 @@ impl Database {
     /// Concurrent queries the shared worker pool admits at once.
     pub fn max_queries(&self) -> usize {
         self.max_queries.unwrap_or_else(default_max_queries)
+    }
+
+    /// Builder: fix the per-operator memory budget in bytes (overrides
+    /// `SMOOTH_MEM_BYTES`; 0 = unlimited). Each blocking operator of a
+    /// query — hash-join build, sort — spills to charged overflow files
+    /// beyond it.
+    pub fn with_mem_bytes(mut self, mem_bytes: usize) -> Self {
+        self.set_mem_bytes(mem_bytes);
+        self
+    }
+
+    /// Fix the per-operator memory budget (see
+    /// [`Database::with_mem_bytes`]).
+    pub fn set_mem_bytes(&mut self, mem_bytes: usize) {
+        self.mem_bytes = Some(mem_bytes);
+    }
+
+    /// Per-operator memory budget plans will run under (0 = unlimited).
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes.unwrap_or_else(default_mem_bytes)
     }
 
     /// A session handle onto this shared database. Sessions are cheap,
@@ -274,28 +306,37 @@ impl Database {
                     }
                     JoinStrategy::Hash | JoinStrategy::Auto => {
                         let right = self.build(&spec.right)?;
-                        Ok(Box::new(HashJoin::new(
-                            left,
-                            right,
-                            spec.left_col,
-                            spec.right_col,
-                            spec.ty,
-                            self.storage.clone(),
-                        )))
+                        Ok(Box::new(
+                            HashJoin::new(
+                                left,
+                                right,
+                                spec.left_col,
+                                spec.right_col,
+                                spec.ty,
+                                self.storage.clone(),
+                            )
+                            .with_mem_budget(self.mem_bytes()),
+                        ))
                     }
                     JoinStrategy::Merge => {
                         // Guarantee the ordering contract by sorting both
                         // inputs on their join keys.
-                        let left = Box::new(Sort::new(
-                            left,
-                            self.storage.clone(),
-                            vec![SortKey::asc(spec.left_col)],
-                        ));
-                        let right = Box::new(Sort::new(
-                            self.build(&spec.right)?,
-                            self.storage.clone(),
-                            vec![SortKey::asc(spec.right_col)],
-                        ));
+                        let left = Box::new(
+                            Sort::new(
+                                left,
+                                self.storage.clone(),
+                                vec![SortKey::asc(spec.left_col)],
+                            )
+                            .with_mem_budget(self.mem_bytes()),
+                        );
+                        let right = Box::new(
+                            Sort::new(
+                                self.build(&spec.right)?,
+                                self.storage.clone(),
+                                vec![SortKey::asc(spec.right_col)],
+                            )
+                            .with_mem_budget(self.mem_bytes()),
+                        );
                         Ok(Box::new(MergeJoin::new(
                             left,
                             right,
@@ -332,7 +373,10 @@ impl Database {
             }
             LogicalPlan::Sort { input, keys } => {
                 let child = self.build(input)?;
-                Ok(Box::new(Sort::new(child, self.storage.clone(), keys.clone())))
+                Ok(Box::new(
+                    Sort::new(child, self.storage.clone(), keys.clone())
+                        .with_mem_budget(self.mem_bytes()),
+                ))
             }
             LogicalPlan::Project { input, cols } => {
                 let child = self.build(input)?;
@@ -392,7 +436,10 @@ impl Database {
                 let (col, _, _, _) = split
                     .clone()
                     .ok_or_else(|| Error::plan("ordered scan without a range predicate column"))?;
-                Ok(Box::new(Sort::new(op, self.storage.clone(), vec![SortKey::asc(col)])))
+                Ok(Box::new(
+                    Sort::new(op, self.storage.clone(), vec![SortKey::asc(col)])
+                        .with_mem_budget(self.mem_bytes()),
+                ))
             } else {
                 Ok(op)
             }
@@ -632,6 +679,7 @@ impl Database {
                     left_col: spec.left_col,
                     ty: spec.ty,
                     partitions: smooth_executor::BUILD_PARTITIONS,
+                    mem_bytes: self.mem_bytes(),
                 });
                 Ok((source, stages, builds, schema))
             }

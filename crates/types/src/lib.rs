@@ -15,6 +15,7 @@ pub mod columns;
 pub mod error;
 pub mod row;
 pub mod schema;
+pub mod spill;
 pub mod tid;
 pub mod value;
 

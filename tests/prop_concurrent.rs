@@ -256,4 +256,57 @@ proptest! {
             }
         }
     }
+
+    /// Spill-forcing leg: the same concurrent race under a tiny
+    /// per-operator memory budget. Every join build (and sort) above
+    /// the budget spills to charged overflow files, and each session's
+    /// rows must still match its budgeted solo run exactly — the grace
+    /// trees' probe tallies are order-independent atomic sums, so
+    /// worker and session interleavings cannot perturb results.
+    #[test]
+    fn concurrent_budgeted_sessions_match_solo_runs(
+        shapes in proptest::collection::vec(shape_strategy(), 4..5),
+    ) {
+        const BUDGET: usize = 4096;
+        let solo: Vec<Vec<Row>> = shapes
+            .iter()
+            .map(|shape| {
+                let mut db = database(900);
+                db.set_workers(1);
+                db.set_mem_bytes(BUDGET);
+                db.run(&plan_for(shape)).expect("solo budgeted run").rows
+            })
+            .collect();
+
+        let n = sessions();
+        for workers in [2usize, 8] {
+            let mut db = database(900);
+            db.set_workers(workers);
+            db.set_mem_bytes(BUDGET);
+            let results: Vec<(usize, Vec<Row>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|s| {
+                        let db = &db;
+                        let shapes = &shapes;
+                        scope.spawn(move || {
+                            let session = db.session();
+                            let which = s % shapes.len();
+                            let plan = plan_for(&shapes[which]);
+                            (which, session.run(&plan).expect("concurrent budgeted run").rows)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("session thread")).collect()
+            });
+            for (which, rows) in &results {
+                prop_assert!(
+                    rows == &solo[*which],
+                    "budgeted plan {} diverges from its solo run at {} workers ({:?})",
+                    which,
+                    workers,
+                    shapes[*which]
+                );
+            }
+        }
+    }
 }

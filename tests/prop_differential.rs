@@ -17,6 +17,7 @@
 
 use proptest::prelude::*;
 use smooth_executor::collect_rows_volcano;
+use smooth_executor::sort::SortKey;
 use smooth_planner::{
     AccessPathChoice, Database, JoinStrategy, LogicalPlan, QueryResult, RunStats, ScanSpec,
 };
@@ -195,7 +196,14 @@ fn io_key(io: &IoStatsDelta) -> (u64, u64, u64, u64, u64) {
 /// transfer may continue the first run's last page. Fresh databases make
 /// each measurement exactly the cold run the serial driver would see.
 fn run_volcano(plan: &LogicalPlan) -> QueryResult {
-    let db = database(900);
+    run_volcano_budgeted(plan, 0)
+}
+
+/// [`run_volcano`] under an explicit per-operator memory budget in
+/// bytes (0 = unlimited).
+fn run_volcano_budgeted(plan: &LogicalPlan, budget: usize) -> QueryResult {
+    let mut db = database(900);
+    db.set_mem_bytes(budget);
     let mut op = db.build(plan).expect("plan builds");
     db.storage().flush_pool();
     let clock0 = db.storage().clock().snapshot();
@@ -212,8 +220,14 @@ fn run_volcano(plan: &LogicalPlan) -> QueryResult {
 /// Cold-run through `Database::run` at a fixed worker count, again on a
 /// fresh database.
 fn run_with_workers(plan: &LogicalPlan, workers: usize) -> QueryResult {
+    run_budgeted(plan, workers, 0)
+}
+
+/// [`run_with_workers`] under an explicit per-operator memory budget.
+fn run_budgeted(plan: &LogicalPlan, workers: usize, budget: usize) -> QueryResult {
     let mut db = database(900);
     db.set_workers(workers);
+    db.set_mem_bytes(budget);
     db.run(plan).expect("driver run")
 }
 
@@ -304,6 +318,68 @@ proptest! {
                 (parallel.stats.clock.cpu_ns, parallel.stats.clock.io_ns)
                     == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
                 "parallel ordered+spill clock diverges at {workers} workers"
+            );
+        }
+    }
+
+    /// Larger-than-memory legs: tiny per-operator budgets force grace
+    /// hash-join spills (and, under the sort wrap, external-sort runs).
+    /// Rows must stay byte-identical to the unbudgeted run, and every
+    /// driver must charge identical clock and I/O under the *same*
+    /// budget — spill accounting may not depend on who does the work.
+    #[test]
+    fn drivers_agree_under_spilling_budgets(
+        budget in prop_oneof![Just(512usize), Just(4096usize), Just(1usize << 20)],
+        lo in 0i64..300,
+        width in 30i64..330,
+        semi in any::<bool>(),
+        sorted in any::<bool>(),
+    ) {
+        let join = if semi { JoinShape::HashSemi } else { JoinShape::HashInner };
+        let mut plan =
+            plan_for(&AccessPathChoice::ForceFull, lo, width, None, join, AggShape::None);
+        if sorted {
+            plan = plan.sort(vec![SortKey::asc(2), SortKey::asc(0)]);
+        }
+        let context = format!("budget={budget} lo={lo} width={width} {join:?} sorted={sorted}");
+
+        let free = run_volcano(&plan);
+        let volcano = run_volcano_budgeted(&plan, budget);
+        prop_assert!(volcano.rows == free.rows, "budget changed the rows: {context}");
+        prop_assert!(
+            volcano.stats.clock.io_ns >= free.stats.clock.io_ns,
+            "spill can only add I/O-lane time: {context}"
+        );
+
+        let columnar = run_budgeted(&plan, 1, budget);
+        prop_assert!(columnar.rows == volcano.rows, "budgeted columnar rows diverge: {context}");
+        prop_assert!(
+            (columnar.stats.clock.cpu_ns, columnar.stats.clock.io_ns)
+                == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+            "budgeted columnar clock diverges: {context} ({:?} vs {:?})",
+            columnar.stats.clock,
+            volcano.stats.clock
+        );
+        prop_assert!(
+            io_key(&columnar.stats.io) == io_key(&volcano.stats.io),
+            "budgeted columnar I/O diverges: {context}"
+        );
+        for workers in WORKER_GRID {
+            let parallel = run_budgeted(&plan, workers, budget);
+            prop_assert!(
+                parallel.rows == volcano.rows,
+                "budgeted parallel rows diverge at {workers} workers: {context}"
+            );
+            prop_assert!(
+                (parallel.stats.clock.cpu_ns, parallel.stats.clock.io_ns)
+                    == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "budgeted parallel clock diverges at {workers} workers: {context} ({:?} vs {:?})",
+                parallel.stats.clock,
+                volcano.stats.clock
+            );
+            prop_assert!(
+                io_key(&parallel.stats.io) == io_key(&volcano.stats.io),
+                "budgeted parallel I/O diverges at {workers} workers: {context}"
             );
         }
     }
