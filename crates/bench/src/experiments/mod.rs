@@ -5,6 +5,7 @@ pub mod batch;
 pub mod columnar;
 pub mod costmodel;
 pub mod cr;
+pub mod faults;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "join",
     "serve",
     "spill",
+    "faults",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.
@@ -65,6 +67,7 @@ pub fn run(id: &str) -> bool {
         "join" => join::run(),
         "serve" => serve::run(),
         "spill" => spill::run(),
+        "faults" => faults::run(),
         _ => return false,
     }
     true

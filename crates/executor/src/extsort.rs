@@ -20,10 +20,10 @@
 //! ones on the virtual clock (the perf-smoke gate's zero-spill assert).
 
 use smooth_storage::Storage;
-use smooth_types::{spill as codec, Row};
+use smooth_types::{spill as codec, Result, Row};
 
 use crate::sort::{compare_rows, SortKey};
-use crate::spill::{charge_spill_io, SpillFile};
+use crate::spill::{charge_spill_io, spill_write, SpillFile};
 
 /// One spilled sorted run: the rows (kept addressable — overflow files
 /// are charged accounting, like every spill in this engine) plus their
@@ -59,18 +59,20 @@ impl ExternalSorter {
     }
 
     /// Accumulate one input row, cutting a run when the working set
-    /// crosses the budget.
-    pub fn push(&mut self, row: Row) {
+    /// crosses the budget. Fails only if the run's overflow-file write
+    /// fails (injected `spill_err` faults that exhaust their retries).
+    pub fn push(&mut self, row: Row) -> Result<()> {
         self.cur_bytes += codec::row_len(&row) as u64;
         self.cur.push(row);
         if self.cur_bytes > self.budget {
-            self.cut_run();
+            self.cut_run()?;
         }
+        Ok(())
     }
 
     /// Sort the accumulated chunk (charged like the in-memory sort),
     /// serialize it and charge the overflow-file write.
-    fn cut_run(&mut self) {
+    fn cut_run(&mut self) -> Result<()> {
         let rows = std::mem::take(&mut self.cur);
         let bytes = std::mem::take(&mut self.cur_bytes);
         let mut rows = {
@@ -89,8 +91,9 @@ impl ExternalSorter {
             codec::encode_row(row, &mut data);
         }
         debug_assert_eq!(data.len() as u64, bytes);
-        charge_spill_io(&self.storage, bytes);
-        self.runs.push(SortRun { rows, file: SpillFile::new(data, 0) });
+        let n = rows.len() as u64;
+        self.runs.push(SortRun { rows, file: spill_write(&self.storage, data, n)? });
+        Ok(())
     }
 
     /// Number of runs spilled so far.
@@ -100,7 +103,7 @@ impl ExternalSorter {
 
     /// Finish the sort: the fully-sorted output, byte-identical to the
     /// in-memory sort of the same input.
-    pub fn finish(mut self) -> Vec<Row> {
+    pub fn finish(mut self) -> Result<Vec<Row>> {
         if self.runs.is_empty() {
             // Never spilled: exactly the in-memory sort and its charge.
             let n = self.cur.len() as u64;
@@ -112,11 +115,11 @@ impl ExternalSorter {
             let keys = std::mem::take(&mut self.keys);
             let mut rows = std::mem::take(&mut self.cur);
             rows.sort_by(|a, b| compare_rows(a, b, &keys));
-            return rows;
+            return Ok(rows);
         }
         if !self.cur.is_empty() {
             // The final partial chunk merges like any other run.
-            self.cut_run();
+            self.cut_run()?;
         }
         // Merge pass: re-read every run file, then k-way select.
         let total: usize = self.runs.iter().map(|r| r.rows.len()).sum();
@@ -151,11 +154,13 @@ impl ExternalSorter {
                     _ => {}
                 }
             }
+            // invariant: `total` sums the runs' row counts, so while
+            // the loop runs at least one head is still in bounds.
             let b = best.expect("total counts remaining rows");
             out.push(self.runs[b].rows[heads[b]].clone());
             heads[b] += 1;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -186,10 +191,10 @@ mod tests {
         // ~18 bytes/row encoded; a 256-byte budget forces many runs.
         let mut sorter = ExternalSorter::new(storage(), keys.clone(), 256);
         for row in input.clone() {
-            sorter.push(row);
+            sorter.push(row).unwrap();
         }
         assert!(sorter.run_count() > 1, "budget must force spilled runs");
-        assert_eq!(sorter.finish(), reference_sort(input, &keys));
+        assert_eq!(sorter.finish().unwrap(), reference_sort(input, &keys));
     }
 
     #[test]
@@ -199,9 +204,9 @@ mod tests {
         let before = st.clock().snapshot();
         let mut sorter = ExternalSorter::new(st.clone(), keys, 1 << 30);
         for row in rows(1024) {
-            sorter.push(row);
+            sorter.push(row).unwrap();
         }
-        let out = sorter.finish();
+        let out = sorter.finish().unwrap();
         assert_eq!(out.len(), 1024);
         let delta = st.clock().snapshot().since(&before);
         assert_eq!(delta.cpu_ns, st.cpu().sort_cmp_ns * 1024 * 10);
@@ -215,10 +220,10 @@ mod tests {
         let before = st.clock().snapshot();
         let mut sorter = ExternalSorter::new(st.clone(), keys, 1024);
         for row in rows(400) {
-            sorter.push(row);
+            sorter.push(row).unwrap();
         }
         let runs = {
-            let out = sorter.finish();
+            let out = sorter.finish().unwrap();
             assert_eq!(out.len(), 400);
             out
         };
@@ -231,7 +236,7 @@ mod tests {
         let keys = vec![SortKey::asc(0)];
         let mut sorter = ExternalSorter::new(storage(), keys, 256);
         for row in rows(100) {
-            sorter.push(row);
+            sorter.push(row).unwrap();
         }
         assert!(sorter.run_count() > 0);
         for run in &sorter.runs {

@@ -18,7 +18,7 @@ use smooth_types::{
 
 use crate::expr::Predicate;
 use crate::operator::{batch_size, BoxedOperator, Operator};
-use crate::spill::{charge_spill_io, spill_partitions, SpillFile};
+use crate::spill::{charge_spill_io, spill_partitions, spill_write, SpillFile};
 
 /// Supported join semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -433,10 +433,13 @@ impl JoinBuildTable {
     /// nothing. Must run at exactly one deterministic point per build —
     /// after the serial build loop, or after the parallel partial merge
     /// — so every driver charges identical spill I/O.
-    pub fn apply_budget(&mut self, storage: &Storage, budget_bytes: usize) {
+    /// Fails only if a spilled partition's overflow-file write fails
+    /// (injected `spill_err` faults that exhaust their retries); the
+    /// table is left unspilled in that case.
+    pub fn apply_budget(&mut self, storage: &Storage, budget_bytes: usize) -> Result<()> {
         self.spill = None;
         if budget_bytes == 0 || self.is_empty() {
-            return;
+            return Ok(());
         }
         let budget = budget_bytes as u64;
         let sizes: Vec<u64> = self
@@ -446,7 +449,7 @@ impl JoinBuildTable {
             .collect();
         let total: u64 = sizes.iter().sum();
         if total <= budget {
-            return;
+            return Ok(());
         }
         // Spill order: largest partition first, ties to the lowest
         // index — deterministic, and frees the most memory per file.
@@ -474,14 +477,15 @@ impl JoinBuildTable {
                     &mut data,
                 );
             }
-            // The initial spill writes the whole partition once …
-            charge_spill_io(storage, sizes[p]);
-            files[p] = Some(SpillFile::new(data, refs.len() as u64));
+            // The initial spill writes the whole partition once
+            // (fault-gated: a failed write fails the build) …
+            files[p] = Some(spill_write(storage, data, refs.len() as u64)?);
             // … and every overflowing (sub-)partition re-reads and
             // re-writes its bytes per recursion level (charged inside).
             trees[p] = Some(self.grace_node(storage, &refs, sizes[p], 0, budget, fanout));
         }
         self.spill = Some(GraceSpill { fanout, trees, files, finished: AtomicBool::new(false) });
+        Ok(())
     }
 
     /// Build (and charge) the grace tree over one spilled key range:
@@ -558,15 +562,31 @@ impl JoinBuildTable {
     /// final join pass. Idempotent — the first caller wins — and
     /// charge-free when nothing spilled, so every driver may call it
     /// defensively at probe completion.
-    pub fn finish_probe(&self, storage: &Storage) {
-        let Some(spill) = &self.spill else { return };
+    /// Fails only if spooling a partition's probe-overflow file fails
+    /// (injected `spill_err` faults — the spool is a spill write).
+    pub fn finish_probe(&self, storage: &Storage) -> Result<()> {
+        let Some(spill) = &self.spill else { return Ok(()) };
         if spill.finished.swap(true, Ordering::AcqRel) {
-            return;
+            return Ok(());
         }
         for root in spill.trees.iter().flatten() {
             // Probe overflow spools to the partition's probe file once.
-            charge_spill_io(storage, Self::probe_subtree_bytes(root));
+            let bytes = Self::probe_subtree_bytes(root);
+            if bytes > 0 {
+                storage.spill_fault_check(bytes, Self::probe_subtree_rows(root))?;
+            }
+            charge_spill_io(storage, bytes);
             Self::finish_node(root, storage);
+        }
+        Ok(())
+    }
+
+    /// Total probe rows routed at or below `node`.
+    fn probe_subtree_rows(node: &GraceNode) -> u64 {
+        if node.children.is_empty() {
+            node.probe_rows.load(Ordering::Relaxed)
+        } else {
+            node.children.iter().map(Self::probe_subtree_rows).sum()
         }
     }
 
@@ -770,7 +790,7 @@ impl HashJoin {
             None => {
                 // Probe input fully consumed: charge the deferred grace
                 // passes (idempotent; free when nothing spilled).
-                self.table.finish_probe(&self.storage);
+                self.table.finish_probe(&self.storage)?;
                 Ok(false)
             }
         }
@@ -795,7 +815,7 @@ impl Operator for HashJoin {
             self.table.insert_batch(batch)?;
         }
         self.right.close()?;
-        self.table.apply_budget(&self.storage, self.mem_bytes);
+        self.table.apply_budget(&self.storage, self.mem_bytes)?;
         Ok(())
     }
 
@@ -838,7 +858,7 @@ impl Operator for HashJoin {
     }
 
     fn close(&mut self) -> Result<()> {
-        self.table.finish_probe(&self.storage);
+        self.table.finish_probe(&self.storage)?;
         self.table.clear();
         self.out.reset();
         self.left.close()

@@ -466,6 +466,16 @@ impl SourceCore {
             SourceCore::Shared { mut op, .. } => op.close(),
         }
     }
+
+    /// The heap file this source reads, if any — the coordinate
+    /// scoped fault injection keys morsel-panic draws on (shared
+    /// operator sources have no file attribution).
+    pub(crate) fn file_id(&self) -> Option<smooth_storage::FileId> {
+        match self {
+            SourceCore::Heap { heap, .. } => Some(heap.file_id()),
+            SourceCore::Shared { .. } => None,
+        }
+    }
 }
 
 /// Open a [`ParallelSource`] into its locked core plus (for heap
@@ -528,7 +538,9 @@ pub(crate) fn process_item(
     let mut morsel = match item {
         SourceItem::Batch(batch) => Morsel::Cols(batch),
         SourceItem::Pages(pages) => {
-            let decoder = decoder.as_mut().expect("heap source items need a decoder");
+            let decoder = decoder
+                .as_mut()
+                .ok_or_else(|| Error::exec("heap source item reached a worker with no decoder"))?;
             Morsel::Cols(decoder.decode(storage, &pages)?)
         }
     };
@@ -597,6 +609,8 @@ impl ScalingLedger {
         let mut sink_free = start;
         let mut wait = 0u64;
         for i in 0..src.len() {
+            // invariant: `workers` comes from `workers.max(1)` at every
+            // call site, so the range is never empty.
             let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
             wait += src_free.saturating_sub(worker_free[w]);
             let src_done = worker_free[w].max(src_free) + src[i];
@@ -846,6 +860,8 @@ pub fn multi_query_makespan_ns(
     let mut worker_free = vec![0u64; workers];
     loop {
         // The earliest-free worker claims the earliest-startable morsel.
+        // invariant: `workers` is clamped to >= 1 by the caller, so the
+        // range is never empty.
         let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
         let claim = queries
             .iter()
@@ -949,7 +965,7 @@ fn run_build(
     let (core, decoder_spec) = open_source(source, morsel_rows)?;
     let mut table =
         build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?;
-    table.apply_budget(storage, mem_bytes);
+    table.apply_budget(storage, mem_bytes)?;
     Ok(ProbeTable { table, left_col, ty })
 }
 
@@ -1117,7 +1133,7 @@ fn run_inline(
     // passes, exactly where the serial probe exhaustion would.
     for stage in &stages {
         if let Stage::Probe(table, _) = stage {
-            table.table.finish_probe(&storage);
+            table.table.finish_probe(&storage)?;
         }
     }
     core.close()?;

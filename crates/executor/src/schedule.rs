@@ -49,13 +49,14 @@
 //! byte-identical, so slots need not be pinned to threads.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use smooth_storage::{tap_mark, ScanStatistics, Storage};
+use smooth_storage::{tap_mark, InjectedPanic, ScanStatistics, Storage};
 use smooth_types::{Error, Result, Row, Schema};
 
 use crate::expr::Predicate;
@@ -79,15 +80,40 @@ pub struct QueryOutput {
 }
 
 /// The submitting session's end of a query: blocks until the worker
-/// pool finishes it.
+/// pool finishes it, and can cancel it.
 pub struct QueryHandle {
     rx: Receiver<Result<QueryOutput>>,
+    query: Arc<ActiveQuery>,
+    core: Arc<SchedCore>,
 }
 
 impl QueryHandle {
     /// Wait for the query to finish (or fail).
     pub fn wait(self) -> Result<QueryOutput> {
         self.rx.recv().map_err(|_| Error::exec("scheduler shut down before the query completed"))?
+    }
+
+    /// Cancel the query: it fails with [`Error::Cancelled`] at its
+    /// next morsel boundary (running queries) or immediately (queries
+    /// still waiting for admission), releasing everything it holds
+    /// through the same cleanup path as any other failure. Cancelling
+    /// a completed query is a no-op; [`QueryHandle::wait`] still
+    /// returns whatever the query produced first.
+    pub fn cancel(&self) {
+        self.query.cancelled.store(true, Ordering::Release);
+        let was_waiting = {
+            let mut st = lock(&self.core.state);
+            let before = st.waiting.len();
+            st.waiting.retain(|w| !Arc::ptr_eq(w, &self.query));
+            st.epoch += 1;
+            before != st.waiting.len()
+        };
+        // Wake sleeping workers so an idle pool notices the flag.
+        self.core.cv.notify_all();
+        if was_waiting {
+            self.query.record_err(0, Error::Cancelled);
+            complete_err(&self.query, &self.core);
+        }
     }
 }
 
@@ -216,6 +242,11 @@ struct ActiveQuery {
     /// Morsels claimed but not yet delivered in the current phase.
     inflight: AtomicUsize,
     failed: AtomicBool,
+    /// Set by [`QueryHandle::cancel`]; noticed at morsel boundaries.
+    cancelled: AtomicBool,
+    /// Virtual-clock deadline in total-ns (0 = none), stamped at
+    /// admission from the scheduler's query timeout.
+    deadline_ns: AtomicU64,
     /// First error by morsel seq (the serial driver would have hit the
     /// lowest-seq failure first).
     err: Mutex<Option<(u64, Error)>>,
@@ -300,6 +331,8 @@ impl ActiveQuery {
             build_slots: Mutex::new(Vec::new()),
             inflight: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            deadline_ns: AtomicU64::new(0),
             err: Mutex::new(None),
             stats: Mutex::new(ScanStatistics::default()),
             lock_wait_ns: AtomicU64::new(0),
@@ -314,6 +347,8 @@ impl ActiveQuery {
     fn admit(&self) -> Result<()> {
         let mark = tap_mark();
         let result = (|| {
+            // invariant: `pump` admits each query exactly once, so the
+            // probe source is still present here.
             let probe = lock(&self.probe_source).take().expect("a query admits once");
             let (probe_core, probe_decoder) = open_source(probe, self.morsel_rows)?;
             if self.builds.is_empty() {
@@ -321,6 +356,7 @@ impl ActiveQuery {
                 *lock(&self.src) = SrcState::new(probe_core, probe_decoder, PhaseKind::Probe);
             } else {
                 *lock(&self.parked_probe) = Some((probe_core, probe_decoder));
+                // invariant: build 0 opens only here, once per query.
                 let build = lock(&self.builds[0].source).take().expect("each build opens once");
                 let (core, decoder) = open_source(build, self.morsel_rows)?;
                 *lock(&self.src) = SrcState::new(core, decoder, PhaseKind::Build(0));
@@ -372,8 +408,9 @@ impl ActiveQuery {
                 Ok(())
             }
             PhaseKind::Probe => {
-                let stages =
-                    lock(&self.probe_stages).clone().expect("probe phase has resolved stages");
+                let stages = lock(&self.probe_stages)
+                    .clone()
+                    .ok_or_else(|| Error::exec("probe morsel before stages resolved"))?;
                 let morsel = process_item(item, decoder, &stages, &self.storage)?;
                 if let SinkKind::Agg { group_cols, aggs, exact: true } = &self.sink_kind {
                     let mut slot = lock(&self.agg_slots)
@@ -410,9 +447,34 @@ impl ActiveQuery {
     }
 }
 
-/// Poison-free std mutex lock: worker panics abort the test binary's
-/// assertions anyway, and the scheduler holds no invariants a poisoned
-/// guard could corrupt further.
+/// Stable draw key for the morsel-panic fault site: phase-qualified
+/// sequence number, identical for a given query no matter the worker
+/// count or interleaving (seqs are claimed in serial source order).
+fn morsel_panic_key(kind: PhaseKind, seq: u64) -> u64 {
+    match kind {
+        PhaseKind::Build(i) => (i as u64 + 1) << 48 | seq,
+        PhaseKind::Probe => seq,
+    }
+}
+
+/// Convert a caught panic payload to the query's typed error.
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> Error {
+    if let Some(injected) = payload.downcast_ref::<InjectedPanic>() {
+        Error::exec(format!("injected worker panic (morsel key {})", injected.key))
+    } else if let Some(msg) = payload.downcast_ref::<&str>() {
+        Error::exec(format!("worker panicked: {msg}"))
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        Error::exec(format!("worker panicked: {msg}"))
+    } else {
+        Error::exec("worker panicked")
+    }
+}
+
+/// Poison-free std mutex lock: a worker that panics inside morsel
+/// processing is caught by `try_work`'s `catch_unwind`, but a panic in
+/// the narrow windows where scheduler locks are held must still not
+/// wedge the pool — recovering the poisoned guard keeps every other
+/// query running (the failing query's own error wins via `record_err`).
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
@@ -433,6 +495,36 @@ struct SchedCore {
     state: Mutex<SchedState>,
     cv: Condvar,
     max_queries: usize,
+    /// Per-query timeout in virtual-clock milliseconds (0 = none);
+    /// `SMOOTH_QUERY_TIMEOUT_MS` seeds it, `set_timeout_ms` overrides.
+    timeout_ms: AtomicU64,
+}
+
+/// Route injected-panic payloads around the default "thread panicked"
+/// stderr noise: deliberate chaos is caught and converted to a typed
+/// error by the worker, so only *real* panics should stay loud.
+/// Installed once per process, delegating to the previous hook.
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Per-query timeout used when none is set on a scheduler: the
+/// `SMOOTH_QUERY_TIMEOUT_MS` environment variable in **virtual-clock**
+/// milliseconds (read once per process and latched, like
+/// `SMOOTH_WORKERS`), default 0 = no timeout.
+pub fn default_query_timeout_ms() -> u64 {
+    static MS: OnceLock<u64> = OnceLock::new();
+    *MS.get_or_init(|| {
+        std::env::var("SMOOTH_QUERY_TIMEOUT_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    })
 }
 
 /// The engine's persistent worker pool: serves every submitted query
@@ -448,6 +540,7 @@ impl Scheduler {
     /// Spawn a pool of `workers` threads admitting at most
     /// `max_queries` concurrent queries (both clamped to at least 1).
     pub fn new(workers: usize, max_queries: usize) -> Scheduler {
+        install_panic_hook();
         let core = Arc::new(SchedCore {
             state: Mutex::new(SchedState {
                 running: Vec::new(),
@@ -458,6 +551,7 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             max_queries: max_queries.max(1),
+            timeout_ms: AtomicU64::new(default_query_timeout_ms()),
         });
         let threads = (0..workers.max(1))
             .map(|i| {
@@ -478,10 +572,10 @@ impl Scheduler {
             if st.shutdown {
                 return Err(Error::exec("scheduler is shut down"));
             }
-            st.waiting.push_back(query);
+            st.waiting.push_back(Arc::clone(&query));
         }
         pump(&self.core);
-        Ok(QueryHandle { rx })
+        Ok(QueryHandle { rx, query, core: Arc::clone(&self.core) })
     }
 
     /// The pool size.
@@ -492,6 +586,17 @@ impl Scheduler {
     /// The admission cap.
     pub fn max_queries(&self) -> usize {
         self.core.max_queries
+    }
+
+    /// Override the per-query timeout (virtual-clock milliseconds,
+    /// 0 disables). Applies to queries admitted from now on.
+    pub fn set_timeout_ms(&self, ms: u64) {
+        self.core.timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The current per-query timeout in virtual-clock milliseconds.
+    pub fn timeout_ms(&self) -> u64 {
+        self.core.timeout_ms.load(Ordering::Relaxed)
     }
 }
 
@@ -522,7 +627,21 @@ fn pump(core: &SchedCore) {
             st.admitting += 1;
             q
         };
-        let opened = query.admit();
+        // Stamp the virtual-clock deadline before opening sources so
+        // admission I/O counts against the timeout too.
+        let timeout_ms = core.timeout_ms.load(Ordering::Relaxed);
+        if timeout_ms > 0 {
+            let now = query.storage.clock().snapshot().total_ns();
+            let deadline = now.saturating_add(timeout_ms.saturating_mul(1_000_000)).max(1);
+            query.deadline_ns.store(deadline, Ordering::Relaxed);
+        }
+        let opened = if query.cancelled.load(Ordering::Acquire) {
+            // Cancelled while queued (a racing `cancel` may have missed
+            // it in `waiting`): fail it instead of admitting.
+            Err(Error::Cancelled)
+        } else {
+            query.admit()
+        };
         {
             let mut st = lock(&core.state);
             st.admitting -= 1;
@@ -578,6 +697,17 @@ fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
     if src.finalized || src.done || src.core.is_none() {
         return false;
     }
+    // Morsel-boundary checks: cancellation and the virtual-clock
+    // timeout both surface as `Error::Cancelled` and drain through the
+    // same failure path as any other error.
+    if !q.failed.load(Ordering::Acquire) {
+        let deadline = q.deadline_ns.load(Ordering::Relaxed);
+        if q.cancelled.load(Ordering::Acquire)
+            || (deadline > 0 && q.storage.clock().snapshot().total_ns() >= deadline)
+        {
+            q.record_err(src.seq, Error::Cancelled);
+        }
+    }
     if q.failed.load(Ordering::Acquire) {
         src.done = true;
         drop(src);
@@ -585,11 +715,14 @@ fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
         return true;
     }
     let mark = tap_mark();
+    // invariant: `src.core.is_none()` returned above, so the core is
+    // still present (the source lock is held throughout).
     match src.core.as_mut().expect("checked above").pull(&q.storage) {
         Ok(Some(item)) => {
             let seq = src.seq;
             src.seq += 1;
             let kind = src.kind;
+            let file = src.core.as_ref().and_then(SourceCore::file_id);
             let mut decoder = src
                 .decoders
                 .pop()
@@ -597,7 +730,24 @@ fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
             // Claimed: the phase cannot advance until this lands.
             q.inflight.fetch_add(1, Ordering::AcqRel);
             drop(src);
-            let result = q.process(kind, seq, item, &mut decoder);
+            // Panic containment: injected chaos panics (the morsel
+            // fault site) and *any* real panic in morsel processing
+            // unwind to here and become a typed per-query error — the
+            // worker thread, the pool, and every other query survive.
+            let result = match catch_unwind(AssertUnwindSafe(|| {
+                if q.storage.morsel_panics(file, morsel_panic_key(kind, seq)) {
+                    std::panic::panic_any(InjectedPanic { key: morsel_panic_key(kind, seq) });
+                }
+                q.process(kind, seq, item, &mut decoder)
+            })) {
+                Ok(r) => r,
+                Err(payload) => {
+                    // The decoder may have unwound mid-decode: drop it
+                    // rather than returning it to the pool.
+                    decoder = None;
+                    Err(panic_error(payload.as_ref()))
+                }
+            };
             if let Some(d) = decoder {
                 let mut src = lock(&q.src);
                 // inflight > 0 pins the phase, so this SrcState is
@@ -689,10 +839,14 @@ fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<(
     let slots = std::mem::take(&mut *lock(&q.build_slots));
     let mut table = merge_partials(slots, &phase.schema, phase.right_col, phase.partitions);
     // The merged table is byte-identical to the serial build, so the
-    // budget enforcement — and its charged spill I/O — is too.
-    table.apply_budget(&q.storage, phase.mem_bytes);
+    // budget enforcement — and its charged spill I/O — is too. A
+    // failed overflow-file write (injected spill fault) fails the
+    // whole query here.
+    table.apply_budget(&q.storage, phase.mem_bytes)?;
     lock(&q.tables).push(Arc::new(ProbeTable { table, left_col: phase.left_col, ty: phase.ty }));
     if i + 1 < q.builds.len() {
+        // invariant: each build phase is entered once, in order, by
+        // the one finalizing worker (the `finalized` latch).
         let next = lock(&q.builds[i + 1].source).take().expect("each build opens once");
         let mark = tap_mark();
         let opened = open_source(next, q.morsel_rows);
@@ -701,6 +855,8 @@ fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<(
         *src = SrcState::new(core, decoder, PhaseKind::Build(i + 1));
     } else {
         q.resolve_probe_stages();
+        // invariant: `admit` parks the probe source whenever builds
+        // exist, and only the last build's finalizer reaches here.
         let (core, decoder) =
             lock(&q.parked_probe).take().expect("probe source parked at admission");
         *src = SrcState::new(core, decoder, PhaseKind::Probe);
@@ -737,6 +893,8 @@ fn merge_partials(
     for _ in 0..partitions {
         let worker_maps: Vec<PartialPartition> = part_iters
             .iter_mut()
+            // invariant: `JoinBuildPartial::new` always allocates
+            // exactly `partitions` partitions per slot.
             .map(|it| it.next().expect("every partial has `partitions` partitions"))
             .collect();
         parts.push(JoinBuildTable::merge_partition(worker_maps));
@@ -749,9 +907,16 @@ fn merge_partials(
 fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
     // Probe input fully consumed: charge any deferred grace-join spill
     // passes (order-independent sums, so the charge is identical no
-    // matter how workers interleaved the probe morsels).
+    // matter how workers interleaved the probe morsels). The spool is
+    // a spill write, so it can fail the query this late.
     for t in lock(&q.tables).iter() {
-        t.table.finish_probe(&q.storage);
+        if let Err(e) = t.table.finish_probe(&q.storage) {
+            q.record_err(u64::MAX, e);
+        }
+    }
+    if q.failed.load(Ordering::Acquire) {
+        complete_err(q, core);
+        return;
     }
     let rows = match &q.sink_kind {
         SinkKind::Collect => {
@@ -770,6 +935,9 @@ fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
         SinkKind::Agg { .. } => {
             let mut sink = lock(&q.sink);
             debug_assert!(sink.pending.is_empty(), "ordered sink drained every seq");
+            // invariant: `plan` installs the ordered agg for every
+            // non-exact aggregate sink, and only `complete_ok` (run
+            // once — it empties `done_tx`) takes it.
             sink.ordered_agg.take().expect("ordered agg installed at plan time").finish()
         }
     };
@@ -778,8 +946,26 @@ fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
     finish(q, core, Ok(QueryOutput { rows, stats }));
 }
 
-/// Finish a failed query with its first (lowest-seq) error.
+/// Finish a failed query with its first (lowest-seq) error, releasing
+/// everything it still holds: worker-side partial slots, finished
+/// build tables (dropping their overflow spill files), the sink
+/// buffer, and any parked source — so a failed query leaves no build
+/// memory, no spill files, and no open sources behind, no matter which
+/// phase it died in.
 fn complete_err(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    lock(&q.build_slots).clear();
+    lock(&q.agg_slots).clear();
+    *lock(&q.probe_stages) = None;
+    lock(&q.tables).clear();
+    {
+        let mut sink = lock(&q.sink);
+        sink.pending.clear();
+        sink.rows.clear();
+        sink.ordered_agg = None;
+    }
+    if let Some((parked, _)) = lock(&q.parked_probe).take() {
+        let _ = parked.close();
+    }
     let err = lock(&q.err)
         .take()
         .map(|(_, e)| e)
@@ -923,5 +1109,112 @@ mod tests {
         let engine = s.io_snapshot();
         assert_eq!(engine.pages_read, oa.stats.pages_read + ob.stats.pages_read);
         assert_eq!(engine.buffer_hits, oa.stats.buffer_hits + ob.stats.buffer_hits);
+    }
+
+    #[test]
+    fn cancelled_query_fails_typed_and_scheduler_survives() {
+        let heap = table(3000, "cancel_me");
+        let s = storage();
+        let scheduler = Scheduler::new(2, 4);
+        let handle = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap();
+        handle.cancel();
+        // Cancellation lands at a morsel boundary: the query must fail
+        // with the typed variant (or, if it already finished the race,
+        // return its complete result — never hang, never a partial).
+        match handle.wait() {
+            Err(Error::Cancelled) => {}
+            Ok(out) => assert_eq!(out.rows, serial_rows(&heap, 0, 1000)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // The pool is untouched: a fresh query still runs to completion.
+        let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 250)).unwrap().wait().unwrap();
+        assert_eq!(out.rows, serial_rows(&heap, 0, 250));
+    }
+
+    #[test]
+    fn cancelling_a_waiting_query_dequeues_it() {
+        // max_queries = 1: the second submission waits for admission;
+        // cancelling it must complete it immediately with Cancelled
+        // without disturbing the running query.
+        let heap = table(2000, "waitq");
+        let s = storage();
+        let scheduler = Scheduler::new(2, 1);
+        let running = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap();
+        let waiting = scheduler.submit(scan_pipeline(&heap, &s, 0, 500)).unwrap();
+        waiting.cancel();
+        assert!(matches!(waiting.wait(), Err(Error::Cancelled)));
+        assert_eq!(running.wait().unwrap().rows, serial_rows(&heap, 0, 1000));
+    }
+
+    #[test]
+    fn virtual_clock_timeout_cancels_long_queries() {
+        // The deadline is virtual: an HDD-modeled scan of a few dozen
+        // pages charges millions of virtual nanoseconds, so a 1-virtual-
+        // millisecond budget trips at an early morsel boundary.
+        let heap = table(3000, "deadline");
+        let s = Storage::default_hdd();
+        let scheduler = Scheduler::new(2, 4);
+        scheduler.set_timeout_ms(1);
+        assert_eq!(scheduler.timeout_ms(), 1);
+        let err = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+        // Disabling the timeout restores normal completion.
+        scheduler.set_timeout_ms(0);
+        let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap();
+        assert_eq!(out.rows, serial_rows(&heap, 0, 1000));
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_other_sessions_survive() {
+        use smooth_storage::FaultConfig;
+        let poisoned_heap = table(2000, "poisoned");
+        let clean_heap = table(2000, "clean");
+        let sp = storage();
+        sp.set_faults(Some(FaultConfig::new(11).panic(1.0)));
+        let sc = storage();
+        let scheduler = Scheduler::new(4, 4);
+        // Interleave: the poisoned query panics at its first morsel
+        // while the clean one runs on the same pool.
+        let hp = scheduler.submit(scan_pipeline(&poisoned_heap, &sp, 0, 1000)).unwrap();
+        let hc = scheduler.submit(scan_pipeline(&clean_heap, &sc, 0, 1000)).unwrap();
+        let err = hp.wait().unwrap_err();
+        assert!(matches!(&err, Error::Exec(msg) if msg.contains("injected worker panic")), "{err}");
+        assert_eq!(hc.wait().unwrap().rows, serial_rows(&clean_heap, 0, 1000));
+        // Containment left the workers alive: a fresh query still runs.
+        let out =
+            scheduler.submit(scan_pipeline(&clean_heap, &sc, 0, 250)).unwrap().wait().unwrap();
+        assert_eq!(out.rows, serial_rows(&clean_heap, 0, 250));
+    }
+
+    #[test]
+    fn transient_io_faults_retry_to_success_with_backoff_on_the_clock() {
+        use smooth_storage::faults::BACKOFF_BASE_NS;
+        use smooth_storage::FaultConfig;
+        let heap = table(2000, "flaky");
+        let s = storage();
+        // Low-probability transient faults: every page read that draws
+        // a fault retries (deterministically) and succeeds, so the
+        // query completes with exactly the fault-free rows while the
+        // clock absorbs the backoff.
+        s.set_faults(Some(FaultConfig::new(5).io_err(0.2)));
+        let clock0 = s.clock().snapshot();
+        let scheduler = Scheduler::new(4, 4);
+        let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap();
+        assert_eq!(out.rows, serial_rows(&heap, 0, 1000));
+        let spent = s.clock().snapshot().since(&clock0);
+        // At p = 0.2 over dozens of page reads some fault draws are
+        // certain; each charges at least one base backoff to I/O.
+        assert!(spent.io_ns >= BACKOFF_BASE_NS, "no retry backoff observed");
+    }
+
+    #[test]
+    fn permanent_faults_exhaust_retries_into_typed_error() {
+        use smooth_storage::{faults::RETRY_LIMIT, FaultConfig};
+        let heap = table(2000, "doomed");
+        let s = storage();
+        s.set_faults(Some(FaultConfig::new(9).io_err(1.0)));
+        let scheduler = Scheduler::new(2, 4);
+        let err = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap_err();
+        assert!(matches!(err, Error::Faulted { attempts } if attempts == RETRY_LIMIT), "{err}");
     }
 }

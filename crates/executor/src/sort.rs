@@ -95,11 +95,11 @@ impl Operator for Sort {
                 ExternalSorter::new(self.storage.clone(), self.keys.clone(), self.mem_bytes);
             while let Some(batch) = self.child.next_batch(batch_size())? {
                 for row in batch.into_rows() {
-                    sorter.push(row);
+                    sorter.push(row)?;
                 }
             }
             self.child.close()?;
-            sorter.finish()
+            sorter.finish()?
         } else {
             let mut rows = Vec::new();
             while let Some(batch) = self.child.next_batch(batch_size())? {

@@ -27,10 +27,11 @@
 //! buffer pool, sequential/random classification and page counters are
 //! unperturbed.
 
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::OnceLock;
 
 use smooth_storage::{DeviceProfile, Storage};
-use smooth_types::PAGE_SIZE;
+use smooth_types::{Result, PAGE_SIZE};
 
 /// Per-operator memory budget in bytes: the `SMOOTH_MEM_BYTES`
 /// environment variable, read **once per process** and latched (like
@@ -80,19 +81,52 @@ pub fn charge_spill_io(storage: &Storage, bytes: u64) {
     }
 }
 
+/// Write one overflow file: fault-gate the write (the storage
+/// instance's [`smooth_storage::FaultInjector`], if any, may retry
+/// with backoff or fail it), charge the transfer, and wrap the bytes
+/// as a [`SpillFile`]. Every operator spill should route through this
+/// rather than pairing [`charge_spill_io`] with [`SpillFile::new`] by
+/// hand, so injected `spill_err` faults cover all of them.
+pub fn spill_write(storage: &Storage, data: Vec<u8>, rows: u64) -> Result<SpillFile> {
+    storage.spill_fault_check(data.len() as u64, rows)?;
+    charge_spill_io(storage, data.len() as u64);
+    Ok(SpillFile::new(data, rows))
+}
+
+/// Overflow files alive in the process right now (created minus
+/// dropped). Tests assert this returns to its baseline after a query
+/// completes or fails — spill files must never leak past their query.
+static LIVE_SPILL_FILES: AtomicIsize = AtomicIsize::new(0);
+
 /// One overflow file: really-serialized tuple bytes (the
 /// [`smooth_types::spill`] codec) held as a buffer, with its transfer
 /// costs charged through [`charge_spill_io`] by the owning operator.
+#[derive(Debug)]
 pub struct SpillFile {
     data: Vec<u8>,
     rows: u64,
 }
 
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        LIVE_SPILL_FILES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl SpillFile {
     /// Wrap already-encoded rows as an overflow file (the caller
-    /// charges the write through [`charge_spill_io`]).
+    /// charges the write through [`charge_spill_io`]; prefer
+    /// [`spill_write`], which also fault-gates it).
     pub fn new(data: Vec<u8>, rows: u64) -> Self {
+        LIVE_SPILL_FILES.fetch_add(1, Ordering::Relaxed);
         SpillFile { data, rows }
+    }
+
+    /// Number of [`SpillFile`]s alive in the process (for leak
+    /// assertions in tests — a completed or failed query must leave
+    /// this where it found it).
+    pub fn live_count() -> isize {
+        LIVE_SPILL_FILES.load(Ordering::Relaxed)
     }
 
     /// Serialized byte length.
@@ -139,5 +173,36 @@ mod tests {
         let io = storage.io_snapshot().since(&io0);
         assert_eq!(io.pages_read, 0);
         assert_eq!(io.io_requests, 0);
+    }
+
+    #[test]
+    fn spill_write_charges_and_tracks_liveness() {
+        let storage = Storage::default_hdd();
+        let before_live = SpillFile::live_count();
+        let clock0 = storage.clock().snapshot();
+        let f = spill_write(&storage, vec![0u8; 1000], 10).unwrap();
+        assert_eq!(f.bytes_len(), 1000);
+        assert_eq!(f.rows(), 10);
+        assert_eq!(SpillFile::live_count(), before_live + 1);
+        let clock = storage.clock().snapshot().since(&clock0);
+        assert_eq!(clock.io_ns, spill_io_ns(&storage.device(), 1000));
+        drop(f);
+        assert_eq!(SpillFile::live_count(), before_live);
+    }
+
+    #[test]
+    fn spill_write_surfaces_injected_faults() {
+        use smooth_storage::FaultConfig;
+        let storage = Storage::default_hdd();
+        storage.set_faults(Some(FaultConfig::new(3).spill_err(1.0)));
+        let before_live = SpillFile::live_count();
+        let clock0 = storage.clock().snapshot();
+        let err = spill_write(&storage, vec![0u8; 1000], 10).unwrap_err();
+        assert!(matches!(err, smooth_types::Error::Faulted { .. }));
+        // The failed write charged only its retry backoff — not the
+        // transfer — and created no file.
+        let clock = storage.clock().snapshot().since(&clock0);
+        assert_eq!(clock.io_ns, smooth_storage::faults::total_backoff_ns(3));
+        assert_eq!(SpillFile::live_count(), before_live);
     }
 }

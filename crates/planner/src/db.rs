@@ -41,12 +41,13 @@ use smooth_executor::sort::SortKey;
 use smooth_executor::{
     batch_size, collect_rows, BoxedOperator, BuildSpec, Filter, FullTableScan, HashAggregate,
     HashJoin, IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator,
-    ParallelPipeline, ParallelSource, Predicate, Project, Scheduler, SinkSpec, Sort, SortScan,
-    StageSpec,
+    ParallelPipeline, ParallelSource, Predicate, Project, QueryHandle, Scheduler, SinkSpec, Sort,
+    SortScan, StageSpec,
 };
 use smooth_stats::StatsQuality;
 use smooth_storage::{
-    tap_mark, ClockSnapshot, HeapLoader, IoStatsDelta, ScanStatistics, Storage, StorageConfig,
+    tap_mark, ClockSnapshot, FaultConfig, HeapLoader, IoStatsDelta, ScanStatistics, Storage,
+    StorageConfig,
 };
 use smooth_types::{Error, Result, Row, Schema};
 
@@ -134,6 +135,7 @@ pub struct Database {
     workers: Option<usize>,
     max_queries: Option<usize>,
     mem_bytes: Option<usize>,
+    timeout_ms: Option<u64>,
     /// The engine's worker pool, built on first parallel run and keyed
     /// by the (workers, max_queries) knobs so knob changes rebuild it.
     scheduler: Mutex<Option<(usize, usize, Arc<Scheduler>)>>,
@@ -148,6 +150,7 @@ impl Database {
             workers: None,
             max_queries: None,
             mem_bytes: None,
+            timeout_ms: None,
             scheduler: Mutex::new(None),
         }
     }
@@ -207,6 +210,49 @@ impl Database {
         self.mem_bytes.unwrap_or_else(default_mem_bytes)
     }
 
+    /// Builder: fix the per-query timeout in **virtual-clock**
+    /// milliseconds (overrides `SMOOTH_QUERY_TIMEOUT_MS`; 0 disables).
+    /// A query whose modeled CPU + I/O time crosses the deadline fails
+    /// with [`Error::Cancelled`] at its next morsel boundary, releasing
+    /// everything it held; other sessions are untouched.
+    pub fn with_query_timeout_ms(mut self, ms: u64) -> Self {
+        self.set_query_timeout_ms(ms);
+        self
+    }
+
+    /// Fix the per-query timeout (see
+    /// [`Database::with_query_timeout_ms`]).
+    pub fn set_query_timeout_ms(&mut self, ms: u64) {
+        self.timeout_ms = Some(ms);
+        // The pool may already exist: the knob is a live atomic on the
+        // scheduler, so apply it there too rather than forcing a
+        // rebuild (which would tear down the worker threads).
+        let slot = self.scheduler.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, _, s)) = slot.as_ref() {
+            s.set_timeout_ms(ms);
+        }
+    }
+
+    /// Per-query virtual-clock timeout in milliseconds (0 = none).
+    pub fn query_timeout_ms(&self) -> u64 {
+        self.timeout_ms.unwrap_or_else(smooth_executor::default_query_timeout_ms)
+    }
+
+    /// Builder: install a deterministic fault-injection configuration
+    /// on this database's storage (overrides `SMOOTH_FAULTS`; see
+    /// `docs/fault_model.md`). Injected faults are a pure function of
+    /// the seed and the I/O's coordinates, so runs replay exactly.
+    pub fn with_faults(self, cfg: FaultConfig) -> Self {
+        self.set_faults(Some(cfg));
+        self
+    }
+
+    /// Install (or, with `None`, remove) the fault-injection
+    /// configuration (see [`Database::with_faults`]).
+    pub fn set_faults(&self, cfg: Option<FaultConfig>) {
+        self.storage.set_faults(cfg);
+    }
+
     /// A session handle onto this shared database. Sessions are cheap,
     /// carry a process-unique id, and any number may run queries
     /// concurrently: result rows are always exactly the rows a solo run
@@ -228,6 +274,9 @@ impl Database {
             Some((w, m, s)) if *w == workers && *m == max_queries => Arc::clone(s),
             _ => {
                 let s = Arc::new(Scheduler::new(workers, max_queries));
+                if let Some(ms) = self.timeout_ms {
+                    s.set_timeout_ms(ms);
+                }
                 *slot = Some((workers, max_queries, Arc::clone(&s)));
                 s
             }
@@ -817,6 +866,38 @@ impl Database {
     pub fn run_filtered(&self, plan: &LogicalPlan, pred: Predicate) -> Result<QueryResult> {
         self.run(&plan.clone().filter(pred))
     }
+
+    /// Submit a plan to the shared worker pool **without blocking**,
+    /// returning a [`QueryHandle`] that can be waited on or cancelled
+    /// ([`QueryHandle::cancel`]). Plans with nothing to fan out run as
+    /// a serial shared source on the pool, so every submitted query —
+    /// parallel or not — is cancellable and subject to the per-query
+    /// timeout. Unlike [`Database::run`] this neither flushes the
+    /// buffer pool nor snapshots the engine counters: the handle's
+    /// [`smooth_executor::QueryOutput`] carries per-query
+    /// [`ScanStatistics`] instead (with `rows_total` left 0 — only
+    /// `run` stamps it).
+    pub fn submit(&self, plan: &LogicalPlan) -> Result<QueryHandle> {
+        let pipeline = match self.parallel_pipeline(plan)? {
+            Some(pipeline) => pipeline,
+            None => {
+                // Serial section only: wrap the whole operator tree as
+                // the shared morsel source with a collect sink, which
+                // the pool drains one morsel at a time — checking the
+                // cancel flag and deadline at every boundary.
+                let op = self.build(plan)?;
+                ParallelPipeline {
+                    source: ParallelSource::Shared { op },
+                    builds: Vec::new(),
+                    stages: Vec::new(),
+                    sink: SinkSpec::Collect,
+                    storage: self.storage.clone(),
+                    morsel_rows: batch_size(),
+                }
+            }
+        };
+        self.scheduler().submit(pipeline)
+    }
 }
 
 /// One client's handle onto a shared [`Database`]: queries submitted
@@ -851,6 +932,12 @@ impl<'db> Session<'db> {
     /// Run with a filter applied on top (see [`Database::run_filtered`]).
     pub fn run_filtered(&self, plan: &LogicalPlan, pred: Predicate) -> Result<QueryResult> {
         self.db.run_filtered(plan, pred)
+    }
+
+    /// Submit a plan without blocking, returning a cancellable
+    /// [`QueryHandle`] (see [`Database::submit`]).
+    pub fn submit(&self, plan: &LogicalPlan) -> Result<QueryHandle> {
+        self.db.submit(plan)
     }
 
     /// EXPLAIN a plan (see [`Database::explain`]).
@@ -1170,5 +1257,69 @@ mod tests {
         let b = db.run(&q(100, AccessPathChoice::ForceIndex)).unwrap().stats;
         assert_eq!(a.io.pages_read, b.io.pages_read, "cold runs see identical I/O");
         assert_eq!(a.clock.io_ns, b.clock.io_ns);
+    }
+
+    #[test]
+    fn submit_returns_the_same_rows_as_run() {
+        let db = db(2000).with_workers(2);
+        // A parallelizable plan and a serial-only one (bare adaptive
+        // scan) both go through the pool and match the blocking driver.
+        for plan in [
+            q(250, AccessPathChoice::ForceFull),
+            q(250, AccessPathChoice::Smooth(SmoothScanConfig::default())),
+        ] {
+            let expected = db.run(&plan).unwrap();
+            let out = db.session().submit(&plan).unwrap().wait().unwrap();
+            assert_eq!(out.rows, expected.rows);
+        }
+        // Plan errors surface at submit, before anything runs.
+        let missing = LogicalPlan::scan(ScanSpec::new("nope", Predicate::True));
+        assert!(db.submit(&missing).is_err());
+    }
+
+    #[test]
+    fn submitted_queries_are_cancellable() {
+        let db = db(2000).with_workers(2);
+        let handle = db.submit(&q(250, AccessPathChoice::ForceFull)).unwrap();
+        handle.cancel();
+        match handle.wait() {
+            Err(Error::Cancelled) => {}
+            Ok(out) => {
+                // Lost the race: the query finished first — it must
+                // then be complete, never partial.
+                let expected = db.run(&q(250, AccessPathChoice::ForceFull)).unwrap();
+                assert_eq!(out.rows, expected.rows);
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // The engine still serves queries afterwards.
+        assert!(!db.run(&q(250, AccessPathChoice::ForceFull)).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn query_timeout_knob_reaches_the_scheduler() {
+        // An existing pool picks the knob up live; a later knob change
+        // that rebuilds the pool re-applies it.
+        let mut db = db(500).with_workers(2);
+        db.run(&q(10, AccessPathChoice::ForceFull)).unwrap();
+        db.set_query_timeout_ms(250_000);
+        assert_eq!(db.query_timeout_ms(), 250_000);
+        assert_eq!(db.scheduler().timeout_ms(), 250_000);
+        db.set_workers(3);
+        assert_eq!(db.scheduler().timeout_ms(), 250_000, "survives a pool rebuild");
+        // Generous virtual budget: queries still complete.
+        assert!(!db.run(&q(100, AccessPathChoice::ForceFull)).unwrap().rows.is_empty());
+        db.set_query_timeout_ms(0);
+        assert_eq!(db.scheduler().timeout_ms(), 0);
+    }
+
+    #[test]
+    fn injected_faults_fail_queries_typed_through_the_facade() {
+        let db = db(2000).with_workers(2).with_faults(FaultConfig::new(21).io_err(1.0));
+        let err = db.run(&q(250, AccessPathChoice::ForceFull)).unwrap_err();
+        assert!(matches!(err, Error::Faulted { .. }), "{err}");
+        // Removing the faults restores the engine.
+        db.set_faults(None);
+        assert!(!db.run(&q(250, AccessPathChoice::ForceFull)).unwrap().rows.is_empty());
     }
 }

@@ -23,6 +23,7 @@ pub mod backend;
 pub mod clock;
 pub mod costs;
 pub mod device;
+pub mod faults;
 pub mod heap;
 pub mod page;
 pub mod pool;
@@ -35,6 +36,7 @@ pub use backend::{Backend, FileBackend, MemBackend};
 pub use clock::{ClockSnapshot, VirtualClock};
 pub use costs::CpuCosts;
 pub use device::DeviceProfile;
+pub use faults::{FaultConfig, FaultInjector, InjectedPanic};
 pub use heap::{HeapFile, HeapLoader};
 pub use page::{PageBuf, PageBuilder, PageView};
 pub use pool::BufferPool;

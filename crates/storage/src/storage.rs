@@ -6,7 +6,7 @@
 //! the device model on misses. It is cheaply cloneable (shared interior) so
 //! each operator in a plan can hold a handle.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -15,6 +15,7 @@ use smooth_types::{PageId, Result};
 use crate::clock::VirtualClock;
 use crate::costs::CpuCosts;
 use crate::device::DeviceProfile;
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::heap::HeapFile;
 use crate::page::PageBuf;
 use crate::pool::{BufferPool, Cached};
@@ -57,6 +58,10 @@ struct Inner {
     cpu: CpuCosts,
     tracker: Mutex<DiskTracker>,
     pool: Mutex<BufferPool>,
+    /// Fast-path flag mirroring `faults.is_some()` so the hot read
+    /// paths pay one relaxed load when injection is off.
+    faulty: AtomicBool,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 /// Shared storage-manager handle.
@@ -68,14 +73,22 @@ pub struct Storage {
 impl Storage {
     /// Build a storage manager from a config.
     pub fn new(cfg: StorageConfig) -> Self {
-        Storage {
+        let storage = Storage {
             inner: Arc::new(Inner {
                 clock: VirtualClock::new(),
                 cpu: cfg.cpu,
                 tracker: Mutex::new(DiskTracker::new(cfg.device)),
                 pool: Mutex::new(BufferPool::new(cfg.pool_pages)),
+                faulty: AtomicBool::new(false),
+                faults: Mutex::new(None),
             }),
+        };
+        // `SMOOTH_FAULTS` auto-installs an injector on every storage
+        // instance (tests and embedders override via `set_faults`).
+        if let Some(env) = FaultConfig::from_env() {
+            storage.set_faults(Some(env));
         }
+        storage
     }
 
     /// Storage with default config (HDD, 256-page pool).
@@ -103,6 +116,49 @@ impl Storage {
         self.inner.tracker.lock().set_device(device);
     }
 
+    /// Install (or clear, with `None`) a [`FaultInjector`] on this
+    /// storage instance. Inactive configs (all probabilities zero)
+    /// clear instead of installing, keeping the hot-path flag honest.
+    pub fn set_faults(&self, cfg: Option<FaultConfig>) {
+        let injector = cfg.filter(FaultConfig::is_active).map(|c| Arc::new(FaultInjector::new(c)));
+        self.inner.faulty.store(injector.is_some(), Ordering::Relaxed);
+        *self.inner.faults.lock() = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn faults(&self) -> Option<Arc<FaultInjector>> {
+        if !self.inner.faulty.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner.faults.lock().clone()
+    }
+
+    /// Fault-gate one heap-page device read (pool misses only): a
+    /// no-op without an injector, otherwise the injector's retry /
+    /// backoff / fail verdict (see [`FaultInjector::page_read`]).
+    #[inline]
+    fn page_fault_check(&self, file: FileId, page: u32) -> Result<()> {
+        match self.faults() {
+            None => Ok(()),
+            Some(inj) => inj.page_read(&self.inner.clock, file, page),
+        }
+    }
+
+    /// Fault-gate one spill write of `bytes`/`rows` (the executor's
+    /// overflow files route through this before charging the write).
+    pub fn spill_fault_check(&self, bytes: u64, rows: u64) -> Result<()> {
+        match self.faults() {
+            None => Ok(()),
+            Some(inj) => inj.spill_write(&self.inner.clock, bytes, rows),
+        }
+    }
+
+    /// Whether the worker morsel `(file, key)` should panic under the
+    /// installed injector (always `false` without one).
+    pub fn morsel_panics(&self, file: Option<FileId>, key: u64) -> bool {
+        self.faults().is_some_and(|inj| inj.morsel_panics(file, key))
+    }
+
     /// Read one heap page through the pool, charging on miss.
     pub fn read_heap_page(&self, heap: &HeapFile, page: PageId) -> Result<PageBuf> {
         self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns); // pool lookup
@@ -115,6 +171,7 @@ impl Storage {
                 return Ok(buf);
             }
         }
+        self.page_fault_check(file, page.0)?;
         self.inner.tracker.lock().read_run(&self.inner.clock, file, page.0, 1);
         tap_io(1, 1);
         let buf = heap.read_raw(page)?;
@@ -159,6 +216,11 @@ impl Storage {
                 && missing[i + run_len as usize] == run_start + run_len
             {
                 run_len += 1;
+            }
+            // Fault-gate the whole run before charging it: a faulted
+            // page fails the read with the disk-arm counters untouched.
+            for p in run_start..run_start + run_len {
+                self.page_fault_check(file, p)?;
             }
             self.inner.tracker.lock().read_run(&self.inner.clock, file, run_start, run_len);
             tap_io(run_len as u64, 1);
@@ -311,6 +373,36 @@ mod tests {
         }
         assert_eq!(s.io_snapshot().pages_read as u32, 2 * n);
         assert_eq!(s.io_snapshot().distinct_pages as u32, n);
+    }
+
+    #[test]
+    fn faults_fire_on_misses_only_and_clear() {
+        use crate::faults::FaultConfig;
+        let heap = small_heap(500);
+        let s = storage(64);
+        // Warm a page fault-free, then poison every device read.
+        s.read_heap_page(&heap, PageId(0)).unwrap();
+        s.set_faults(Some(FaultConfig::new(1).corrupt(1.0)));
+        // Pool hit: no device read, no fault.
+        s.read_heap_page(&heap, PageId(0)).unwrap();
+        // Miss: injected corruption, and no disk-arm perturbation.
+        let io0 = s.io_snapshot();
+        assert!(s.read_heap_page(&heap, PageId(1)).is_err());
+        assert!(s.read_heap_run(&heap, PageId(1), 3).is_err());
+        let io = s.io_snapshot().since(&io0);
+        assert_eq!(io.pages_read, 0);
+        assert_eq!(io.io_requests, 0);
+        s.set_faults(None);
+        s.read_heap_page(&heap, PageId(1)).unwrap();
+    }
+
+    #[test]
+    fn inactive_fault_config_never_installs() {
+        let s = storage(8);
+        s.set_faults(Some(crate::faults::FaultConfig::new(9)));
+        assert!(s.faults().is_none());
+        assert!(!s.morsel_panics(None, 0));
+        assert!(s.spill_fault_check(1 << 20, 100).is_ok());
     }
 
     #[test]

@@ -24,6 +24,17 @@ pub enum Error {
     Exec(String),
     /// A planner failure: unknown table/column, no viable plan, etc.
     Plan(String),
+    /// The query was cancelled (explicitly or by a timeout) before it
+    /// produced a result.
+    Cancelled,
+    /// A transient fault persisted through every retry attempt: the
+    /// operation was retried `attempts` times with backoff and still
+    /// failed, so the fault is treated as permanent for this query.
+    Faulted {
+        /// Number of attempts made before giving up (including the
+        /// first, non-retry attempt).
+        attempts: u32,
+    },
 }
 
 impl Error {
@@ -46,6 +57,16 @@ impl Error {
     pub fn corrupt(msg: impl Into<String>) -> Self {
         Error::Corrupt(msg.into())
     }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient errors are I/O failures (a flaky read that may succeed
+    /// on the next attempt). Everything else — corruption, schema and
+    /// plan errors, cancellation, and [`Error::Faulted`] (which *is*
+    /// the exhausted-retries terminal state) — is permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Io(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -57,6 +78,10 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Exec(m) => write!(f, "execution error: {m}"),
             Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Faulted { attempts } => {
+                write!(f, "permanent fault after {attempts} attempts")
+            }
         }
     }
 }
@@ -93,5 +118,25 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::schema("x"), Error::Schema("x".into()));
         assert_ne!(Error::schema("x"), Error::exec("x"));
+    }
+
+    #[test]
+    fn transience_splits_io_from_everything_else() {
+        assert!(Error::Io("flaky sector".into()).is_transient());
+        for e in [
+            Error::corrupt("bad page"),
+            Error::exec("div by zero"),
+            Error::plan("no table"),
+            Error::Cancelled,
+            Error::Faulted { attempts: 4 },
+        ] {
+            assert!(!e.is_transient(), "{e} must be permanent");
+        }
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        assert_eq!(Error::Cancelled.to_string(), "query cancelled");
+        assert_eq!(Error::Faulted { attempts: 3 }.to_string(), "permanent fault after 3 attempts");
     }
 }

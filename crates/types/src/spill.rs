@@ -67,6 +67,9 @@ pub fn decode_value(bytes: &[u8]) -> Result<(Value, usize)> {
     let fixed = |n: usize| -> Result<&[u8]> {
         rest.get(..n).ok_or_else(|| Error::corrupt("truncated spill value"))
     };
+    // invariant: the `try_into().expect(..)` conversions below cannot
+    // fail — `fixed(n)?` already returned exactly an `n`-byte slice, so
+    // the array conversion is length-checked before it runs.
     match tag {
         0 => Ok((Value::Null, 1)),
         1 => Ok((Value::Int(i64::from_le_bytes(fixed(8)?.try_into().expect("8 bytes"))), 9)),

@@ -69,6 +69,6 @@ pub mod prelude {
         AccessPathChoice, Database, JoinStrategy, LogicalPlan, QueryResult, RunStats, ScanSpec,
     };
     pub use smooth_stats::StatsQuality;
-    pub use smooth_storage::{CpuCosts, DeviceProfile, Storage, StorageConfig};
-    pub use smooth_types::{Column, ColumnBatch, DataType, Row, RowBatch, Schema, Value};
+    pub use smooth_storage::{CpuCosts, DeviceProfile, FaultConfig, Storage, StorageConfig};
+    pub use smooth_types::{Column, ColumnBatch, DataType, Error, Row, RowBatch, Schema, Value};
 }
