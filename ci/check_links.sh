@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Markdown link checker for the repo's documentation: every relative
+# link target in README.md, ROADMAP.md and docs/*.md must exist on
+# disk, and every in-file `#anchor` must match a heading in the target
+# file. External (http/https/mailto) links are not touched — no
+# network. Keeps the docs cross-links (ARCHITECTURE.md ↔
+# scheduler_v2.md ↔ fault_model.md ↔ larger_than_memory.md) from
+# rotting as files move.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md ROADMAP.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Inline markdown links: [text](target). Reference-style links and
+    # bare URLs are out of scope; code spans are filtered by requiring
+    # the closing paren on the same line.
+    links=$(grep -no '\[[^]]*\]([^)]*)' "$f" | sed 's/^\([0-9]*\):.*](\([^)]*\))$/\1 \2/') || true
+    [ -n "$links" ] || continue
+    echo "$links" | while read -r line target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        anchor=${target#*#}
+        path=${target%%#*}
+        if [ -z "$path" ]; then
+            check="$f" # same-file anchor
+        else
+            check="$dir/$path"
+        fi
+        if [ ! -e "$check" ]; then
+            echo "$f:$line: broken link: $target (no such file: $check)"
+            touch .link_check_failed
+            continue
+        fi
+        # Anchor check, only for markdown targets with a fragment.
+        if [ "$anchor" != "$target" ] && [ -n "$anchor" ]; then
+            case "$check" in
+                *.md)
+                    # GitHub slug: lowercase headings, spaces -> dashes,
+                    # punctuation dropped (approximation that covers the
+                    # headings this repo uses).
+                    found=$(sed -n 's/^#\{1,6\} \(.*\)$/\1/p' "$check" \
+                        | tr '[:upper:]' '[:lower:]' \
+                        | sed 's/[^a-z0-9 -]//g; s/ /-/g' \
+                        | grep -cx "$anchor") || true
+                    if [ "${found:-0}" -eq 0 ]; then
+                        echo "$f:$line: broken anchor: $target (no heading #$anchor in $check)"
+                        touch .link_check_failed
+                    fi
+                    ;;
+            esac
+        fi
+    done
+done
+
+if [ -e .link_check_failed ]; then
+    rm -f .link_check_failed
+    echo "error: broken markdown links — fix the targets above" >&2
+    status=1
+fi
+exit $status

@@ -10,7 +10,7 @@
 //! * **agg** — scalar aggregation above the filtered scan: scan decode
 //!   fans out across workers and folds into per-worker partial
 //!   aggregates (integer-fed, so the merge is exact). The CI gate holds
-//!   a ≥1.8× floor on the 4-worker *modeled* speedup here.
+//!   a ≥3.0× floor on the 4- and 8-worker *modeled* speedups here.
 //! * **scan** — the filtered scan collected as rows (ordered sink
 //!   merge), reported informationally.
 //!
@@ -50,9 +50,12 @@ use crate::experiments::batch::RUNS;
 use crate::report::{json_metric, Metric, Report};
 use crate::setup;
 
-/// Modeled 4-worker speedup floor the perf-smoke gate enforces for the
-/// aggregate shape.
-pub const MODEL_SPEEDUP_FLOOR: f64 = 1.8;
+/// Modeled speedup floor the perf-smoke gate enforces for the
+/// aggregate shape at 4 **and** 8 workers. Raised from 1.8 when the
+/// per-page hash-lookup CPU moved from the locked source section to
+/// the per-worker decode section (where it runs), lifting the modeled
+/// source-bound ceiling past 3× at smoke scale.
+pub const MODEL_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// NVMe-like profile: ~2.7 GB/s sequential, random 2× — the fast-device
 /// regime where the scan becomes CPU-bound and the worker pool matters.
@@ -159,8 +162,8 @@ pub fn run() {
             format!("{:.2}", ledger.total_ns() as f64 / 1e6),
         ]);
         for (w, s) in [(2usize, speedups[0]), (4, speedups[1]), (8, speedups[2])] {
-            let metric = if shape == "agg" && w == 4 {
-                // The headline gate: deterministic, machine-independent,
+            let metric = if shape == "agg" && (w == 4 || w == 8) {
+                // The headline gates: deterministic, machine-independent,
                 // baseline-compared AND floored.
                 Metric::gated(format!("parallel.{shape}.sel10.model_speedup.w{w}"), s, "x", true)
                     .with_floor(MODEL_SPEEDUP_FLOOR)

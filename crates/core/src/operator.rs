@@ -257,6 +257,7 @@ impl SmoothScan {
             }
             let run = self.page_cache.unvisited_run(PageId(p), end - p);
             let pages = self.storage.read_heap_run(&self.heap, PageId(p), run)?;
+            self.storage.charge_page_probes(run as u64);
             for (pid, buf) in &pages {
                 self.page_cache.insert(*pid);
                 let had_result;

@@ -109,6 +109,7 @@ impl SwitchScan {
         let cpu = *self.storage.cpu();
         let len = READAHEAD.min(total - self.next_page);
         let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
+        self.storage.charge_page_probes(len as u64);
         self.next_page += len;
         let produced = self.produced.as_ref().expect("opened");
         for (pid, page) in &pages {

@@ -73,7 +73,9 @@ pub use parallel::{
     ParallelPipeline, ParallelSource, ScalingLedger, SinkSpec, StageSpec,
 };
 pub use scan::{FullTableScan, IndexScan, SortScan};
-pub use schedule::{default_query_timeout_ms, QueryHandle, QueryOutput, Scheduler};
+pub use schedule::{
+    default_claim_morsels, default_query_timeout_ms, QueryHandle, QueryOutput, Scheduler,
+};
 pub use sort::Sort;
 pub use spill::{
     charge_spill_io, mem_budget_bytes, spill_io_ns, spill_partitions, spill_write, SpillFile,

@@ -34,38 +34,49 @@
 //!
 //! Pipeline breakers merge deterministically. Hash-join builds are their
 //! own parallel phase, run before the probe phase starts: each
-//! [`BuildSpec`] carries a morsel source (and filter/projection stages)
-//! of its own, workers claim build morsels under the source lock (so
-//! build-input I/O happens in the exact serial order) and fold them into
-//! per-worker **hash-partitioned** partial builds
-//! ([`crate::JoinBuildPartial`]: a payload [`ColumnBatch`] plus
-//! position-keyed match lists — no `Vec<Row>` anywhere), which then merge
-//! by global build position ([`crate::JoinBuildTable::merge_partition`]) —
-//! mirroring the aggregate sink's first-seen-position rule, so the probe
-//! table is byte-identical to the serial [`crate::HashJoin`] build no
-//! matter which worker ingested which morsel. Grouped aggregates use
-//! per-worker partial maps merged by global first-seen position when the
-//! merge is exact ([`AggFunc::merge_exact`]), and otherwise fold on the
-//! ordered sink in morsel order so float sums stay byte-identical; plain
-//! row output is concatenated in morsel order.
+//! [`BuildSpec`] carries a morsel source (and filter/projection/nested
+//! probe stages) of its own plus an open tranche
+//! ([`BuildSpec::open_at`]/[`BuildSpec::open_order`] — the serial
+//! driver's open cascade, generalized to bushy trees), workers claim
+//! build morsels under the source lock (so build-input I/O happens in
+//! the exact serial order) and fold them into per-worker
+//! **hash-partitioned** partial builds ([`crate::JoinBuildPartial`]: a
+//! payload [`ColumnBatch`] plus position-keyed match lists — no
+//! `Vec<Row>` anywhere), which then merge by global build position
+//! ([`crate::JoinBuildTable::merge_partition`]) — mirroring the
+//! aggregate sink's first-seen-position rule, so the probe table is
+//! byte-identical to the serial [`crate::HashJoin`] build no matter
+//! which worker ingested which morsel. Grouped aggregates use
+//! per-worker partial maps merged by global first-seen `(seq, idx)`
+//! position when the merge is exact ([`AggFunc::merge_exact`]), and
+//! otherwise fold on the ordered sink in morsel order so float sums
+//! stay byte-identical; plain row output is concatenated in morsel
+//! order, and `ordered:` heap-range scans sort on the sink
+//! ([`SinkSpec::Sort`] — the serial `Sort` operator's exact charges,
+//! stable over serial-order input, recorded as the ledger's serial
+//! suffix).
 //!
-//! Multi-worker execution lives in [`crate::schedule`]: since the
-//! engine-global refactor the worker pool belongs to a persistent
-//! [`crate::Scheduler`] serving *queries* (each an independent phase
-//! state machine with its own source lock and sink), not to a single
+//! Multi-worker execution lives in [`crate::schedule`]: the worker pool
+//! belongs to a persistent [`crate::Scheduler`] serving *queries* (each
+//! an independent phase state machine with its own source lock,
+//! per-worker work-stealing morsel deques, and sink), not to a single
 //! pipeline run. [`run_pipeline`] at `workers > 1` submits the pipeline
 //! as the sole query of an ephemeral scheduler; this module keeps the
 //! specs, the per-morsel machinery (sources, stages, partial sinks) and
 //! the single-worker inline driver that the traced ledger runs on.
 //!
 //! [`run_pipeline_traced`] additionally records a per-morsel
-//! virtual-clock ledger ([`ScalingLedger`]) — now with separate
-//! build-phase sections — from which a deterministic scaling model —
-//! greedy list-scheduling of the measured source / worker / sink
-//! sections — predicts the parallel makespan at any worker count. The
-//! perf-smoke `parallel` and `join` experiments gate on that model
-//! because, unlike wall clock on a shared CI runner (or this repo's
-//! build hosts), it is bit-stable across machines.
+//! virtual-clock ledger ([`ScalingLedger`]) — with separate build-phase
+//! sections and a serial suffix — from which a deterministic scaling
+//! model predicts the parallel makespan at any worker count: a
+//! discrete-event replay of the scheduler's own policy (chunked
+//! claiming via `claim_size`, per-worker queues, steal-from-longest
+//! with the [`STEAL_PENALTY_PERMILLE`] locality surcharge on stolen
+//! morsels — modeled only; execution charges nothing for a steal). The
+//! perf-smoke `parallel`, `join` and `serve` experiments gate on that
+//! model because, unlike wall clock on a shared CI runner (or this
+//! repo's build hosts), it is bit-stable across machines. See
+//! `docs/scheduler_v2.md`.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -161,9 +172,11 @@ impl ParallelSource {
 pub struct BuildSpec {
     /// The build-side morsel source (right input).
     pub source: ParallelSource,
-    /// Per-worker build-side stages ([`StageSpec::Filter`] /
-    /// [`StageSpec::Project`] only — a nested probe inside a build is a
-    /// plan error; subtrees that need one run as a `Shared` source).
+    /// Per-worker build-side stages: [`StageSpec::Filter`] /
+    /// [`StageSpec::Project`] plus [`StageSpec::Probe`] against
+    /// *earlier* builds — a hash join sitting on the build side of
+    /// another hash join runs as a fully parallel build phase of its
+    /// own instead of collapsing into a serial `Shared` source.
     pub stages: Vec<StageSpec>,
     /// Key ordinal in the build rows.
     pub right_col: usize,
@@ -179,6 +192,17 @@ pub struct BuildSpec {
     /// count charges identical spill I/O
     /// ([`crate::JoinBuildTable::apply_budget`]).
     pub mem_bytes: usize,
+    /// How many builds must have *completed* before this build's source
+    /// opens: the serial open cascade reaches its `open()` right after
+    /// build `open_at - 1` drains (0 = opens during admission, before
+    /// any build runs). Bushy trees open sources earlier than they
+    /// drain, so this is independent of the build's own position.
+    pub open_at: usize,
+    /// Position of this source's `open()` among the build-source opens
+    /// sharing the same `open_at` tranche — together they reproduce the
+    /// serial cascade's exact open order, so sources whose `open()`
+    /// charges the clock charge in the serial order.
+    pub open_order: usize,
 }
 
 /// A per-worker morsel transform, declared against the build list.
@@ -209,6 +233,22 @@ pub enum SinkSpec {
         /// order on the coordinator, keeping float sums byte-identical
         /// to the serial fold.
         merge_exact: bool,
+    },
+    /// Ordered-scan terminal: workers stream morsels to the sink in
+    /// morsel order (exactly like `Collect`) and one final
+    /// `sort_rows_charged` pass — the identical charge
+    /// the serial [`crate::Sort`] operator above a full scan makes —
+    /// restores global key order as the query's serial suffix
+    /// ([`ScalingLedger::suffix_ns`] in the model). This is what lets
+    /// `ordered:` plans use the fully parallel heap source instead of
+    /// the serial shared-operator fallback.
+    Sort {
+        /// Sort keys (the ordered scan's range column, ascending).
+        keys: Vec<crate::sort::SortKey>,
+        /// Memory budget for the final sort (0 = unlimited; beyond it
+        /// the sort goes external, charging spill I/O exactly as the
+        /// serial operator would).
+        mem_bytes: usize,
     },
 }
 
@@ -476,14 +516,61 @@ impl SourceCore {
             SourceCore::Shared { .. } => None,
         }
     }
+
+    /// Morsels left to pull, when the source can tell: a heap scan
+    /// knows its remaining page runs, so guided chunk claiming
+    /// ([`claim_size`]) can size lock holds; a shared operator cannot,
+    /// so its claims stay single-morsel.
+    pub(crate) fn remaining_hint(&self) -> Option<usize> {
+        match self {
+            SourceCore::Heap { heap, next, readahead } => {
+                let left = heap.page_count().saturating_sub(*next) as usize;
+                Some(left.div_ceil((*readahead).max(1) as usize))
+            }
+            SourceCore::Shared { .. } => None,
+        }
+    }
+
+    /// The schema of the morsels this source emits.
+    pub(crate) fn schema(&self) -> Schema {
+        match self {
+            SourceCore::Heap { heap, .. } => heap.schema().clone(),
+            SourceCore::Shared { op, .. } => op.schema().clone(),
+        }
+    }
 }
+
+/// Modeled NUMA-style locality penalty on stolen morsels, in permille:
+/// a morsel processed by a worker other than the one whose local queue
+/// held it costs 15% extra worker-side time **in the scaling model
+/// only**. Execution never charges it — the virtual clock stays
+/// byte-identical across worker counts — it prices remote-queue
+/// traffic into the deterministic model so the perf gates reward
+/// locality-preserving schedules over steal-happy ones.
+pub const STEAL_PENALTY_PERMILLE: u64 = 150;
+
+/// Morsels a worker claims from the source in one lock hold: the fixed
+/// override when `fixed > 0` (the `SMOOTH_CLAIM_MORSELS` knob), else
+/// guided self-scheduling — the remaining work split over twice the
+/// pool, clamped to `[1, 64]` — so runs start large (amortizing lock
+/// traffic) and shrink toward single morsels at the tail (keeping the
+/// finish balanced). Execution and the scaling model share this one
+/// formula so modeled chunk boundaries match the real ones.
+pub(crate) fn claim_size(fixed: usize, remaining: usize, workers: usize) -> usize {
+    if fixed > 0 {
+        fixed
+    } else {
+        (remaining / (2 * workers.max(1))).clamp(1, 64)
+    }
+}
+
+/// An opened source: the locked core plus (for heap sources) the
+/// thread-local decoder recipe workers instantiate per claim.
+pub(crate) type OpenedSource = (SourceCore, Option<(Schema, Predicate)>);
 
 /// Open a [`ParallelSource`] into its locked core plus (for heap
 /// sources) the thread-local decoder recipe.
-pub(crate) fn open_source(
-    source: ParallelSource,
-    morsel_rows: usize,
-) -> Result<(SourceCore, Option<(Schema, Predicate)>)> {
+pub(crate) fn open_source(source: ParallelSource, morsel_rows: usize) -> Result<OpenedSource> {
     match source {
         ParallelSource::Heap { heap, predicate, readahead } => {
             let schema = heap.schema().clone();
@@ -512,6 +599,13 @@ impl HeapDecoder {
     }
 
     fn decode(&mut self, storage: &Storage, pages: &[(PageId, PageBuf)]) -> Result<ColumnBatch> {
+        // The per-page buffer-pool probe CPU for this run is charged
+        // here, on the decoding worker, not inside the source lock —
+        // see [`Storage::charge_page_probes`]. Totals stay equal to the
+        // serial scan (which charges beside its own `read_heap_run`
+        // call) while the serialized source section holds only the
+        // irreducible device I/O.
+        storage.charge_page_probes(pages.len() as u64);
         let mut out = ColumnBatch::for_schema(&self.schema);
         for (_, page) in pages {
             let view = PageView::new(page)?;
@@ -577,6 +671,16 @@ pub struct ScalingLedger {
     /// Per-morsel ordered-sink charges (the order-preserving aggregate
     /// fold when the merge is not exact) — a second serialized resource.
     pub sink_ns: Vec<u64>,
+    /// Serial suffix after the last morsel: the ordered-scan sink's
+    /// final sort pass ([`SinkSpec::Sort`]) — one thread, after every
+    /// worker drained.
+    pub suffix_ns: u64,
+    /// Whether each build phase's source supports chunked claiming
+    /// (heap-backed — one entry per recorded build bound). Shared
+    /// operator sources claim one morsel per lock hold.
+    pub build_chunked: Vec<bool>,
+    /// Whether the probe phase's source supports chunked claiming.
+    pub src_chunked: bool,
 }
 
 impl ScalingLedger {
@@ -588,49 +692,7 @@ impl ScalingLedger {
             + self.src_ns.iter().sum::<u64>()
             + self.proc_ns.iter().sum::<u64>()
             + self.sink_ns.iter().sum::<u64>()
-    }
-
-    /// Greedy list-schedule of one phase: source sections serialize in
-    /// morsel order (one lock, one disk arm), worker sections pack onto
-    /// the earliest-free worker (the dynamic claiming the driver
-    /// performs), sink sections serialize on the coordinator. Returns
-    /// the phase end time plus the total time claiming workers sat
-    /// blocked on the source lock (the contention the per-morsel
-    /// `src_ns` hold sections induce at this worker count).
-    fn schedule_with_wait(
-        start: u64,
-        src: &[u64],
-        proc: &[u64],
-        sink: Option<&[u64]>,
-        workers: usize,
-    ) -> (u64, u64) {
-        let mut worker_free = vec![start; workers];
-        let mut src_free = start;
-        let mut sink_free = start;
-        let mut wait = 0u64;
-        for i in 0..src.len() {
-            // invariant: `workers` comes from `workers.max(1)` at every
-            // call site, so the range is never empty.
-            let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
-            wait += src_free.saturating_sub(worker_free[w]);
-            let src_done = worker_free[w].max(src_free) + src[i];
-            src_free = src_done;
-            worker_free[w] = src_done + proc[i];
-            if let Some(sink) = sink {
-                sink_free = sink_free.max(worker_free[w]) + sink[i];
-            }
-        }
-        (worker_free.into_iter().max().unwrap_or(start).max(sink_free), wait)
-    }
-
-    fn schedule(
-        start: u64,
-        src: &[u64],
-        proc: &[u64],
-        sink: Option<&[u64]>,
-        workers: usize,
-    ) -> u64 {
-        Self::schedule_with_wait(start, src, proc, sink, workers).0
+            + self.suffix_ns
     }
 
     /// The per-build section ranges within the build vectors. The driver
@@ -654,28 +716,13 @@ impl ScalingLedger {
         segments
     }
 
-    /// Schedule every build phase, one after another (each build
-    /// barriers before the next, exactly as the driver executes them).
-    fn schedule_builds(&self, start: u64, workers: usize) -> u64 {
-        self.build_segments().into_iter().fold(start, |t, seg| {
-            Self::schedule(
-                t,
-                &self.build_src_ns[seg.clone()],
-                &self.build_proc_ns[seg],
-                None,
-                workers,
-            )
-        })
-    }
-
-    /// Deterministic makespan of the pipeline at `workers` workers: the
-    /// build phases schedule first (each with its own source
-    /// serialization, worker packing and completion barrier), then the
-    /// probe phase on top of them.
+    /// Deterministic makespan of the pipeline at `workers` workers,
+    /// from the unified scheduling model (`simulate`): build phases
+    /// first (each with its own source serialization, chunked claiming,
+    /// work stealing and completion barrier), then the probe phase,
+    /// then the serial suffix.
     pub fn makespan_ns(&self, workers: usize) -> u64 {
-        let workers = workers.max(1);
-        let after_builds = self.schedule_builds(self.prefix_ns, workers);
-        Self::schedule(after_builds, &self.src_ns, &self.proc_ns, Some(&self.sink_ns), workers)
+        simulate(std::slice::from_ref(self), workers, 1).0
     }
 
     /// Modeled speedup over the single-worker makespan (which equals
@@ -690,33 +737,22 @@ impl ScalingLedger {
     /// never races itself for the lock); growth with the worker count
     /// measures how source-bound the pipeline is.
     pub fn modeled_src_wait_ns(&self, workers: usize) -> u64 {
-        let workers = workers.max(1);
-        let mut t = self.prefix_ns;
-        let mut wait = 0u64;
-        for seg in self.build_segments() {
-            let (end, w) = Self::schedule_with_wait(
-                t,
-                &self.build_src_ns[seg.clone()],
-                &self.build_proc_ns[seg],
-                None,
-                workers,
-            );
-            t = end;
-            wait += w;
-        }
-        wait + Self::schedule_with_wait(
-            t,
-            &self.src_ns,
-            &self.proc_ns,
-            Some(&self.sink_ns),
-            workers,
-        )
-        .1
+        simulate(std::slice::from_ref(self), workers, 1).1
     }
 
-    /// Makespan of the build phases alone (without the prefix).
+    /// Makespan of the build phases alone (no prefix, no probe phase,
+    /// no suffix).
     pub fn build_makespan_ns(&self, workers: usize) -> u64 {
-        self.schedule_builds(0, workers.max(1))
+        let builds_only = ScalingLedger {
+            prefix_ns: 0,
+            suffix_ns: 0,
+            src_ns: Vec::new(),
+            proc_ns: Vec::new(),
+            sink_ns: Vec::new(),
+            src_chunked: false,
+            ..self.clone()
+        };
+        simulate(std::slice::from_ref(&builds_only), workers, 1).0
     }
 
     /// Modeled speedup of the blocking build phase alone — what the
@@ -728,38 +764,70 @@ impl ScalingLedger {
     /// The per-phase morsel sections in execution order: every build
     /// segment (source + worker sections, no sink) followed by the
     /// probe phase (source + worker + ordered-sink sections). Input to
-    /// the multi-query model.
+    /// the unified scheduling model.
     fn phases(&self) -> Vec<SimPhase<'_>> {
         let mut phases: Vec<SimPhase<'_>> = self
             .build_segments()
             .into_iter()
-            .map(|seg| SimPhase {
+            .enumerate()
+            .map(|(i, seg)| SimPhase {
                 src: &self.build_src_ns[seg.clone()],
                 proc: &self.build_proc_ns[seg],
                 sink: None,
+                chunked: self.build_chunked.get(i).copied().unwrap_or(false),
             })
             .collect();
-        phases.push(SimPhase { src: &self.src_ns, proc: &self.proc_ns, sink: Some(&self.sink_ns) });
+        phases.push(SimPhase {
+            src: &self.src_ns,
+            proc: &self.proc_ns,
+            sink: Some(&self.sink_ns),
+            chunked: self.src_chunked,
+        });
         phases
     }
 }
 
-/// One phase of a traced query inside the multi-query model.
+/// One phase of a traced query inside the scheduling model.
 struct SimPhase<'a> {
     src: &'a [u64],
     proc: &'a [u64],
+    /// Ordered-sink sections (probe phase only).
     sink: Option<&'a [u64]>,
+    /// Heap-backed phases claim guided chunk runs ([`claim_size`]);
+    /// shared-operator phases claim one morsel per lock hold — exactly
+    /// what execution does.
+    chunked: bool,
+}
+
+/// One claimed-but-unprocessed morsel sitting in a worker's local
+/// queue, available to its owner (front pops) or to a stealing peer
+/// (back pops, at the modeled locality penalty).
+struct SimItem {
+    query: usize,
+    phase: usize,
+    idx: usize,
+    /// Earliest processing start: the end of the claim's source I/O.
+    ready: u64,
 }
 
 /// One traced query's progress through its phases.
 struct SimQuery<'a> {
     phases: Vec<SimPhase<'a>>,
     prefix_ns: u64,
-    /// Current phase / next morsel within it.
+    suffix_ns: u64,
+    /// Current phase / next unclaimed morsel within it.
     phase: usize,
-    idx: usize,
-    /// Serialized per-query resources.
+    next_src: usize,
+    /// Morsels claimed into local queues but not yet processed — the
+    /// phase cannot barrier past them.
+    queued: usize,
+    /// This phase's serialized source chain (one lock, one disk arm).
     src_free: u64,
+    /// Ordered sink: per-morsel completion times buffer here and fold
+    /// strictly in morsel order, exactly as the execution sink drains
+    /// its seq-ordered reorder buffer.
+    sink_done: Vec<Option<u64>>,
+    sink_next: usize,
     sink_free: u64,
     /// Running completion max of the current phase (the barrier the
     /// next phase waits behind).
@@ -773,49 +841,88 @@ struct SimQuery<'a> {
 impl SimQuery<'_> {
     fn admit(&mut self, at: u64) {
         self.admitted = true;
-        self.avail = at;
-        // The serial prefix (source open) heads the query's own
-        // serialized source chain.
-        self.src_free = at + self.prefix_ns;
-        self.sink_free = at;
-        self.phase_done = at + self.prefix_ns;
+        // The serial prefix (source open) precedes the first claim.
+        let start = at + self.prefix_ns;
+        self.avail = start;
+        self.src_free = start;
+        self.sink_free = start;
+        self.phase_done = start;
+        self.enter_phase();
         self.advance();
     }
 
-    /// Cross empty phases / barrier into the next phase; mark finished
-    /// when every phase is drained.
+    /// Reset the per-phase sink reorder state for the current phase.
+    fn enter_phase(&mut self) {
+        let len = self.phases.get(self.phase).map_or(0, |p| p.src.len());
+        self.sink_done = vec![None; len];
+        self.sink_next = 0;
+    }
+
+    /// Record one processed morsel's completion; fold any
+    /// now-unblocked ordered-sink sections (the sink consumes morsels
+    /// strictly in seq order).
+    fn complete(&mut self, idx: usize, done: u64) {
+        self.phase_done = self.phase_done.max(done);
+        let sink = self.phases[self.phase].sink;
+        if let Some(sink) = sink {
+            self.sink_done[idx] = Some(done);
+            while let Some(d) = self.sink_done.get(self.sink_next).copied().flatten() {
+                self.sink_free = self.sink_free.max(d) + sink[self.sink_next];
+                self.sink_next += 1;
+            }
+        }
+    }
+
+    /// Cross drained phases (barriers) into the next phase; mark
+    /// finished — serial suffix appended — when every phase is done.
     fn advance(&mut self) {
         while self.finished.is_none() {
             match self.phases.get(self.phase) {
-                Some(p) if self.idx < p.src.len() => return,
+                Some(p) if self.next_src < p.src.len() || self.queued > 0 => return,
                 Some(_) => {
+                    let end = self.phase_done.max(self.sink_free);
                     self.phase += 1;
-                    self.idx = 0;
-                    self.avail = self.phase_done;
+                    self.next_src = 0;
+                    self.avail = end;
+                    self.src_free = end;
+                    self.sink_free = end;
+                    self.phase_done = end;
+                    self.enter_phase();
                 }
-                None => self.finished = Some(self.phase_done.max(self.sink_free)),
+                None => self.finished = Some(self.phase_done.max(self.sink_free) + self.suffix_ns),
             }
         }
     }
 }
 
-/// Deterministic makespan of several traced queries served concurrently
-/// by one shared worker pool — the model behind the `serve`
-/// experiment's cross-query scheduling gate. Each query keeps exactly
-/// the single-query model's structure ([`ScalingLedger::makespan_ns`]):
-/// its own serialized source chain, its own ordered sink, and a barrier
-/// between build phases. The workers are shared: a freed worker claims
-/// the morsel that can start earliest across all admitted queries (ties
-/// to the lowest query index) — the greedy dynamic the cross-query
-/// scheduler performs. At most `max_queries` queries run at once;
-/// the rest wait FIFO and are admitted when a running query completes.
-/// With one query (or `max_queries == 1`) this reduces to chained
-/// single-query makespans by construction.
-pub fn multi_query_makespan_ns(
-    ledgers: &[ScalingLedger],
-    workers: usize,
-    max_queries: usize,
-) -> u64 {
+/// The unified deterministic scheduling model behind every modeled
+/// number this module exports: single-query makespans
+/// ([`ScalingLedger::makespan_ns`]), build-only makespans, modeled
+/// source-lock waits and the multi-query serving model all run this one
+/// discrete simulation, so their relationships (single-query
+/// equivalence, back-to-back chaining under an admission cap of one)
+/// hold by construction.
+///
+/// The model mirrors the executor's scheduler dynamics exactly:
+///
+/// * Each query walks its phases behind barriers; within a phase the
+///   source sections serialize in morsel order on the query's source
+///   lock.
+/// * A free worker first drains its **own local queue** (front pops,
+///   no penalty), then **claims** a chunk from the query whose source
+///   can start earliest — [`claim_size`]-guided runs for heap-backed
+///   phases, single morsels for shared-operator phases — processing
+///   the first morsel itself and queueing the rest locally, and only
+///   then **steals** the back of the longest peer queue, paying the
+///   [`STEAL_PENALTY_PERMILLE`] locality penalty on the stolen
+///   morsel's worker section. One worker therefore never steals, which
+///   keeps the one-worker makespan exactly equal to the serial total.
+/// * Ordered-sink sections fold strictly in morsel order off a reorder
+///   buffer; the serial suffix (an ordered scan's final sort) runs
+///   after the last phase.
+///
+/// Returns `(makespan, total source-lock wait)`.
+fn simulate(ledgers: &[ScalingLedger], workers: usize, max_queries: usize) -> (u64, u64) {
     let workers = workers.max(1);
     let max_queries = max_queries.max(1);
     let mut queries: Vec<SimQuery<'_>> = ledgers
@@ -823,9 +930,13 @@ pub fn multi_query_makespan_ns(
         .map(|l| SimQuery {
             phases: l.phases(),
             prefix_ns: l.prefix_ns,
+            suffix_ns: l.suffix_ns,
             phase: 0,
-            idx: 0,
+            next_src: 0,
+            queued: 0,
             src_free: 0,
+            sink_done: Vec::new(),
+            sink_next: 0,
             sink_free: 0,
             phase_done: 0,
             avail: 0,
@@ -835,6 +946,7 @@ pub fn multi_query_makespan_ns(
         .collect();
     let mut waiting: std::collections::VecDeque<usize> = (0..queries.len()).collect();
     let mut makespan = 0u64;
+    let mut wait = 0u64;
     // Admit one query at `at`; if it finishes instantly (empty ledger),
     // its slot frees immediately — chain into the next waiting query.
     fn admit_chain(
@@ -858,81 +970,190 @@ pub fn multi_query_makespan_ns(
         admit_chain(&mut queries, &mut waiting, 0, &mut makespan);
     }
     let mut worker_free = vec![0u64; workers];
+    let mut local: Vec<std::collections::VecDeque<SimItem>> =
+        (0..workers).map(|_| std::collections::VecDeque::new()).collect();
     loop {
-        // The earliest-free worker claims the earliest-startable morsel.
-        // invariant: `workers` is clamped to >= 1 by the caller, so the
-        // range is never empty.
-        let w = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+        // The earliest-free worker acts next (ties to the lowest
+        // index).
+        // invariant: `workers` is clamped to >= 1 above, so the range
+        // is never empty.
+        let w = (0..workers).min_by_key(|&i| worker_free[i]).expect("workers >= 1");
+        // 1. Drain the local queue, exactly as `try_work` pops its own
+        //    deque before touching the source.
+        if let Some(item) = local[w].pop_front() {
+            let proc = queries[item.query].phases[item.phase].proc[item.idx];
+            let done = worker_free[w].max(item.ready) + proc;
+            worker_free[w] = done;
+            let q = &mut queries[item.query];
+            q.queued -= 1;
+            q.complete(item.idx, done);
+            q.advance();
+            if let Some(end) = q.finished {
+                makespan = makespan.max(end);
+                admit_chain(&mut queries, &mut waiting, end, &mut makespan);
+            }
+            continue;
+        }
+        // 2. Claim a chunk from the query whose source can start
+        //    earliest (ties to the lowest query index).
         let claim = queries
             .iter()
             .enumerate()
             .filter(|(_, q)| q.admitted && q.finished.is_none())
+            .filter(|(_, q)| q.phases.get(q.phase).is_some_and(|p| q.next_src < p.src.len()))
             .map(|(i, q)| (worker_free[w].max(q.avail).max(q.src_free), i))
             .min();
-        let Some((start, qi)) = claim else { break };
-        let (src, proc, sink) = {
-            let q = &queries[qi];
-            let p = &q.phases[q.phase];
-            (p.src[q.idx], p.proc[q.idx], p.sink.map(|s| s[q.idx]))
-        };
-        let q = &mut queries[qi];
-        let src_done = start + src;
-        q.src_free = src_done;
-        let proc_done = src_done + proc;
-        worker_free[w] = proc_done;
-        q.phase_done = q.phase_done.max(proc_done);
-        if let Some(sink) = sink {
-            q.sink_free = q.sink_free.max(proc_done) + sink;
+        if let Some((start, qi)) = claim {
+            let (k, first, chunk_end, first_done, phase) = {
+                let q = &queries[qi];
+                let p = &q.phases[q.phase];
+                let remaining = p.src.len() - q.next_src;
+                let k = if p.chunked { claim_size(0, remaining, workers) } else { 1 };
+                let k = k.min(remaining);
+                let first = q.next_src;
+                let chunk_end = start + p.src[first..first + k].iter().sum::<u64>();
+                (k, first, chunk_end, chunk_end + p.proc[first], q.phase)
+            };
+            let q = &mut queries[qi];
+            // Time this worker sat blocked on the source lock before
+            // its claim could start.
+            wait += q.src_free.saturating_sub(worker_free[w].max(q.avail));
+            q.src_free = chunk_end;
+            q.next_src = first + k;
+            q.queued += k - 1;
+            worker_free[w] = first_done;
+            q.complete(first, first_done);
+            for i in 1..k {
+                local[w].push_back(SimItem { query: qi, phase, idx: first + i, ready: chunk_end });
+            }
+            q.advance();
+            if let Some(end) = q.finished {
+                makespan = makespan.max(end);
+                admit_chain(&mut queries, &mut waiting, end, &mut makespan);
+            }
+            continue;
         }
-        q.idx += 1;
-        q.advance();
-        if let Some(end) = q.finished {
-            makespan = makespan.max(end);
-            admit_chain(&mut queries, &mut waiting, end, &mut makespan);
+        // 3. Steal the back of the longest peer queue (ties to the
+        //    lowest worker index), paying the locality penalty.
+        let stolen = (0..workers)
+            .filter(|&v| v != w && !local[v].is_empty())
+            .max_by_key(|&v| (local[v].len(), std::cmp::Reverse(v)))
+            .and_then(|v| local[v].pop_back());
+        if let Some(item) = stolen {
+            let proc = queries[item.query].phases[item.phase].proc[item.idx];
+            let proc = proc * (1000 + STEAL_PENALTY_PERMILLE) / 1000;
+            let done = worker_free[w].max(item.ready) + proc;
+            worker_free[w] = done;
+            let q = &mut queries[item.query];
+            q.queued -= 1;
+            q.complete(item.idx, done);
+            q.advance();
+            if let Some(end) = q.finished {
+                makespan = makespan.max(end);
+                admit_chain(&mut queries, &mut waiting, end, &mut makespan);
+            }
+            continue;
         }
+        // Nothing to pop, claim or steal anywhere: every admitted query
+        // has drained (and eagerly advanced to finished).
+        break;
     }
-    makespan
+    (makespan, wait)
 }
 
-/// The build-side output schema: the build source's schema pushed
-/// through the build stages' projections.
-pub(crate) fn staged_schema(mut schema: Schema, stages: &[StageSpec]) -> Result<Schema> {
+/// Deterministic makespan of several traced queries served concurrently
+/// by one shared worker pool — the model behind the `serve`
+/// experiment's cross-query scheduling gate. This is the same unified
+/// simulation as [`ScalingLedger::makespan_ns`] (`simulate`), just
+/// with several queries admitted: each keeps its own serialized source
+/// chain, ordered sink, build barriers, chunked claims and stealable
+/// local queues, while the worker pool is shared. At most `max_queries`
+/// queries run at once; the rest wait FIFO and are admitted when a
+/// running query completes. With one query (or `max_queries == 1`)
+/// this reduces to chained single-query makespans by construction.
+pub fn multi_query_makespan_ns(
+    ledgers: &[ScalingLedger],
+    workers: usize,
+    max_queries: usize,
+) -> u64 {
+    simulate(ledgers, workers, max_queries).0
+}
+
+/// Project `schema` down to `cols`, in order.
+fn project_schema_cols(schema: &Schema, cols: &[usize]) -> Result<Schema> {
+    let kept = cols
+        .iter()
+        .map(|&c| {
+            if c >= schema.len() {
+                Err(Error::schema(format!("project column {c} out of range")))
+            } else {
+                Ok(schema.column(c).clone())
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Schema::new(kept)
+}
+
+/// The output schema of a stage chain at plan time: projections prune,
+/// probes splice in the probed build's payload schema from `prior` —
+/// the (output schema, join type) of every build the chain may
+/// reference, in build order. A probe of a build that is not available
+/// yet (nested probes may only reference *earlier* builds) is a plan
+/// error.
+pub(crate) fn staged_schema(
+    mut schema: Schema,
+    stages: &[StageSpec],
+    prior: &[(Schema, JoinType)],
+) -> Result<Schema> {
     for stage in stages {
         match stage {
             StageSpec::Filter(_) => {}
-            StageSpec::Project(cols) => {
-                let kept = cols
-                    .iter()
-                    .map(|&c| {
-                        if c >= schema.len() {
-                            Err(Error::schema(format!("project column {c} out of range")))
-                        } else {
-                            Ok(schema.column(c).clone())
-                        }
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                schema = Schema::new(kept)?;
-            }
-            StageSpec::Probe(_) => {
-                return Err(Error::plan("hash-join build sides cannot nest probe stages"))
+            StageSpec::Project(cols) => schema = project_schema_cols(&schema, cols)?,
+            StageSpec::Probe(i) => {
+                let (build_schema, ty) = prior.get(*i).ok_or_else(|| {
+                    Error::plan(format!("probe stage references build {i} before it is built"))
+                })?;
+                schema = match ty {
+                    JoinType::Inner => schema.join(build_schema),
+                    JoinType::LeftSemi => schema,
+                };
             }
         }
     }
     Ok(schema)
 }
 
-/// Resolve build-side stage specs (filters and projections only).
-pub(crate) fn resolve_build_stages(stages: &[StageSpec]) -> Result<Vec<Stage>> {
-    stages
-        .iter()
-        .map(|spec| match spec {
-            StageSpec::Filter(p) => Ok(Stage::Filter(p.clone())),
-            StageSpec::Project(cols) => Ok(Stage::Project(cols.clone())),
-            StageSpec::Probe(_) => {
-                Err(Error::plan("hash-join build sides cannot nest probe stages"))
+/// Resolve a stage-spec chain into runtime stages against the built
+/// probe tables, tracking the running schema so each probe stage knows
+/// its gathered output typing. Build-side chains pass the tables of
+/// earlier builds; the main pipeline passes all of them. Returns the
+/// stages plus the chain's output schema.
+pub(crate) fn resolve_stages(
+    specs: &[StageSpec],
+    mut schema: Schema,
+    tables: &[Arc<ProbeTable>],
+) -> Result<(Vec<Stage>, Schema)> {
+    let mut resolved = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match spec {
+            StageSpec::Filter(p) => resolved.push(Stage::Filter(p.clone())),
+            StageSpec::Project(cols) => {
+                schema = project_schema_cols(&schema, cols)?;
+                resolved.push(Stage::Project(cols.clone()));
             }
-        })
-        .collect()
+            StageSpec::Probe(i) => {
+                let table = tables.get(*i).ok_or_else(|| {
+                    Error::plan(format!("probe stage references build {i} before it is built"))
+                })?;
+                schema = match table.ty {
+                    JoinType::Inner => schema.join(table.table.schema()),
+                    JoinType::LeftSemi => schema,
+                };
+                resolved.push(Stage::Probe(Arc::clone(table), schema.clone()));
+            }
+        }
+    }
+    Ok((resolved, schema))
 }
 
 /// Ensure a morsel arriving at a build sink is columnar.
@@ -943,30 +1164,65 @@ pub(crate) fn build_batch(morsel: Morsel, schema: &Schema) -> Result<ColumnBatch
     }
 }
 
+/// A [`BuildSpec`] with its source pulled out so the open cascade in
+/// [`prepare`] can open sources in `open_at`/`open_order` order, not
+/// build order.
+struct BuildMeta {
+    stages: Vec<StageSpec>,
+    right_col: usize,
+    left_col: usize,
+    ty: JoinType,
+    partitions: usize,
+    mem_bytes: usize,
+    open_at: usize,
+    open_order: usize,
+}
+
 /// Drain one build pipeline into its probe table on the calling thread,
 /// charging the clock exactly like the serial [`crate::HashJoin`] build
 /// (one hash op per build-input row, build-input I/O in serial morsel
-/// order). Multi-worker builds run as a scheduler phase instead
+/// order). The source core arrives pre-opened — [`prepare`]'s cascade
+/// ordered the opens. Nested probe stages resolve against the tables
+/// of *earlier* builds and settle their deferred grace passes when the
+/// build input is exhausted, exactly where the serial probe exhaustion
+/// would. Multi-worker builds run as a scheduler phase instead
 /// ([`crate::schedule`]); the merged table is byte-identical either way.
 fn run_build(
-    spec: BuildSpec,
+    meta: &BuildMeta,
+    core: SourceCore,
+    decoder_spec: Option<(Schema, Predicate)>,
+    tables: &[Arc<ProbeTable>],
     storage: &Storage,
-    morsel_rows: usize,
     ledger: Option<&mut ScalingLedger>,
 ) -> Result<ProbeTable> {
-    let BuildSpec { source, stages, right_col, left_col, ty, partitions, mem_bytes } = spec;
-    let partitions = partitions.max(1);
-    let source_schema = source.schema();
-    let schema = staged_schema(source_schema.clone(), &stages)?;
-    if right_col >= schema.len() {
-        return Err(Error::plan(format!("hash-join build key column {right_col} out of range")));
+    let partitions = meta.partitions.max(1);
+    let (stages, schema) = resolve_stages(&meta.stages, core.schema(), tables)?;
+    if meta.right_col >= schema.len() {
+        return Err(Error::plan(format!(
+            "hash-join build key column {} out of range",
+            meta.right_col
+        )));
     }
-    let stages = resolve_build_stages(&stages)?;
-    let (core, decoder_spec) = open_source(source, morsel_rows)?;
-    let mut table =
-        build_inline(core, decoder_spec, &stages, &schema, right_col, partitions, storage, ledger)?;
-    table.apply_budget(storage, mem_bytes)?;
-    Ok(ProbeTable { table, left_col, ty })
+    let mut table = build_inline(
+        core,
+        decoder_spec,
+        &stages,
+        &schema,
+        meta.right_col,
+        partitions,
+        storage,
+        ledger,
+    )?;
+    // The build's probe input is exhausted: settle deferred grace-join
+    // passes on every table its stages probed ([`finish_probe`] is
+    // idempotent, so the final blanket pass stays a no-op for these).
+    for stage in &stages {
+        if let Stage::Probe(t, _) = stage {
+            t.table.finish_probe(storage)?;
+        }
+    }
+    table.apply_budget(storage, meta.mem_bytes)?;
+    Ok(ProbeTable { table, left_col: meta.left_col, ty: meta.ty })
 }
 
 /// Single-worker build: claim, fold, merge — optionally recording the
@@ -1015,48 +1271,90 @@ struct Prepared {
     storage: Storage,
 }
 
-/// Open the source, run the builds inline (bottom-up, exactly the serial
-/// open cascade's order), and instantiate the runtime stages.
+/// Open the probe source, replay the serial open cascade over the
+/// build sources (`open_at`/`open_order` — tranche 0 before any build
+/// drains, tranche `i + 1` right after build `i` completes), run the
+/// builds inline in build order, and instantiate the runtime stages.
 fn prepare(pipeline: ParallelPipeline, mut ledger: Option<&mut ScalingLedger>) -> Result<Prepared> {
     let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
     let clock = storage.clock();
     let open_start = clock.snapshot();
-    let mut schema = source.schema();
+    let schema = source.schema();
     let (core, decoder_spec) = open_source(source, morsel_rows)?;
+    let (mut sources, metas): (Vec<Option<ParallelSource>>, Vec<BuildMeta>) = builds
+        .into_iter()
+        .map(|b| {
+            let BuildSpec {
+                source,
+                stages,
+                right_col,
+                left_col,
+                ty,
+                partitions,
+                mem_bytes,
+                open_at,
+                open_order,
+            } = b;
+            (
+                Some(source),
+                BuildMeta {
+                    stages,
+                    right_col,
+                    left_col,
+                    ty,
+                    partitions,
+                    mem_bytes,
+                    open_at,
+                    open_order,
+                },
+            )
+        })
+        .unzip();
+    let mut order: Vec<usize> = (0..metas.len()).collect();
+    order.sort_by_key(|&i| metas[i].open_order);
+    let mut opened: Vec<Option<OpenedSource>> = (0..metas.len()).map(|_| None).collect();
+    for &i in &order {
+        if metas[i].open_at == 0 {
+            if let Some(src) = sources[i].take() {
+                opened[i] = Some(open_source(src, morsel_rows)?);
+            }
+        }
+    }
     if let Some(l) = ledger.as_deref_mut() {
         l.prefix_ns = clock.snapshot().since(&open_start).total_ns();
+        l.src_chunked = decoder_spec.is_some();
     }
-    let mut tables = Vec::with_capacity(builds.len());
-    for build in builds {
-        tables.push(Arc::new(run_build(build, &storage, morsel_rows, ledger.as_deref_mut())?));
+    let mut tables: Vec<Arc<ProbeTable>> = Vec::with_capacity(metas.len());
+    for (i, meta) in metas.iter().enumerate() {
+        let (bcore, bdec) = opened[i].take().ok_or_else(|| {
+            Error::plan(format!("build {i} source never opened (open_at {})", meta.open_at))
+        })?;
+        let chunked = bdec.is_some();
+        let table = run_build(meta, bcore, bdec, &tables, &storage, ledger.as_deref_mut())?;
+        tables.push(Arc::new(table));
         // Close this build's ledger segment: the next build (and the
         // probe phase) starts only after this one completed.
         if let Some(l) = ledger.as_deref_mut() {
             l.build_bounds.push(l.build_src_ns.len());
+            l.build_chunked.push(chunked);
         }
-    }
-    // Resolve stages, tracking the running schema so each probe stage
-    // knows its gathered output typing.
-    let mut resolved = Vec::with_capacity(stages.len());
-    for spec in stages {
-        match spec {
-            StageSpec::Filter(p) => resolved.push(Stage::Filter(p)),
-            StageSpec::Project(cols) => {
-                schema = staged_schema(schema, &[StageSpec::Project(cols.clone())])?;
-                resolved.push(Stage::Project(cols));
-            }
-            StageSpec::Probe(i) => {
-                let table: &Arc<ProbeTable> = tables
-                    .get(i)
-                    .ok_or_else(|| Error::plan(format!("probe stage references build {i}")))?;
-                schema = match table.ty {
-                    JoinType::Inner => schema.join(table.table.schema()),
-                    JoinType::LeftSemi => schema,
-                };
-                resolved.push(Stage::Probe(Arc::clone(table), schema.clone()));
+        // Open the next tranche. Any clock charge these opens make
+        // folds into the ledger prefix — build sources are scans whose
+        // opens charge nothing, so the attribution stays exact in
+        // practice.
+        let before_opens = clock.snapshot();
+        for &j in &order {
+            if metas[j].open_at == i + 1 {
+                if let Some(src) = sources[j].take() {
+                    opened[j] = Some(open_source(src, morsel_rows)?);
+                }
             }
         }
+        if let Some(l) = ledger.as_deref_mut() {
+            l.prefix_ns += clock.snapshot().since(&before_opens).total_ns();
+        }
     }
+    let (resolved, _) = resolve_stages(&stages, schema, &tables)?;
     Ok(Prepared { core, decoder_spec, stages: resolved, sink, storage })
 }
 
@@ -1092,7 +1390,7 @@ fn run_inline(
         prepare(pipeline, ledger.as_deref_mut())?;
     let mut decoder = decoder_spec.map(|(schema, pred)| HeapDecoder::new(schema, pred));
     let (mut agg, exact) = match &sink {
-        SinkSpec::Collect => (None, false),
+        SinkSpec::Collect | SinkSpec::Sort { .. } => (None, false),
         SinkSpec::Aggregate { group_cols, aggs, merge_exact } => {
             (Some(PartialAgg::new(group_cols, aggs)), *merge_exact)
         }
@@ -1137,6 +1435,16 @@ fn run_inline(
         }
     }
     core.close()?;
+    // The ordered-scan sink's final sort: the serial suffix after every
+    // morsel drained (the serial `Sort` operator closes its child
+    // before sorting too, so charges land in the identical order).
+    if let SinkSpec::Sort { keys, mem_bytes } = &sink {
+        let before = clock.snapshot();
+        crate::sort::sort_rows_charged(&storage, &mut rows, keys, *mem_bytes)?;
+        if let Some(l) = ledger {
+            l.suffix_ns = clock.snapshot().since(&before).total_ns();
+        }
+    }
     Ok(rows)
 }
 
@@ -1201,6 +1509,8 @@ mod tests {
             ty,
             partitions: crate::BUILD_PARTITIONS,
             mem_bytes: crate::spill::mem_budget_bytes(),
+            open_at: 0,
+            open_order: 0,
         }
     }
 
@@ -1348,6 +1658,8 @@ mod tests {
                 ty: JoinType::Inner,
                 partitions: crate::BUILD_PARTITIONS,
                 mem_bytes: crate::spill::mem_budget_bytes(),
+                open_at: 0,
+                open_order: 0,
             });
             let got = run_pipeline(pipeline, workers).unwrap();
             assert_eq!(got, expected, "rows diverge at {workers} workers");
@@ -1458,6 +1770,8 @@ mod tests {
                 ty: JoinType::Inner,
                 partitions: crate::BUILD_PARTITIONS,
                 mem_bytes: crate::spill::mem_budget_bytes(),
+                open_at: 0,
+                open_order: 0,
             });
             assert!(run_pipeline(pipeline, workers).is_err(), "{workers} workers");
         }
@@ -1539,6 +1853,8 @@ mod tests {
             ty: JoinType::Inner,
             partitions: crate::BUILD_PARTITIONS,
             mem_bytes: crate::spill::mem_budget_bytes(),
+            open_at: 0,
+            open_order: 0,
         });
         let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
         assert!(!rows.is_empty());
@@ -1563,7 +1879,7 @@ mod tests {
         let s = storage();
         let mut pipeline =
             heap_pipeline(&probe, &s, vec![StageSpec::Probe(0), StageSpec::Probe(1)]);
-        for heap in [&build_a, &build_b] {
+        for (bi, heap) in [&build_a, &build_b].into_iter().enumerate() {
             pipeline.builds.push(BuildSpec {
                 source: ParallelSource::Heap {
                     heap: Arc::clone(heap),
@@ -1576,6 +1892,10 @@ mod tests {
                 ty: JoinType::LeftSemi,
                 partitions: crate::BUILD_PARTITIONS,
                 mem_bytes: crate::spill::mem_budget_bytes(),
+                // Left-deep serial cascade: build 1's source opens only
+                // after build 0 drains.
+                open_at: bi,
+                open_order: bi,
             });
         }
         let (rows, ledger) = run_pipeline_traced(pipeline).unwrap();
@@ -1594,7 +1914,7 @@ mod tests {
             let s_par = storage();
             let mut pipeline =
                 heap_pipeline(&probe, &s_par, vec![StageSpec::Probe(0), StageSpec::Probe(1)]);
-            for heap in [&build_a, &build_b] {
+            for (bi, heap) in [&build_a, &build_b].into_iter().enumerate() {
                 pipeline.builds.push(BuildSpec {
                     source: ParallelSource::Heap {
                         heap: Arc::clone(heap),
@@ -1607,6 +1927,10 @@ mod tests {
                     ty: JoinType::LeftSemi,
                     partitions: crate::BUILD_PARTITIONS,
                     mem_bytes: crate::spill::mem_budget_bytes(),
+                    // Left-deep serial cascade: build 1's source opens
+                    // only after build 0 drains.
+                    open_at: bi,
+                    open_order: bi,
                 });
             }
             let got = run_pipeline(pipeline, workers).unwrap();

@@ -95,6 +95,7 @@ impl FullTableScan {
             }
             let len = self.readahead.min(total - self.next_page);
             let pages = self.storage.read_heap_run(&self.heap, PageId(self.next_page), len)?;
+            self.storage.charge_page_probes(len as u64);
             self.next_page += len;
             for (_, page) in &pages {
                 let view = PageView::new(page)?;
@@ -349,6 +350,7 @@ impl SortScan {
         loop {
             let Some(run) = self.runs.pop_front() else { return Ok(false) };
             let pages = self.storage.read_heap_run(&self.heap, PageId(run.start), run.len)?;
+            self.storage.charge_page_probes(run.len as u64);
             for (page_no, slots) in &run.page_slots {
                 let idx = (page_no - run.start) as usize;
                 let (_, page) = &pages[idx];

@@ -33,20 +33,57 @@
 //! ([`ScanStatistics::lock_wait_ns`] — informational; the *modeled*
 //! contention lives in [`crate::ScalingLedger`]).
 //!
-//! **Phases.** A query with hash-join builds runs each build as its
-//! own phase, barriered exactly like the serial open cascade: the
-//! probe source opens at admission (the serial driver's open order)
-//! and parks; build `i`'s source drains under the query's source lock
-//! in morsel order; when the last in-flight build morsel lands, the
-//! finalizing worker merges the per-worker partial builds — the
-//! charge-free partition merge of [`crate::JoinBuildTable`], so it is
-//! accounting-identical to the serial merge — installs the probe
-//! table, and opens the next phase. Worker-side partial state (build
-//! partials, exact-merge aggregation partials) lives in per-query
-//! *slot pools*: a worker pops a slot, folds its morsel, and pushes
-//! the slot back. Worker-count invariance of the merges (established
-//! by the single-query drivers) makes any slot↔morsel assignment
-//! byte-identical, so slots need not be pinned to threads.
+//! **Work-stealing morsel queues.** Each `ActiveQuery` owns one
+//! pending-morsel deque per scheduler worker. A worker visiting a
+//! query runs a three-rung ladder (`try_work`): pop the front of its
+//! own deque; else take the source lock once and claim a *chunk* of up
+//! to `k` morsels (`claim_size` in [`crate::parallel`] — fixed by
+//! `SMOOTH_CLAIM_MORSELS`, or guided by the source's remaining-work
+//! hint), charging their pull I/O in exact serial seq order under the
+//! lock and queueing them locally; else steal the *back* of the
+//! longest peer deque (ties to the lowest index — deterministic victim
+//! selection). Queued morsels count in `inflight` from the moment they
+//! are claimed, so a phase cannot finalize with queued work, and
+//! failed/cancelled queries drain their queues (at claim) and discard
+//! per item (at process). Execution charges nothing for a steal; the
+//! scaling model prices steals with a locality penalty
+//! ([`crate::parallel::STEAL_PENALTY_PERMILLE`]). See
+//! `docs/scheduler_v2.md`.
+//!
+//! **The `ActiveQuery` phase state machine.** A query moves through
+//! `Build(0) → … → Build(n-1) → Probe → finalized`, tracked by the
+//! `SrcState` under the source lock (which phase the current decoder
+//! feeds, the claim seq, and the end-of-source latch). Build sources
+//! open in tranches ([`BuildSpec::open_at`] = how many builds must
+//! complete first, [`BuildSpec::open_order`] = the serial driver's
+//! open sequence): admission opens the probe source (serial open
+//! order), parks it, and opens tranche 0; when the last in-flight
+//! morsel of build `i` lands, the finalizing worker merges the
+//! per-worker partial builds — the charge-free partition merge of
+//! [`crate::JoinBuildTable`], accounting-identical to the serial
+//! merge — finalizes any *nested* probe stages inside completed
+//! builds (bushy trees: a hash join on the build side of a hash
+//! join), resolves later builds' stages against the now-installed
+//! tables, opens tranche `i + 1`, and installs the next phase's
+//! source. After the last build the parked probe source is installed
+//! and the probe phase begins. `ordered:` heap scans run as a normal
+//! chunked probe phase over the partitioned heap source with a
+//! charged stable sort at the sink ([`SinkSpec::Sort`]) — rows and
+//! charges byte-identical to the serial Sort-over-scan plan.
+//!
+//! **Slot pools and the `(seq, idx)` MIN rule.** Worker-side partial
+//! state (build partials, exact-merge aggregation partials) lives in
+//! per-query *slot pools*: a worker pops a slot, folds its morsel,
+//! and pushes the slot back — slots are not pinned to threads, so one
+//! slot can fold seq 3 before seq 2. Worker-count invariance of the
+//! merges (established by the single-query drivers) makes any
+//! slot↔morsel assignment byte-identical; for grouped aggregates that
+//! invariance rests on the `(seq, idx)` MIN ordering invariant: every
+//! fold minimizes a group's first-seen position `(morsel seq, row
+//! idx)` on *every* row, and the merge minimizes across partials, so
+//! the recorded position equals the global first occurrence — hence a
+//! deterministic group order — regardless of fold order, chunk size,
+//! steals, or worker count.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -56,16 +93,17 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use smooth_storage::{tap_mark, InjectedPanic, ScanStatistics, Storage};
+use smooth_storage::{tap_mark, FileId, InjectedPanic, ScanStatistics, Storage};
 use smooth_types::{Error, Result, Row, Schema};
 
 use crate::expr::Predicate;
 use crate::join::{JoinBuildPartial, JoinBuildTable, PartialPartition};
 use crate::parallel::{
-    build_batch, open_source, process_item, resolve_build_stages, staged_schema, BuildSpec,
+    build_batch, claim_size, open_source, process_item, resolve_stages, staged_schema, BuildSpec,
     HeapDecoder, Morsel, ParallelPipeline, ParallelSource, PartialAgg, ProbeTable, SinkSpec,
     SourceCore, SourceItem, Stage, StageSpec,
 };
+use crate::sort::SortKey;
 use crate::{AggFunc, JoinType};
 
 /// A completed query: result rows plus the per-query scan statistics
@@ -175,9 +213,18 @@ impl SrcState {
 
 /// One validated hash-join build phase.
 struct BuildPhase {
-    /// The unopened build source (taken when the phase starts).
+    /// The unopened build source (taken when its open tranche runs).
     source: Mutex<Option<ParallelSource>>,
-    stages: Vec<Stage>,
+    /// Opened-but-not-yet-draining source: bushy trees open build
+    /// sources in the serial cascade's open order, which can be
+    /// several phases before the build itself drains.
+    parked: Mutex<Option<ParkedSource>>,
+    /// Raw build-side stage specs; resolved against the finished
+    /// tables when this build's phase starts (nested probes reference
+    /// earlier builds only — validated at plan time).
+    spec_stages: Vec<StageSpec>,
+    /// Resolved stages, installed by [`install_build_phase`].
+    stages: Mutex<Option<Arc<Vec<Stage>>>>,
     schema: Schema,
     right_col: usize,
     left_col: usize,
@@ -186,6 +233,11 @@ struct BuildPhase {
     /// Operator memory budget for the merged build table (0 =
     /// unlimited), enforced at [`advance_build`].
     mem_bytes: usize,
+    /// How many builds must have completed before this source opens
+    /// (0 = at admission) — see [`BuildSpec::open_at`].
+    open_at: usize,
+    /// Open position within the tranche — see [`BuildSpec::open_order`].
+    open_order: usize,
 }
 
 /// A probe stage validated at plan time: probe references are checked
@@ -200,7 +252,18 @@ enum PlannedStage {
 /// Terminal merge discipline.
 enum SinkKind {
     Collect,
-    Agg { group_cols: Vec<usize>, aggs: Vec<AggFunc>, exact: bool },
+    Agg {
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+        exact: bool,
+    },
+    /// Ordered scan: rows buffer in morsel (= serial scan) order, then
+    /// one charged sort pass at completion — the parallel plan's
+    /// serial suffix, byte-identical to the serial `Sort` operator.
+    Sort {
+        keys: Vec<SortKey>,
+        mem_bytes: usize,
+    },
 }
 
 /// Order-preserving sink state: morsels buffer in a seq-keyed map and
@@ -213,9 +276,22 @@ struct SinkState {
     ordered_agg: Option<PartialAgg>,
 }
 
-/// A probe source parked at admission: the opened core plus the
-/// scan-filter spec it re-assembles with once the builds finish.
-type ParkedProbe = (SourceCore, Option<(Schema, Predicate)>);
+/// An opened source parked until its phase starts: the opened core
+/// plus the scan-filter spec it re-assembles with when installed.
+type ParkedSource = (SourceCore, Option<(Schema, Predicate)>);
+
+/// One claimed-but-unprocessed morsel sitting in a worker's local
+/// queue. Claiming charges the pull I/O in serial seq order under the
+/// source lock; everything here is the charge-free remainder (decode
+/// and stage CPU), so *any* worker — owner or thief — can process it
+/// with byte-identical accounting.
+struct Pending {
+    kind: PhaseKind,
+    seq: u64,
+    item: SourceItem,
+    /// Source file for the morsel-panic fault site.
+    file: Option<FileId>,
+}
 
 /// One admitted query: a self-contained phase state machine the worker
 /// pool drives. Everything result-bearing is per-query state here; the
@@ -229,7 +305,12 @@ struct ActiveQuery {
     /// The probe source, opened at admission (serial open order) and
     /// parked until the builds finish.
     probe_source: Mutex<Option<ParallelSource>>,
-    parked_probe: Mutex<Option<ParkedProbe>>,
+    parked_probe: Mutex<Option<ParkedSource>>,
+    /// Per-worker local morsel queues (work stealing): a claiming
+    /// worker deposits its chunk here; dry workers steal from the
+    /// longest peer queue. Queued morsels count in `inflight`, so a
+    /// phase never finalizes with queued work.
+    queues: Vec<Mutex<VecDeque<Pending>>>,
     /// Finished probe tables, one per build, in build order.
     tables: Mutex<Vec<Arc<ProbeTable>>>,
     /// Probe stages, resolved once the last build's table lands.
@@ -258,28 +339,52 @@ struct ActiveQuery {
 impl ActiveQuery {
     /// Validate and decompose a pipeline. All plan errors surface here,
     /// before the query is ever queued.
-    fn plan(pipeline: ParallelPipeline, tx: Sender<Result<QueryOutput>>) -> Result<ActiveQuery> {
+    fn plan(
+        pipeline: ParallelPipeline,
+        tx: Sender<Result<QueryOutput>>,
+        workers: usize,
+    ) -> Result<ActiveQuery> {
         let ParallelPipeline { source, builds, stages, sink, storage, morsel_rows } = pipeline;
         let mut schema = source.schema();
-        let mut build_phases = Vec::with_capacity(builds.len());
-        for build in builds {
-            let BuildSpec { source, stages, right_col, left_col, ty, partitions, mem_bytes } =
-                build;
-            let build_schema = staged_schema(source.schema(), &stages)?;
+        let mut build_phases: Vec<BuildPhase> = Vec::with_capacity(builds.len());
+        let mut prior: Vec<(Schema, JoinType)> = Vec::with_capacity(builds.len());
+        for (i, build) in builds.into_iter().enumerate() {
+            let BuildSpec {
+                source,
+                stages,
+                right_col,
+                left_col,
+                ty,
+                partitions,
+                mem_bytes,
+                open_at,
+                open_order,
+            } = build;
+            let build_schema = staged_schema(source.schema(), &stages, &prior)?;
             if right_col >= build_schema.len() {
                 return Err(Error::plan(format!(
                     "hash-join build key column {right_col} out of range"
                 )));
             }
+            if open_at > i {
+                return Err(Error::plan(format!(
+                    "build {i} opens at tranche {open_at}, after its own phase starts"
+                )));
+            }
+            prior.push((build_schema.clone(), ty));
             build_phases.push(BuildPhase {
                 source: Mutex::new(Some(source)),
-                stages: resolve_build_stages(&stages)?,
+                parked: Mutex::new(None),
+                spec_stages: stages,
+                stages: Mutex::new(None),
                 schema: build_schema,
                 right_col,
                 left_col,
                 ty,
                 partitions: partitions.max(1),
                 mem_bytes,
+                open_at,
+                open_order,
             });
         }
         let mut probe_specs = Vec::with_capacity(stages.len());
@@ -287,7 +392,7 @@ impl ActiveQuery {
             match spec {
                 StageSpec::Filter(p) => probe_specs.push(PlannedStage::Filter(p)),
                 StageSpec::Project(cols) => {
-                    schema = staged_schema(schema, &[StageSpec::Project(cols.clone())])?;
+                    schema = staged_schema(schema, &[StageSpec::Project(cols.clone())], &[])?;
                     probe_specs.push(PlannedStage::Project(cols));
                 }
                 StageSpec::Probe(i) => {
@@ -309,6 +414,7 @@ impl ActiveQuery {
                     if merge_exact { None } else { Some(PartialAgg::new(&group_cols, &aggs)) };
                 (SinkKind::Agg { group_cols, aggs, exact: merge_exact }, ordered)
             }
+            SinkSpec::Sort { keys, mem_bytes } => (SinkKind::Sort { keys, mem_bytes }, None),
         };
         Ok(ActiveQuery {
             storage,
@@ -318,6 +424,7 @@ impl ActiveQuery {
             sink_kind,
             probe_source: Mutex::new(Some(source)),
             parked_probe: Mutex::new(None),
+            queues: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
             tables: Mutex::new(Vec::new()),
             probe_stages: Mutex::new(None),
             src: Mutex::new(SrcState::empty()),
@@ -342,8 +449,9 @@ impl ActiveQuery {
 
     /// Open the query's sources for its first phase. Runs at admission,
     /// outside the scheduler state lock. The probe source opens first —
-    /// the exact open order of the serial driver — then the first build
-    /// source (if any), so single-query accounting is byte-identical.
+    /// the exact open order of the serial driver — then every tranche-0
+    /// build source in `open_order`, so single-query accounting is
+    /// byte-identical.
     fn admit(&self) -> Result<()> {
         let mark = tap_mark();
         let result = (|| {
@@ -354,14 +462,12 @@ impl ActiveQuery {
             if self.builds.is_empty() {
                 self.resolve_probe_stages();
                 *lock(&self.src) = SrcState::new(probe_core, probe_decoder, PhaseKind::Probe);
-            } else {
-                *lock(&self.parked_probe) = Some((probe_core, probe_decoder));
-                // invariant: build 0 opens only here, once per query.
-                let build = lock(&self.builds[0].source).take().expect("each build opens once");
-                let (core, decoder) = open_source(build, self.morsel_rows)?;
-                *lock(&self.src) = SrcState::new(core, decoder, PhaseKind::Build(0));
+                return Ok(());
             }
-            Ok(())
+            *lock(&self.parked_probe) = Some((probe_core, probe_decoder));
+            open_build_tranche(self, 0)?;
+            let mut src = lock(&self.src);
+            install_build_phase(self, 0, &mut src)
         })();
         lock(&self.stats).merge(&mark.delta());
         result
@@ -397,7 +503,10 @@ impl ActiveQuery {
         match kind {
             PhaseKind::Build(i) => {
                 let phase = &self.builds[i];
-                let morsel = process_item(item, decoder, &phase.stages, &self.storage)?;
+                let stages = lock(&phase.stages)
+                    .clone()
+                    .ok_or_else(|| Error::exec("build morsel before stages resolved"))?;
+                let morsel = process_item(item, decoder, &stages, &self.storage)?;
                 let batch = build_batch(morsel, &phase.schema)?;
                 self.storage.clock().charge_cpu(self.storage.cpu().hash_op_ns * batch.len() as u64);
                 let mut partial = lock(&self.build_slots).pop().unwrap_or_else(|| {
@@ -495,9 +604,14 @@ struct SchedCore {
     state: Mutex<SchedState>,
     cv: Condvar,
     max_queries: usize,
+    /// Pool size; sizes per-query local queues and the guided claim.
+    workers: usize,
     /// Per-query timeout in virtual-clock milliseconds (0 = none);
     /// `SMOOTH_QUERY_TIMEOUT_MS` seeds it, `set_timeout_ms` overrides.
     timeout_ms: AtomicU64,
+    /// Morsels per source claim (0 = guided by remaining work);
+    /// `SMOOTH_CLAIM_MORSELS` seeds it, `set_claim_morsels` overrides.
+    claim_morsels: AtomicUsize,
 }
 
 /// Route injected-panic payloads around the default "thread panicked"
@@ -527,6 +641,19 @@ pub fn default_query_timeout_ms() -> u64 {
     })
 }
 
+/// Morsels per source claim when none is set on a scheduler: the
+/// `SMOOTH_CLAIM_MORSELS` environment variable (read once per process
+/// and latched, like `SMOOTH_WORKERS`), default 0 = guided — each
+/// claim takes `remaining / (2 · workers)` clamped to `[1, 64]`, so
+/// chunks shrink toward 1 as the source drains (classic guided
+/// self-scheduling; see `claim_size` in [`crate::parallel`]).
+pub fn default_claim_morsels() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("SMOOTH_CLAIM_MORSELS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    })
+}
+
 /// The engine's persistent worker pool: serves every submitted query
 /// until dropped. Dropping the scheduler drains queries already
 /// admitted, then joins the workers; queries still waiting for
@@ -551,7 +678,9 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             max_queries: max_queries.max(1),
+            workers: workers.max(1),
             timeout_ms: AtomicU64::new(default_query_timeout_ms()),
+            claim_morsels: AtomicUsize::new(default_claim_morsels()),
         });
         let threads = (0..workers.max(1))
             .map(|i| {
@@ -566,7 +695,7 @@ impl Scheduler {
     /// admission beyond `max_queries` queues FIFO.
     pub fn submit(&self, pipeline: ParallelPipeline) -> Result<QueryHandle> {
         let (tx, rx) = mpsc::channel();
-        let query = Arc::new(ActiveQuery::plan(pipeline, tx)?);
+        let query = Arc::new(ActiveQuery::plan(pipeline, tx, self.core.workers)?);
         {
             let mut st = lock(&self.core.state);
             if st.shutdown {
@@ -597,6 +726,17 @@ impl Scheduler {
     /// The current per-query timeout in virtual-clock milliseconds.
     pub fn timeout_ms(&self) -> u64 {
         self.core.timeout_ms.load(Ordering::Relaxed)
+    }
+
+    /// Override the morsels-per-claim chunk size (0 = guided).
+    /// Applies to claims made from now on, running queries included.
+    pub fn set_claim_morsels(&self, n: usize) {
+        self.core.claim_morsels.store(n, Ordering::Relaxed);
+    }
+
+    /// The current morsels-per-claim chunk size (0 = guided).
+    pub fn claim_morsels(&self) -> usize {
+        self.core.claim_morsels.load(Ordering::Relaxed)
     }
 }
 
@@ -672,7 +812,7 @@ fn worker_loop(core: &SchedCore, index: usize) {
         for i in 0..n {
             // Round-robin offset by worker index: workers spread over
             // queries instead of ganging up on the first one.
-            if try_work(&queries[(index + i) % n], core) {
+            if try_work(&queries[(index + i) % n], core, index) {
                 worked = true;
             }
         }
@@ -688,9 +828,35 @@ fn worker_loop(core: &SchedCore, index: usize) {
     }
 }
 
-/// Try to claim and process one morsel for `q`. Returns whether any
-/// progress was made.
-fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
+/// Make one unit of progress on `q` as worker `widx`: pop the local
+/// queue, else claim a chunk from the source, else steal from the
+/// longest peer queue. Returns whether any progress was made.
+fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore, widx: usize) -> bool {
+    let widx = widx % q.queues.len();
+    // 1. Local queue first: the cheapest, locality-preserving path.
+    let local = lock(&q.queues[widx]).pop_front();
+    if let Some(p) = local {
+        return process_pending(q, core, p);
+    }
+    // 2. Claim a chunk of morsels from the query's source.
+    if claim_chunk(q, core, widx) {
+        return true;
+    }
+    // 3. Dry: steal the coldest morsel from the busiest peer. The
+    // execution charges nothing extra for a steal — the locality cost
+    // exists only in the scaling model
+    // ([`crate::parallel::STEAL_PENALTY_PERMILLE`]).
+    match steal(q, widx) {
+        Some(p) => process_pending(q, core, p),
+        None => false,
+    }
+}
+
+/// Claim up to [`claim_size`] morsels from `q`'s source under its
+/// lock — so all charged pull I/O stays in exact serial seq order —
+/// and deposit them in worker `widx`'s local queue. Returns whether
+/// any progress was made.
+fn claim_chunk(q: &Arc<ActiveQuery>, core: &SchedCore, widx: usize) -> bool {
     let wait_start = Instant::now();
     let mut src = lock(&q.src);
     q.lock_wait_ns.fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -711,76 +877,158 @@ fn try_work(q: &Arc<ActiveQuery>, core: &SchedCore) -> bool {
     if q.failed.load(Ordering::Acquire) {
         src.done = true;
         drop(src);
+        // Queued morsels of a failed query are dead work: discard them
+        // so the phase can finalize without processing them.
+        drain_queues(q, core);
         maybe_finalize(q, core);
         return true;
     }
     let mark = tap_mark();
+    let fixed = core.claim_morsels.load(Ordering::Relaxed);
     // invariant: `src.core.is_none()` returned above, so the core is
-    // still present (the source lock is held throughout).
-    match src.core.as_mut().expect("checked above").pull(&q.storage) {
-        Ok(Some(item)) => {
-            let seq = src.seq;
-            src.seq += 1;
-            let kind = src.kind;
-            let file = src.core.as_ref().and_then(SourceCore::file_id);
-            let mut decoder = src
-                .decoders
-                .pop()
-                .or_else(|| src.decoder_spec.clone().map(|(s, p)| HeapDecoder::new(s, p)));
-            // Claimed: the phase cannot advance until this lands.
-            q.inflight.fetch_add(1, Ordering::AcqRel);
-            drop(src);
-            // Panic containment: injected chaos panics (the morsel
-            // fault site) and *any* real panic in morsel processing
-            // unwind to here and become a typed per-query error — the
-            // worker thread, the pool, and every other query survive.
-            let result = match catch_unwind(AssertUnwindSafe(|| {
-                if q.storage.morsel_panics(file, morsel_panic_key(kind, seq)) {
-                    std::panic::panic_any(InjectedPanic { key: morsel_panic_key(kind, seq) });
-                }
-                q.process(kind, seq, item, &mut decoder)
-            })) {
-                Ok(r) => r,
-                Err(payload) => {
-                    // The decoder may have unwound mid-decode: drop it
-                    // rather than returning it to the pool.
-                    decoder = None;
-                    Err(panic_error(payload.as_ref()))
-                }
-            };
-            if let Some(d) = decoder {
-                let mut src = lock(&q.src);
-                // inflight > 0 pins the phase, so this SrcState is
-                // still the one the decoder came from.
-                src.decoders.push(d);
+    // still present (the source lock is held throughout the claim).
+    let k = {
+        let c = src.core.as_ref().expect("checked above");
+        claim_size(fixed, c.remaining_hint().unwrap_or(1), core.workers)
+    };
+    let kind = src.kind;
+    let mut claimed: Vec<Pending> = Vec::with_capacity(k);
+    // Some(Ok) = source exhausted mid-chunk, Some(Err) = pull failed.
+    let mut end: Option<Result<()>> = None;
+    for _ in 0..k {
+        // invariant: checked non-None above; the lock is held, so no
+        // one else can take the core out from under the claim.
+        match src.core.as_mut().expect("checked above").pull(&q.storage) {
+            Ok(Some(item)) => {
+                let file = src.core.as_ref().and_then(SourceCore::file_id);
+                claimed.push(Pending { kind, seq: src.seq, item, file });
+                src.seq += 1;
             }
-            let mut delta = mark.delta();
-            delta.morsels = 1;
-            lock(&q.stats).merge(&delta);
-            if let Err(e) = result {
-                q.record_err(seq, e);
+            Ok(None) => {
+                end = Some(Ok(()));
+                break;
             }
-            if q.inflight.fetch_sub(1, Ordering::AcqRel) == 1 {
-                maybe_finalize(q, core);
+            Err(e) => {
+                end = Some(Err(e));
+                break;
             }
-            true
         }
-        Ok(None) => {
-            src.done = true;
-            drop(src);
-            lock(&q.stats).merge(&mark.delta());
+    }
+    let err_seq = src.seq;
+    if end.is_some() {
+        src.done = true;
+    }
+    // Queued morsels pin the phase exactly like in-flight ones.
+    q.inflight.fetch_add(claimed.len(), Ordering::AcqRel);
+    drop(src);
+    // The pull I/O is this claim's attribution; `morsels` counts at
+    // processing time, once per item, wherever it runs.
+    lock(&q.stats).merge(&mark.delta());
+    if let Some(Err(e)) = end {
+        q.record_err(err_seq, e);
+    }
+    let extras = claimed.len() > 1;
+    if !claimed.is_empty() {
+        lock(&q.queues[widx]).extend(claimed);
+    }
+    if extras {
+        // Wake sleeping peers: the surplus is up for stealing.
+        {
+            let mut st = lock(&core.state);
+            st.epoch += 1;
+        }
+        core.cv.notify_all();
+    }
+    // If the source just ran dry, the claimed items (queued on this
+    // worker) keep `inflight` nonzero; the last one processed
+    // finalizes. With nothing claimed this claim itself finalizes.
+    maybe_finalize(q, core);
+    true
+}
+
+/// Process one queued morsel (local or stolen) outside the source
+/// lock, delivering it to the phase's partial state.
+fn process_pending(q: &Arc<ActiveQuery>, core: &SchedCore, p: Pending) -> bool {
+    // Morsel-boundary checks, same as at claim time: a queued morsel
+    // of a cancelled, timed-out, or failed query is discarded — its
+    // result could never be delivered anyway.
+    if !q.failed.load(Ordering::Acquire) {
+        let deadline = q.deadline_ns.load(Ordering::Relaxed);
+        if q.cancelled.load(Ordering::Acquire)
+            || (deadline > 0 && q.storage.clock().snapshot().total_ns() >= deadline)
+        {
+            q.record_err(p.seq, Error::Cancelled);
+        }
+    }
+    if q.failed.load(Ordering::Acquire) {
+        if q.inflight.fetch_sub(1, Ordering::AcqRel) == 1 {
             maybe_finalize(q, core);
-            true
         }
-        Err(e) => {
-            let seq = src.seq;
-            src.done = true;
-            drop(src);
-            lock(&q.stats).merge(&mark.delta());
-            q.record_err(seq, e);
-            maybe_finalize(q, core);
-            true
+        return true;
+    }
+    let Pending { kind, seq, item, file } = p;
+    let mark = tap_mark();
+    // Decoder pool: pop one under a brief source relock (or build a
+    // fresh one from the spec). `inflight > 0` pins the phase, so the
+    // SrcState — and its decoder spec — is still the one this morsel
+    // was claimed from, stolen morsels included.
+    let mut decoder = {
+        let mut src = lock(&q.src);
+        src.decoders.pop().or_else(|| src.decoder_spec.clone().map(|(s, p)| HeapDecoder::new(s, p)))
+    };
+    // Panic containment: injected chaos panics (the morsel fault site)
+    // and *any* real panic in morsel processing unwind to here and
+    // become a typed per-query error — the worker thread, the pool,
+    // and every other query survive.
+    let result = match catch_unwind(AssertUnwindSafe(|| {
+        if q.storage.morsel_panics(file, morsel_panic_key(kind, seq)) {
+            std::panic::panic_any(InjectedPanic { key: morsel_panic_key(kind, seq) });
         }
+        q.process(kind, seq, item, &mut decoder)
+    })) {
+        Ok(r) => r,
+        Err(payload) => {
+            // The decoder may have unwound mid-decode: drop it rather
+            // than returning it to the pool.
+            decoder = None;
+            Err(panic_error(payload.as_ref()))
+        }
+    };
+    if let Some(d) = decoder {
+        lock(&q.src).decoders.push(d);
+    }
+    let mut delta = mark.delta();
+    delta.morsels = 1;
+    lock(&q.stats).merge(&delta);
+    if let Err(e) = result {
+        q.record_err(seq, e);
+    }
+    if q.inflight.fetch_sub(1, Ordering::AcqRel) == 1 {
+        maybe_finalize(q, core);
+    }
+    true
+}
+
+/// Steal the *back* of the longest peer queue: the morsel farthest
+/// from the owner's working set, so the owner keeps its hot front.
+/// Ties break toward the lowest worker index. Best-effort — a peer may
+/// drain its queue between the length probe and the pop.
+fn steal(q: &Arc<ActiveQuery>, widx: usize) -> Option<Pending> {
+    let victim = (0..q.queues.len())
+        .filter(|&v| v != widx)
+        .max_by_key(|&v| (lock(&q.queues[v]).len(), std::cmp::Reverse(v)))?;
+    lock(&q.queues[victim]).pop_back()
+}
+
+/// Discard every queued morsel of a failed query, releasing their
+/// `inflight` pins so the phase can finalize.
+fn drain_queues(q: &Arc<ActiveQuery>, core: &SchedCore) {
+    let mut drained = 0;
+    for queue in &q.queues {
+        drained += lock(queue).drain(..).count();
+    }
+    if drained > 0 && q.inflight.fetch_sub(drained, Ordering::AcqRel) == drained {
+        maybe_finalize(q, core);
     }
 }
 
@@ -836,6 +1084,18 @@ fn maybe_finalize(q: &Arc<ActiveQuery>, core: &SchedCore) {
 /// install the next phase into `src`.
 fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<()> {
     let phase = &q.builds[i];
+    // Build input exhausted: settle deferred grace-join passes on the
+    // tables this build's nested probes touched — exactly where the
+    // serial cascade's probe exhaustion charges them, before the new
+    // table's budget enforcement below. `finish_probe` is idempotent,
+    // so `complete_ok`'s blanket pass over all tables stays safe.
+    if let Some(stages) = lock(&phase.stages).clone() {
+        for stage in stages.iter() {
+            if let Stage::Probe(t, _) = stage {
+                t.table.finish_probe(&q.storage)?;
+            }
+        }
+    }
     let slots = std::mem::take(&mut *lock(&q.build_slots));
     let mut table = merge_partials(slots, &phase.schema, phase.right_col, phase.partitions);
     // The merged table is byte-identical to the serial build, so the
@@ -844,15 +1104,15 @@ fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<(
     // whole query here.
     table.apply_budget(&q.storage, phase.mem_bytes)?;
     lock(&q.tables).push(Arc::new(ProbeTable { table, left_col: phase.left_col, ty: phase.ty }));
+    // Build `i` completed: open the sources of tranche `i + 1` in the
+    // serial cascade's open order (bushy trees open build sources
+    // before their own phase starts).
+    let mark = tap_mark();
+    let tranche = open_build_tranche(q, i + 1);
+    lock(&q.stats).merge(&mark.delta());
+    tranche?;
     if i + 1 < q.builds.len() {
-        // invariant: each build phase is entered once, in order, by
-        // the one finalizing worker (the `finalized` latch).
-        let next = lock(&q.builds[i + 1].source).take().expect("each build opens once");
-        let mark = tap_mark();
-        let opened = open_source(next, q.morsel_rows);
-        lock(&q.stats).merge(&mark.delta());
-        let (core, decoder) = opened?;
-        *src = SrcState::new(core, decoder, PhaseKind::Build(i + 1));
+        install_build_phase(q, i + 1, src)
     } else {
         q.resolve_probe_stages();
         // invariant: `admit` parks the probe source whenever builds
@@ -860,7 +1120,40 @@ fn advance_build(q: &Arc<ActiveQuery>, i: usize, src: &mut SrcState) -> Result<(
         let (core, decoder) =
             lock(&q.parked_probe).take().expect("probe source parked at admission");
         *src = SrcState::new(core, decoder, PhaseKind::Probe);
+        Ok(())
     }
+}
+
+/// Open every build source whose `open_at` tranche is `at`, in
+/// `open_order` — the serial driver's exact open order — and park the
+/// opened cores until their build phase starts. The caller brackets
+/// this with a tap mark so the open I/O is attributed to the query.
+fn open_build_tranche(q: &ActiveQuery, at: usize) -> Result<()> {
+    let mut order: Vec<usize> = (0..q.builds.len()).collect();
+    order.sort_by_key(|&j| q.builds[j].open_order);
+    for j in order {
+        if q.builds[j].open_at != at {
+            continue;
+        }
+        let Some(source) = lock(&q.builds[j].source).take() else { continue };
+        let opened = open_source(source, q.morsel_rows)?;
+        *lock(&q.builds[j].parked) = Some(opened);
+    }
+    Ok(())
+}
+
+/// Start build `i`: resolve its stages against the finished tables
+/// (nested probes reference earlier builds only) and install its
+/// parked source as the query's active phase.
+fn install_build_phase(q: &ActiveQuery, i: usize, src: &mut SrcState) -> Result<()> {
+    let phase = &q.builds[i];
+    let (core, decoder) = lock(&phase.parked).take().ok_or_else(|| {
+        Error::plan(format!("build {i} source never opened (open_at {})", phase.open_at))
+    })?;
+    let tables = lock(&q.tables).clone();
+    let (stages, _) = resolve_stages(&phase.spec_stages, core.schema(), &tables)?;
+    *lock(&phase.stages) = Some(Arc::new(stages));
+    *src = SrcState::new(core, decoder, PhaseKind::Build(i));
     Ok(())
 }
 
@@ -940,7 +1233,29 @@ fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
             // once — it empties `done_tx`) takes it.
             sink.ordered_agg.take().expect("ordered agg installed at plan time").finish()
         }
+        SinkKind::Sort { keys, mem_bytes } => {
+            // The buffered rows are in morsel = serial scan order, so
+            // this one stable sort pass produces — and charges —
+            // exactly what the serial `Sort` operator does. It can
+            // spill under a budget, so it can still fail the query.
+            let mut rows = {
+                let mut sink = lock(&q.sink);
+                debug_assert!(sink.pending.is_empty(), "ordered sink drained every seq");
+                std::mem::take(&mut sink.rows)
+            };
+            let mark = tap_mark();
+            let sorted = crate::sort::sort_rows_charged(&q.storage, &mut rows, keys, *mem_bytes);
+            lock(&q.stats).merge(&mark.delta());
+            if let Err(e) = sorted {
+                q.record_err(u64::MAX, e);
+            }
+            rows
+        }
     };
+    if q.failed.load(Ordering::Acquire) {
+        complete_err(q, core);
+        return;
+    }
     let mut stats = *lock(&q.stats);
     stats.lock_wait_ns = stats.lock_wait_ns.saturating_add(q.lock_wait_ns.load(Ordering::Relaxed));
     finish(q, core, Ok(QueryOutput { rows, stats }));
@@ -965,6 +1280,14 @@ fn complete_err(q: &Arc<ActiveQuery>, core: &SchedCore) {
     }
     if let Some((parked, _)) = lock(&q.parked_probe).take() {
         let _ = parked.close();
+    }
+    // Bushy trees park opened build sources ahead of their phase;
+    // close any still waiting so a failed query leaves none open.
+    for phase in &q.builds {
+        *lock(&phase.stages) = None;
+        if let Some((parked, _)) = lock(&phase.parked).take() {
+            let _ = parked.close();
+        }
     }
     let err = lock(&q.err)
         .take()

@@ -52,6 +52,36 @@ pub(crate) fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
     Ordering::Equal
 }
 
+/// Sort `rows` by `keys` with the operator's exact clock charges: under
+/// a memory budget the rows stream through the external merge sort
+/// (spilled runs charge overflow I/O); otherwise the in-memory path
+/// charges the closed-form `sort_cmp_ns · n · log2(n)` comparison cost
+/// and sorts stably. This is the one sort-with-accounting routine —
+/// [`Sort::open`] and the parallel ordered-scan sink
+/// ([`crate::SinkSpec::Sort`]) both call it, so their charges are
+/// byte-identical by construction.
+pub(crate) fn sort_rows_charged(
+    storage: &smooth_storage::Storage,
+    rows: &mut Vec<Row>,
+    keys: &[SortKey],
+    mem_bytes: usize,
+) -> Result<()> {
+    if mem_bytes > 0 {
+        let mut sorter = ExternalSorter::new(storage.clone(), keys.to_vec(), mem_bytes);
+        for row in rows.drain(..) {
+            sorter.push(row)?;
+        }
+        *rows = sorter.finish()?;
+    } else {
+        let n = rows.len() as u64;
+        if n > 1 {
+            storage.clock().charge_cpu(storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
+        }
+        rows.sort_by(|a, b| compare_rows(a, b, keys));
+    }
+    Ok(())
+}
+
 /// Blocking sort operator.
 pub struct Sort {
     child: BoxedOperator,
@@ -87,10 +117,11 @@ impl Operator for Sort {
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
         let rows = if self.mem_bytes > 0 {
-            // Budgeted: accumulate through the external sorter, which
-            // cuts (and charges) a spilled run whenever the working set
-            // crosses the budget. When nothing ever spills its charges
-            // are exactly the in-memory path's.
+            // Budgeted: stream through the external sorter, which cuts
+            // (and charges) a spilled run whenever the working set
+            // crosses the budget — batches never all materialize at
+            // once. When nothing ever spills its charges are exactly
+            // the in-memory path's.
             let mut sorter =
                 ExternalSorter::new(self.storage.clone(), self.keys.clone(), self.mem_bytes);
             while let Some(batch) = self.child.next_batch(batch_size())? {
@@ -106,14 +137,7 @@ impl Operator for Sort {
                 rows.extend(batch.into_rows());
             }
             self.child.close()?;
-            let n = rows.len() as u64;
-            if n > 1 {
-                self.storage
-                    .clock()
-                    .charge_cpu(self.storage.cpu().sort_cmp_ns * n * n.ilog2() as u64);
-            }
-            let keys = self.keys.clone();
-            rows.sort_by(|a, b| compare_rows(a, b, &keys));
+            sort_rows_charged(&self.storage, &mut rows, &self.keys, 0)?;
             rows
         };
         self.sorted = Some(rows.into_iter());

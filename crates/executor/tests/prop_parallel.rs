@@ -277,6 +277,8 @@ proptest! {
                     ty,
                     partitions: smooth_executor::BUILD_PARTITIONS,
                     mem_bytes: smooth_executor::mem_budget_bytes(),
+                    open_at: 0,
+                    open_order: 0,
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,

@@ -136,6 +136,8 @@ proptest! {
                     ty,
                     partitions,
                     mem_bytes: smooth_executor::mem_budget_bytes(),
+                    open_at: 0,
+                    open_order: 0,
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,
@@ -198,6 +200,8 @@ proptest! {
                     ty,
                     partitions,
                     mem_bytes: smooth_executor::mem_budget_bytes(),
+                    open_at: 0,
+                    open_order: 0,
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,
@@ -257,6 +261,8 @@ proptest! {
                     ty: JoinType::Inner,
                     partitions: BUILD_PARTITIONS,
                     mem_bytes: smooth_executor::mem_budget_bytes(),
+                    open_at: 0,
+                    open_order: 0,
                 }],
                 stages: vec![StageSpec::Probe(0)],
                 sink: SinkSpec::Collect,

@@ -127,6 +127,19 @@ pub fn default_max_queries() -> usize {
     })
 }
 
+/// A peeled hash-join build side: its morsel source, the per-worker
+/// stages it runs (filters, projections, nested probes), its output
+/// schema, and its slot in the serial open cascade (see
+/// `Database::peel_build`).
+struct PeeledBuild {
+    source: ParallelSource,
+    stages: Vec<StageSpec>,
+    schema: Schema,
+    mem_bytes: usize,
+    open_at: usize,
+    open_order: usize,
+}
+
 /// An engine instance: storage manager + catalog + (lazily) the
 /// persistent worker pool concurrent sessions share.
 pub struct Database {
@@ -136,6 +149,7 @@ pub struct Database {
     max_queries: Option<usize>,
     mem_bytes: Option<usize>,
     timeout_ms: Option<u64>,
+    claim_morsels: Option<usize>,
     /// The engine's worker pool, built on first parallel run and keyed
     /// by the (workers, max_queries) knobs so knob changes rebuild it.
     scheduler: Mutex<Option<(usize, usize, Arc<Scheduler>)>>,
@@ -151,6 +165,7 @@ impl Database {
             max_queries: None,
             mem_bytes: None,
             timeout_ms: None,
+            claim_morsels: None,
             scheduler: Mutex::new(None),
         }
     }
@@ -238,6 +253,34 @@ impl Database {
         self.timeout_ms.unwrap_or_else(smooth_executor::default_query_timeout_ms)
     }
 
+    /// Builder: fix the worker pool's morsels-per-claim chunk size
+    /// (overrides `SMOOTH_CLAIM_MORSELS`; 0 = guided by remaining
+    /// work). Larger chunks amortize source-lock traffic and feed the
+    /// per-worker stealing queues; 1 reproduces the one-at-a-time
+    /// claims of the pre-stealing scheduler.
+    pub fn with_claim_morsels(mut self, n: usize) -> Self {
+        self.set_claim_morsels(n);
+        self
+    }
+
+    /// Fix the morsels-per-claim chunk size (see
+    /// [`Database::with_claim_morsels`]).
+    pub fn set_claim_morsels(&mut self, n: usize) {
+        self.claim_morsels = Some(n);
+        // The pool may already exist: the knob is a live atomic on the
+        // scheduler, so apply it there too rather than forcing a
+        // rebuild (which would tear down the worker threads).
+        let slot = self.scheduler.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, _, s)) = slot.as_ref() {
+            s.set_claim_morsels(n);
+        }
+    }
+
+    /// Morsels per source claim (0 = guided).
+    pub fn claim_morsels(&self) -> usize {
+        self.claim_morsels.unwrap_or_else(smooth_executor::default_claim_morsels)
+    }
+
     /// Builder: install a deterministic fault-injection configuration
     /// on this database's storage (overrides `SMOOTH_FAULTS`; see
     /// `docs/fault_model.md`). Injected faults are a pure function of
@@ -276,6 +319,9 @@ impl Database {
                 let s = Arc::new(Scheduler::new(workers, max_queries));
                 if let Some(ms) = self.timeout_ms {
                     s.set_timeout_ms(ms);
+                }
+                if let Some(n) = self.claim_morsels {
+                    s.set_claim_morsels(n);
                 }
                 *slot = Some((workers, max_queries, Arc::clone(&s)));
                 s
@@ -607,6 +653,11 @@ impl Database {
     /// above them still parallelize. Plan validation errors (missing
     /// tables, bad ordinals) surface here identically to [`Database::build`].
     pub fn parallel_pipeline(&self, plan: &LogicalPlan) -> Result<Option<ParallelPipeline>> {
+        if let LogicalPlan::Scan(spec) = plan {
+            if let Some(pipeline) = self.ordered_scan_pipeline(spec)? {
+                return Ok(Some(pipeline));
+            }
+        }
         let (sink_spec, inner) = match plan {
             LogicalPlan::Aggregate { input, group_cols, aggs } => {
                 (Some((group_cols.clone(), aggs.clone())), input.as_ref())
@@ -658,6 +709,40 @@ impl Database {
         Schema::new(kept)
     }
 
+    /// Parallelize an `ordered:` full table scan: the partitioned heap
+    /// source decodes page runs across workers, rows buffer at the sink
+    /// in morsel (= heap) order, and completion runs the same charged
+    /// stable sort pass the serial `Sort`-over-`FullTableScan` plan
+    /// runs — so rows *and* charges are byte-identical to the serial
+    /// driver. Other ordered access paths (sort scan, smooth scan)
+    /// order at the source and keep their serial shared-source path.
+    fn ordered_scan_pipeline(&self, spec: &ScanSpec) -> Result<Option<ParallelPipeline>> {
+        if !spec.ordered {
+            return Ok(None);
+        }
+        let entry = self.catalog.get(&spec.table)?;
+        if !matches!(self.resolve_access(entry, spec), AccessPathChoice::ForceFull) {
+            return Ok(None);
+        }
+        // Same validation — and error — as the serial plan's sort wrap.
+        let (col, _, _, _) = spec
+            .predicate
+            .split_index_range()
+            .ok_or_else(|| Error::plan("ordered scan without a range predicate column"))?;
+        Ok(Some(ParallelPipeline {
+            source: ParallelSource::Heap {
+                heap: Arc::clone(&entry.heap),
+                predicate: spec.predicate.clone(),
+                readahead: FULL_SCAN_READAHEAD,
+            },
+            builds: Vec::new(),
+            stages: Vec::new(),
+            sink: SinkSpec::Sort { keys: vec![SortKey::asc(col)], mem_bytes: self.mem_bytes() },
+            storage: self.storage.clone(),
+            morsel_rows: batch_size(),
+        }))
+    }
+
     /// Decompose one scan into a morsel source: an unordered full table
     /// scan becomes the *partitioned* heap source (workers decode page
     /// runs in parallel), anything else runs whole as a serial shared
@@ -691,89 +776,169 @@ impl Database {
         &self,
         plan: &LogicalPlan,
     ) -> Result<(ParallelSource, Vec<StageSpec>, Vec<BuildSpec>, Schema)> {
-        match plan {
-            LogicalPlan::Filter { input, predicate } => {
-                let (source, mut stages, builds, schema) = self.peel(input)?;
-                stages.push(StageSpec::Filter(predicate.clone()));
-                Ok((source, stages, builds, schema))
-            }
-            LogicalPlan::Project { input, cols } => {
-                let (source, mut stages, builds, schema) = self.peel(input)?;
-                let schema = Self::project_schema(&schema, cols)?;
-                stages.push(StageSpec::Project(cols.clone()));
-                Ok((source, stages, builds, schema))
-            }
-            LogicalPlan::Join(spec) if self.resolve_join_strategy(spec) == JoinStrategy::Hash => {
-                let (source, mut stages, mut builds, left_schema) = self.peel(&spec.left)?;
-                // The build is a pipeline breaker with a pipeline of its
-                // own: decompose the right subtree into a build-side
-                // source + stages so the partitioned parallel build can
-                // fan its decode/insert CPU out too.
-                let (bsource, bstages, bschema) = self.peel_build(&spec.right)?;
-                if spec.right_col >= bschema.len() {
-                    return Err(Error::plan(format!(
-                        "hash-join build key column {} out of range",
-                        spec.right_col
-                    )));
-                }
-                let schema = match spec.ty {
-                    smooth_executor::JoinType::Inner => left_schema.join(&bschema),
-                    smooth_executor::JoinType::LeftSemi => left_schema,
-                };
-                stages.push(StageSpec::Probe(builds.len()));
-                builds.push(BuildSpec {
-                    source: bsource,
-                    stages: bstages,
-                    right_col: spec.right_col,
-                    left_col: spec.left_col,
-                    ty: spec.ty,
-                    partitions: smooth_executor::BUILD_PARTITIONS,
-                    mem_bytes: self.mem_bytes(),
-                });
-                Ok((source, stages, builds, schema))
-            }
-            LogicalPlan::Scan(spec) => {
-                let (source, schema) = self.scan_source(spec)?;
-                Ok((source, Vec::new(), Vec::new(), schema))
-            }
-            // Pipeline breakers that stay serial (sorts, non-hash joins,
-            // nested aggregates): the whole subtree is the shared source.
-            other => {
-                let op = self.build(other)?;
-                let schema = op.schema().clone();
-                Ok((ParallelSource::Shared { op }, Vec::new(), Vec::new(), schema))
-            }
-        }
+        let mut builds = Vec::new();
+        let mut open_seq = 0;
+        let (source, stages, schema) = self.peel_into(plan, &mut builds, &mut open_seq)?;
+        Ok((source, stages, builds, schema))
     }
 
-    /// Decompose a hash-join *build side* into its own morsel source plus
-    /// per-worker stages (filters and projections only — anything deeper,
-    /// a nested join or aggregate, runs unchanged as a serial shared
-    /// source). An unordered full scan becomes the partitioned heap
-    /// source, so the build input's decode fans out exactly like the
-    /// probe side's.
-    fn peel_build(&self, plan: &LogicalPlan) -> Result<(ParallelSource, Vec<StageSpec>, Schema)> {
+    /// The probe-side peel. `builds` accumulates every hash-join build
+    /// in completion order (nested builds land before the builds that
+    /// probe them); `open_seq` numbers build-source opens in the serial
+    /// cascade's open order across the whole tree.
+    fn peel_into(
+        &self,
+        plan: &LogicalPlan,
+        builds: &mut Vec<BuildSpec>,
+        open_seq: &mut usize,
+    ) -> Result<(ParallelSource, Vec<StageSpec>, Schema)> {
         match plan {
             LogicalPlan::Filter { input, predicate } => {
-                let (source, mut stages, schema) = self.peel_build(input)?;
+                let (source, mut stages, schema) = self.peel_into(input, builds, open_seq)?;
                 stages.push(StageSpec::Filter(predicate.clone()));
                 Ok((source, stages, schema))
             }
             LogicalPlan::Project { input, cols } => {
-                let (source, mut stages, schema) = self.peel_build(input)?;
+                let (source, mut stages, schema) = self.peel_into(input, builds, open_seq)?;
                 let schema = Self::project_schema(&schema, cols)?;
                 stages.push(StageSpec::Project(cols.clone()));
+                Ok((source, stages, schema))
+            }
+            LogicalPlan::Join(spec) if self.resolve_join_strategy(spec) == JoinStrategy::Hash => {
+                let (source, mut stages, left_schema) =
+                    self.peel_into(&spec.left, builds, open_seq)?;
+                // The build is a pipeline breaker with a pipeline of its
+                // own: decompose the right subtree into a build-side
+                // source + stages so the partitioned parallel build can
+                // fan its decode/insert CPU out too.
+                let build = self.peel_build(&spec.right, builds, open_seq)?;
+                let schema = Self::push_build(spec, build, &left_schema, &mut stages, builds)?;
                 Ok((source, stages, schema))
             }
             LogicalPlan::Scan(spec) => {
                 let (source, schema) = self.scan_source(spec)?;
                 Ok((source, Vec::new(), schema))
             }
+            // Pipeline breakers that stay serial (sorts, non-hash joins,
+            // nested aggregates): the whole subtree is the shared source.
             other => {
                 let op = self.build(other)?;
                 let schema = op.schema().clone();
                 Ok((ParallelSource::Shared { op }, Vec::new(), schema))
             }
+        }
+    }
+
+    /// Validate one hash join against its peeled build side, append the
+    /// probe stage, and push the [`BuildSpec`]. Shared by the probe-side
+    /// and build-side peels so bushy trees compose the same way.
+    fn push_build(
+        spec: &JoinSpec,
+        build: PeeledBuild,
+        left_schema: &Schema,
+        stages: &mut Vec<StageSpec>,
+        builds: &mut Vec<BuildSpec>,
+    ) -> Result<Schema> {
+        if spec.right_col >= build.schema.len() {
+            return Err(Error::plan(format!(
+                "hash-join build key column {} out of range",
+                spec.right_col
+            )));
+        }
+        let schema = match spec.ty {
+            smooth_executor::JoinType::Inner => left_schema.join(&build.schema),
+            smooth_executor::JoinType::LeftSemi => left_schema.clone(),
+        };
+        stages.push(StageSpec::Probe(builds.len()));
+        builds.push(BuildSpec {
+            source: build.source,
+            stages: build.stages,
+            right_col: spec.right_col,
+            left_col: spec.left_col,
+            ty: spec.ty,
+            partitions: smooth_executor::BUILD_PARTITIONS,
+            mem_bytes: build.mem_bytes,
+            open_at: build.open_at,
+            open_order: build.open_order,
+        });
+        Ok(schema)
+    }
+
+    /// Decompose a hash-join *build side* into its own morsel source
+    /// plus per-worker stages. Filters and projections peel into
+    /// stages; a nested hash join peels recursively — its own build
+    /// lands in `builds` first and the outer build-side pipeline probes
+    /// it through a [`StageSpec::Probe`] stage, so bushy trees (hash
+    /// joins on the build side of hash joins) parallelize end to end.
+    /// Anything deeper (a non-hash join, an aggregate, a sort) runs
+    /// unchanged as a serial shared source. An unordered full scan
+    /// becomes the partitioned heap source, so the build input's decode
+    /// fans out exactly like the probe side's.
+    ///
+    /// `open_at` captures how many builds must complete before this
+    /// source opens: the number of builds already accumulated when the
+    /// source is reached, which preserves the left-deep open cascade
+    /// (build `i + 1` opens when build `i` drains) and lets bushy
+    /// sources open at admission. `open_order` numbers the opens.
+    fn peel_build(
+        &self,
+        plan: &LogicalPlan,
+        builds: &mut Vec<BuildSpec>,
+        open_seq: &mut usize,
+    ) -> Result<PeeledBuild> {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let mut build = self.peel_build(input, builds, open_seq)?;
+                build.stages.push(StageSpec::Filter(predicate.clone()));
+                Ok(build)
+            }
+            LogicalPlan::Project { input, cols } => {
+                let mut build = self.peel_build(input, builds, open_seq)?;
+                build.schema = Self::project_schema(&build.schema, cols)?;
+                build.stages.push(StageSpec::Project(cols.clone()));
+                Ok(build)
+            }
+            LogicalPlan::Join(spec) if self.resolve_join_strategy(spec) == JoinStrategy::Hash => {
+                // Probe side first: its source is this build's source
+                // (and opens before the nested build's, mirroring the
+                // serial cascade), then the nested build lands below
+                // the outer one in `builds`.
+                let mut probe = self.peel_build(&spec.left, builds, open_seq)?;
+                let inner = self.peel_build(&spec.right, builds, open_seq)?;
+                let left_schema = probe.schema.clone();
+                probe.schema =
+                    Self::push_build(spec, inner, &left_schema, &mut probe.stages, builds)?;
+                Ok(probe)
+            }
+            LogicalPlan::Scan(spec) => {
+                let (source, schema) = self.scan_source(spec)?;
+                Ok(self.peeled_build(source, schema, builds, open_seq))
+            }
+            other => {
+                let op = self.build(other)?;
+                let schema = op.schema().clone();
+                Ok(self.peeled_build(ParallelSource::Shared { op }, schema, builds, open_seq))
+            }
+        }
+    }
+
+    /// Stamp a build-side source with its open tranche and order.
+    fn peeled_build(
+        &self,
+        source: ParallelSource,
+        schema: Schema,
+        builds: &[BuildSpec],
+        open_seq: &mut usize,
+    ) -> PeeledBuild {
+        let open_order = *open_seq;
+        *open_seq += 1;
+        PeeledBuild {
+            source,
+            stages: Vec::new(),
+            schema,
+            mem_bytes: self.mem_bytes(),
+            open_at: builds.len(),
+            open_order,
         }
     }
 

@@ -179,10 +179,21 @@ impl Storage {
         Ok(buf)
     }
 
+    /// Charge the buffer-pool probe CPU for `pages` pages of a heap
+    /// run: one `hash_op_ns` lookup per page. [`Storage::read_heap_run`]
+    /// does **not** charge this itself — every caller charges it on its
+    /// own thread right after (or, for the parallel heap source, on the
+    /// worker that decodes the run), so the serialized source lock holds
+    /// only the irreducible device I/O.
+    pub fn charge_page_probes(&self, pages: u64) {
+        self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns * pages);
+    }
+
     /// Read a contiguous run of heap pages `[start, start+len)` through the
     /// pool. Resident pages are served from cache; the missing pages are
     /// coalesced into maximal contiguous device requests (each one seek +
-    /// sequential transfers). Returns the pages in order.
+    /// sequential transfers). Returns the pages in order. Callers charge
+    /// the per-page pool-probe CPU via [`Storage::charge_page_probes`].
     pub fn read_heap_run(
         &self,
         heap: &HeapFile,
@@ -195,7 +206,6 @@ impl Storage {
         {
             let mut pool = self.inner.pool.lock();
             let mut tracker = self.inner.tracker.lock();
-            self.inner.clock.charge_cpu(self.inner.cpu.hash_op_ns * len as u64);
             for p in start.0..start.0 + len {
                 match pool.get(file, p) {
                     Some(Cached::Heap(buf)) => {

@@ -16,8 +16,8 @@
 //! composes.
 
 use proptest::prelude::*;
-use smooth_executor::collect_rows_volcano;
 use smooth_executor::sort::SortKey;
+use smooth_executor::{collect_rows_volcano, ParallelSource, SinkSpec};
 use smooth_planner::{
     AccessPathChoice, Database, JoinStrategy, LogicalPlan, QueryResult, RunStats, ScanSpec,
 };
@@ -231,6 +231,17 @@ fn run_budgeted(plan: &LogicalPlan, workers: usize, budget: usize) -> QueryResul
     db.run(plan).expect("driver run")
 }
 
+/// [`run_with_workers`] with a forced per-claim chunk size
+/// (`Database::set_claim_morsels`): small chunks at high worker counts
+/// drain the source early and force the work-stealing path, large
+/// chunks pile morsels onto few queues and force steals from the back.
+fn run_chunked(plan: &LogicalPlan, workers: usize, claim: usize) -> QueryResult {
+    let mut db = database(900);
+    db.set_workers(workers);
+    db.set_claim_morsels(claim);
+    db.run(plan).expect("driver run")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -380,6 +391,127 @@ proptest! {
             prop_assert!(
                 io_key(&parallel.stats.io) == io_key(&volcano.stats.io),
                 "budgeted parallel I/O diverges at {workers} workers: {context}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Work-stealing legs: forced chunk sizes × worker counts. A fixed
+    /// claim of 1 maximizes source-lock interleaving; larger claims
+    /// queue runs of morsels on one worker's deque so dry peers must
+    /// steal. Rows, clock and I/O must equal the Volcano oracle under
+    /// every combination — stealing changes who holds a morsel, never
+    /// what the engine is charged for.
+    #[test]
+    fn drivers_agree_under_forced_chunk_sizes(
+        access in access_strategy(),
+        lo in 0i64..300,
+        width in 0i64..330,
+        join in join_strategy(),
+        agg in agg_strategy(),
+        claim in prop_oneof![Just(1usize), Just(2usize), Just(7usize), Just(64usize)],
+    ) {
+        let plan = plan_for(&access, lo, width, None, join, agg);
+        let context = format!("{access:?} lo={lo} width={width} {join:?} {agg:?} claim={claim}");
+        let volcano = run_volcano(&plan);
+        for workers in WORKER_GRID {
+            let parallel = run_chunked(&plan, workers, claim);
+            prop_assert!(
+                parallel.rows == volcano.rows,
+                "chunked rows diverge at {workers} workers: {context}"
+            );
+            prop_assert!(
+                (parallel.stats.clock.cpu_ns, parallel.stats.clock.io_ns)
+                    == (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "chunked clock diverges at {workers} workers: {context} ({:?} vs {:?})",
+                parallel.stats.clock,
+                volcano.stats.clock
+            );
+            prop_assert!(
+                io_key(&parallel.stats.io) == io_key(&volcano.stats.io),
+                "chunked I/O diverges at {workers} workers: {context}"
+            );
+        }
+    }
+}
+
+/// `ordered:` heap-range scans no longer take the serial shared-source
+/// fallback: the planner lowers them to the partitioned heap source
+/// with a `Sort` sink, and rows/clock/IO equal the serial drivers at
+/// every worker count and chunk size (guided and forced).
+#[test]
+fn ordered_scans_parallelize_with_sort_sink() {
+    let plan = LogicalPlan::scan(
+        ScanSpec::new("t", Predicate::int_half_open(1, 40, 40 + 220))
+            .with_order()
+            .with_access(AccessPathChoice::ForceFull),
+    );
+    let db = database(900);
+    let pipeline = db
+        .parallel_pipeline(&plan)
+        .expect("plan builds")
+        .expect("ordered heap scan must produce a parallel pipeline, not the serial fallback");
+    assert!(
+        matches!(pipeline.source, ParallelSource::Heap { .. }),
+        "ordered scan must keep the partitioned heap source"
+    );
+    assert!(
+        matches!(pipeline.sink, SinkSpec::Sort { .. }),
+        "ordered scan must merge through the charged sort sink"
+    );
+
+    let volcano = run_volcano(&plan);
+    for workers in WORKER_GRID {
+        for claim in [0usize, 1, 3] {
+            let got = run_chunked(&plan, workers, claim);
+            assert_eq!(got.rows, volcano.rows, "rows diverge at {workers}w claim={claim}");
+            assert_eq!(
+                (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "clock diverges at {workers}w claim={claim}"
+            );
+            assert_eq!(
+                io_key(&got.stats.io),
+                io_key(&volcano.stats.io),
+                "I/O diverges at {workers}w claim={claim}"
+            );
+        }
+    }
+}
+
+/// Bushy trees: a hash join whose build side is itself a hash join
+/// resolves its nested probe stage inside the build pipeline and
+/// parallelizes end to end, byte- and charge-identical to the serial
+/// drivers.
+#[test]
+fn bushy_hash_joins_agree_across_drivers() {
+    let inner = LogicalPlan::scan(ScanSpec::new("r", Predicate::int_lt(2, 250))).join(
+        LogicalPlan::scan(ScanSpec::new("t", Predicate::int_half_open(1, 0, 150))),
+        1,
+        1,
+        JoinType::Inner,
+        JoinStrategy::Hash,
+    );
+    let plan = LogicalPlan::scan(ScanSpec::new("t", Predicate::int_half_open(1, 30, 30 + 200)))
+        .join(inner, 1, 0, JoinType::Inner, JoinStrategy::Hash);
+
+    let volcano = run_volcano(&plan);
+    for workers in WORKER_GRID {
+        for claim in [0usize, 1] {
+            let got = run_chunked(&plan, workers, claim);
+            assert_eq!(got.rows, volcano.rows, "bushy rows diverge at {workers}w claim={claim}");
+            assert_eq!(
+                (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "bushy clock diverges at {workers}w claim={claim}"
+            );
+            assert_eq!(
+                io_key(&got.stats.io),
+                io_key(&volcano.stats.io),
+                "bushy I/O diverges at {workers}w claim={claim}"
             );
         }
     }
