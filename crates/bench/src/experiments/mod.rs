@@ -19,6 +19,7 @@ pub mod join;
 pub mod parallel;
 pub mod serve;
 pub mod spill;
+pub mod textscan;
 
 /// Known experiment ids, in paper order.
 pub const ALL: &[&str] = &[
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "cr",
     "batch",
     "columnar",
+    "textscan",
     "parallel",
     "join",
     "serve",
@@ -63,6 +65,7 @@ pub fn run(id: &str) -> bool {
         "cr" => cr::run(),
         "batch" => batch::run(),
         "columnar" => columnar::run(),
+        "textscan" => textscan::run(),
         "parallel" => parallel::run(),
         "join" => join::run(),
         "serve" => serve::run(),

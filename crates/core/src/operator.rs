@@ -310,8 +310,12 @@ impl SmoothScan {
                         }
                         tuples.push(view.get(slot)?);
                     }
-                    let (inspected, emitted) =
-                        self.filter.fill_columns(self.heap.schema(), &tuples, self.out.fill())?;
+                    let (inspected, emitted) = self.filter.fill_columns(
+                        self.heap.schema(),
+                        &tuples,
+                        Some(buf),
+                        self.out.fill(),
+                    )?;
                     had_result = emitted > 0;
                     self.storage.clock().charge_cpu(
                         cpu.bitmap_op_ns * bitmap_ops

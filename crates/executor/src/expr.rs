@@ -253,7 +253,7 @@ impl Predicate {
                     return Err(smooth_types::Error::exec("string predicate on non-text column"));
                 };
                 let nulls = v.nulls();
-                fill!(|i| !nulls[i] && strs[i] == *value);
+                fill!(|i| !nulls[i] && strs.get(i) == value.as_str());
             }
             Predicate::StrIn { col: c, values } => {
                 let v = col(*c)?;
@@ -261,7 +261,7 @@ impl Predicate {
                     return Err(smooth_types::Error::exec("string predicate on non-text column"));
                 };
                 let nulls = v.nulls();
-                fill!(|i| !nulls[i] && values.iter().any(|a| *a == strs[i]));
+                fill!(|i| !nulls[i] && values.iter().any(|a| a == strs.get(i)));
             }
             Predicate::IntColLt { left, right } => {
                 let (l, r) = (col(*left)?, col(*right)?);
@@ -336,14 +336,14 @@ impl Predicate {
                 let ColumnValues::Str(strs) = v.values() else {
                     return Err(smooth_types::Error::exec("string predicate on non-text column"));
                 };
-                !v.is_null(i) && strs[i] == *value
+                !v.is_null(i) && strs.get(i) == value.as_str()
             }
             Predicate::StrIn { col: c, values } => {
                 let v = col(*c)?;
                 let ColumnValues::Str(strs) = v.values() else {
                     return Err(smooth_types::Error::exec("string predicate on non-text column"));
                 };
-                !v.is_null(i) && values.iter().any(|a| *a == strs[i])
+                !v.is_null(i) && values.iter().any(|a| a == strs.get(i))
             }
             Predicate::IntColLt { left, right } => {
                 let (l, r) = (col(*left)?, col(*right)?);
@@ -548,16 +548,23 @@ impl ScanFilter {
     /// fully decoded (no `Row`, no `Vec<Value>` — straight into `out`'s
     /// column vectors). Once most tuples match, tuples are decoded in a
     /// single pass and the rare non-qualifier is truncated back off.
+    ///
+    /// When `backing` names the shared buffer the `tuples` slices live in
+    /// (the pinned page), qualifying text fields decode as zero-copy
+    /// views pinning that buffer (see [`smooth_types::TextColumn`]) —
+    /// allocation behavior only; emitted rows, charges and I/O are
+    /// byte-identical with or without it.
     pub fn fill_columns(
         &mut self,
         schema: &Schema,
         tuples: &[&[u8]],
+        backing: Option<&smooth_types::SharedBytes>,
         out: &mut ColumnBatch,
     ) -> Result<(u64, u64)> {
         let inspected = tuples.len() as u64;
         if matches!(self.predicate, Predicate::True) {
             for t in tuples {
-                out.push_tuple(schema, t)?;
+                out.push_tuple_backed(schema, t, backing)?;
             }
             smooth_storage::tap_rows(inspected, inspected);
             return Ok((inspected, inspected));
@@ -567,8 +574,10 @@ impl ScanFilter {
             for v in &mut self.col_scratch {
                 v.clear();
             }
+            // Probe vectors are predicate scratch, never emitted — decode
+            // them owned so they don't pin pages past the probe.
             for t in tuples {
-                decode_columns_append(schema, t, &self.cols, &mut self.col_scratch)?;
+                decode_columns_append(schema, t, &self.cols, &mut self.col_scratch, None)?;
             }
             let scratch = &self.col_scratch;
             let col_map = &self.col_map;
@@ -582,14 +591,14 @@ impl ScanFilter {
             self.predicate.eval_mask(&lookup, RowSet::Dense(tuples.len()), &mut mask)?;
             for (t, &m) in tuples.iter().zip(&mask) {
                 if m {
-                    out.push_tuple(schema, t)?;
+                    out.push_tuple_backed(schema, t, backing)?;
                     emitted += 1;
                 }
             }
             self.mask = mask;
         } else {
             for t in tuples {
-                out.push_tuple(schema, t)?;
+                out.push_tuple_backed(schema, t, backing)?;
                 let last = out.physical_rows() - 1;
                 if self.predicate.eval_columns_at(&|c| out.column_checked(c), last)? {
                     emitted += 1;
@@ -826,7 +835,7 @@ mod tests {
             // feed in page-sized chunks so the adaptive heuristic flips
             for chunk in tuples.chunks(90) {
                 let (inspected, emitted) =
-                    col_filter.fill_columns(&schema, chunk, &mut out).unwrap();
+                    col_filter.fill_columns(&schema, chunk, None, &mut out).unwrap();
                 assert_eq!(inspected as usize, chunk.len());
                 emitted_total += emitted as usize;
             }

@@ -26,8 +26,10 @@
 //! encoded tuples via [`ScanFilter`] — probing only predicate columns
 //! into reused typed vectors, evaluating range/comparison predicates as
 //! branch-light kernels, and decoding qualifiers straight into column
-//! vectors with no per-row allocation. [`collect_rows`] drives plans
-//! through the columnar protocol; [`collect_rows_batch`] and
+//! vectors with no per-row allocation. [`collect_batches`] drives plans
+//! through the columnar protocol end to end and keeps the result
+//! columnar; [`collect_rows`] is its row-materializing convenience, and
+//! [`collect_rows_batch`] and
 //! [`collect_rows_volcano`] keep the row-batch and row-at-a-time
 //! reference drivers — the Volcano driver is retained permanently as
 //! the semantics oracle the property suites pin every other driver
@@ -66,7 +68,8 @@ pub use join::{
     NestedLoopJoin, BUILD_PARTITIONS,
 };
 pub use operator::{
-    batch_size, collect_rows, collect_rows_batch, collect_rows_volcano, BoxedOperator, Operator,
+    batch_size, collect_batches, collect_rows, collect_rows_batch, collect_rows_volcano,
+    BoxedOperator, Operator,
 };
 pub use parallel::{
     multi_query_makespan_ns, run_pipeline, run_pipeline_traced, BuildSpec, Morsel,

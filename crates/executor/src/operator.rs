@@ -102,19 +102,27 @@ pub fn batch_size() -> usize {
 }
 
 /// Run an operator to completion through the *columnar* protocol and
-/// collect its output as rows. This is the default pipeline driver
-/// (`Database::run` and the experiment harness go through it): morsels
-/// cross operator boundaries as [`ColumnBatch`]es and rows materialize
-/// only here, at the sink.
+/// collect its output as rows. This is the row-materializing convenience
+/// over [`collect_batches`]: morsels cross operator boundaries as
+/// [`ColumnBatch`]es and rows materialize only here, at the sink.
 pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Row>> {
+    Ok(collect_batches(op)?.into_iter().flat_map(ColumnBatch::into_rows).collect())
+}
+
+/// Run an operator to completion through the columnar protocol and keep
+/// the output *columnar* — no `Row` ever materializes. This is the
+/// late-materialization pipeline driver (`Database::run` and the
+/// experiment harness consume these batches and convert to rows only at
+/// the final user-facing boundary, if at all).
+pub fn collect_batches(op: &mut dyn Operator) -> Result<Vec<ColumnBatch>> {
     op.open()?;
-    let mut rows = Vec::new();
+    let mut batches = Vec::new();
     let max = batch_size();
     while let Some(batch) = op.next_columns(max)? {
-        rows.extend(batch.into_rows());
+        batches.push(batch);
     }
     op.close()?;
-    Ok(rows)
+    Ok(batches)
 }
 
 /// Run an operator to completion through the row-major batch protocol.

@@ -124,6 +124,16 @@ impl Morsel {
             Morsel::Rows(r) => r,
         }
     }
+
+    /// Keep columnar morsels columnar; convert a stray row morsel into a
+    /// batch of `schema`. The Collect sink folds through this, so its
+    /// output never materializes rows inside the scheduler.
+    pub fn into_batch(self, schema: &Schema) -> Result<ColumnBatch> {
+        match self {
+            Morsel::Cols(b) => Ok(b),
+            Morsel::Rows(r) => ColumnBatch::from_rows(schema, &r),
+        }
+    }
 }
 
 /// Where morsels come from.
@@ -564,6 +574,20 @@ pub(crate) fn claim_size(fixed: usize, remaining: usize, workers: usize) -> usiz
     }
 }
 
+/// Claim size for a source given its [`SourceCore::remaining_hint`]:
+/// hinted sources (heap scans) chunk via [`claim_size`]; hint-less
+/// sources (Smooth/Switch shared operators, which run whole as the
+/// serial section) always claim one morsel — even under a fixed
+/// `SMOOTH_CLAIM_MORSELS` override, since queued chunks behind a serial
+/// source can never fan out and only inflate the lock hold. Matches the
+/// scaling model, which never chunks non-chunked sources.
+pub(crate) fn source_claim(fixed: usize, hint: Option<usize>, workers: usize) -> usize {
+    match hint {
+        Some(remaining) => claim_size(fixed, remaining, workers),
+        None => 1,
+    }
+}
+
 /// An opened source: the locked core plus (for heap sources) the
 /// thread-local decoder recipe workers instantiate per claim.
 pub(crate) type OpenedSource = (SourceCore, Option<(Schema, Predicate)>);
@@ -613,6 +637,7 @@ impl HeapDecoder {
                 storage,
                 &mut self.filter,
                 &self.schema,
+                page,
                 &view,
                 0..view.slot_count(),
                 &mut out,
@@ -1368,7 +1393,7 @@ pub fn run_pipeline(pipeline: ParallelPipeline, workers: usize) -> Result<Vec<Ro
     } else {
         let scheduler = crate::schedule::Scheduler::new(workers, 1);
         let handle = scheduler.submit(pipeline)?;
-        Ok(handle.wait()?.rows)
+        Ok(handle.wait()?.into_rows())
     }
 }
 
@@ -1936,5 +1961,59 @@ mod tests {
             let got = run_pipeline(pipeline, workers).unwrap();
             assert_eq!(got, serial_rows, "chained builds diverge at {workers} workers");
         }
+    }
+
+    #[test]
+    fn guided_claims_shrink_toward_single_morsels() {
+        // Guided self-scheduling (no fixed override): claims start at
+        // remaining/(2·workers), clamped to [1, 64], and a simulated
+        // drain produces a non-increasing sequence ending in 1s.
+        assert_eq!(claim_size(0, 1000, 4), 64, "upper clamp");
+        assert_eq!(claim_size(0, 100, 4), 12);
+        assert_eq!(claim_size(0, 7, 4), 1, "lower clamp at the tail");
+        assert_eq!(claim_size(0, 0, 4), 1, "empty source still claims 1");
+        let mut remaining = 500usize;
+        let mut sizes = Vec::new();
+        while remaining > 0 {
+            let c = claim_size(0, remaining, 4).min(remaining);
+            sizes.push(c);
+            remaining -= c;
+        }
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "claims grow: {sizes:?}");
+        assert_eq!(*sizes.last().unwrap(), 1, "tail claims are single morsels");
+        assert_eq!(sizes.iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn fixed_override_applies_only_to_hinted_sources() {
+        // SMOOTH_CLAIM_MORSELS (fixed > 0) wins over guidance for heap
+        // sources (which hint their remaining runs)...
+        assert_eq!(claim_size(8, 1000, 4), 8);
+        assert_eq!(source_claim(8, Some(1000), 4), 8);
+        assert_eq!(source_claim(0, Some(1000), 4), 64);
+        // ...but a hint-less serial source (Smooth/Switch shared
+        // operator) always claims exactly one morsel: queued chunks
+        // behind a serial source can never fan out, so a fixed
+        // override must not inflate its lock hold.
+        assert_eq!(source_claim(0, None, 4), 1);
+        assert_eq!(source_claim(64, None, 4), 1, "fixed override must not chunk serial sources");
+        assert_eq!(source_claim(64, None, 1), 1);
+    }
+
+    #[test]
+    fn shared_sources_hint_nothing_and_heap_sources_hint_runs() {
+        let heap = table(200);
+        let pages = heap.page_count() as usize;
+        let readahead = 4u32;
+        let (core, _) = open_source(
+            ParallelSource::Heap { heap, predicate: Predicate::True, readahead },
+            batch_size(),
+        )
+        .unwrap();
+        assert_eq!(core.remaining_hint(), Some(pages.div_ceil(readahead as usize)));
+        let schema = Schema::new(vec![Column::new("x", DataType::Int64)]).unwrap();
+        let op: BoxedOperator = Box::new(ValuesOp::new(schema, vec![Row::new(vec![0i64.into()])]));
+        let (core, _) = open_source(ParallelSource::Shared { op }, batch_size()).unwrap();
+        assert_eq!(core.remaining_hint(), None, "shared operators cannot size lock holds");
     }
 }

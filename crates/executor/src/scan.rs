@@ -30,6 +30,7 @@ pub(crate) fn fill_page_columns(
     storage: &Storage,
     filter: &mut ScanFilter,
     schema: &Schema,
+    page: &smooth_storage::PageBuf,
     view: &PageView<'_>,
     slots: impl Iterator<Item = u16>,
     out: &mut ColumnBatch,
@@ -38,7 +39,7 @@ pub(crate) fn fill_page_columns(
     for slot in slots {
         tuples.push(view.get(slot)?);
     }
-    let (inspected, emitted) = filter.fill_columns(schema, &tuples, out)?;
+    let (inspected, emitted) = filter.fill_columns(schema, &tuples, Some(page), out)?;
     let cpu = storage.cpu();
     storage.clock().charge_cpu(cpu.inspect_tuple_ns * inspected + cpu.emit_tuple_ns * emitted);
     Ok(())
@@ -103,6 +104,7 @@ impl FullTableScan {
                     &self.storage,
                     &mut self.filter,
                     self.heap.schema(),
+                    page,
                     &view,
                     0..view.slot_count(),
                     self.out.fill(),
@@ -268,7 +270,8 @@ impl Operator for IndexScan {
             let page = self.storage.read_heap_page(&self.heap, tid.page)?;
             let view = PageView::new(&page)?;
             let bytes = view.get(tid.slot)?;
-            let (_, emitted) = self.filter.fill_columns(self.heap.schema(), &[bytes], &mut out)?;
+            let (_, emitted) =
+                self.filter.fill_columns(self.heap.schema(), &[bytes], Some(&page), &mut out)?;
             self.storage.clock().charge_cpu(cpu.inspect_tuple_ns + cpu.emit_tuple_ns * emitted);
         }
         Ok((!out.is_empty()).then_some(out))
@@ -359,6 +362,7 @@ impl SortScan {
                     &self.storage,
                     &mut self.filter,
                     self.heap.schema(),
+                    page,
                     &view,
                     slots.iter().copied(),
                     self.out.fill(),

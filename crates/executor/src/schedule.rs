@@ -94,27 +94,62 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use smooth_storage::{tap_mark, FileId, InjectedPanic, ScanStatistics, Storage};
-use smooth_types::{Error, Result, Row, Schema};
+use smooth_types::{ColumnBatch, Error, Result, Row, Schema};
 
 use crate::expr::Predicate;
 use crate::join::{JoinBuildPartial, JoinBuildTable, PartialPartition};
 use crate::parallel::{
-    build_batch, claim_size, open_source, process_item, resolve_stages, staged_schema, BuildSpec,
+    build_batch, open_source, process_item, resolve_stages, source_claim, staged_schema, BuildSpec,
     HeapDecoder, Morsel, ParallelPipeline, ParallelSource, PartialAgg, ProbeTable, SinkSpec,
     SourceCore, SourceItem, Stage, StageSpec,
 };
 use crate::sort::SortKey;
 use crate::{AggFunc, JoinType};
 
-/// A completed query: result rows plus the per-query scan statistics
+/// A completed query: its result plus the per-query scan statistics
 /// accumulated from the worker-side tap deltas.
+///
+/// Collect sinks stay *columnar* — the ordered morsels land in
+/// `batches` and no `Row` materializes inside the scheduler; aggregate
+/// and sort sinks produce `rows` (their merge/sort suffix is row-wise
+/// by construction). Exactly one of the two is non-empty. Call
+/// [`QueryOutput::into_rows`] to materialize at the user-facing
+/// boundary.
 #[derive(Debug)]
 pub struct QueryOutput {
-    /// Result rows, byte-identical to the serial driver's.
+    /// Columnar result batches (Collect sinks), in serial morsel order.
+    pub batches: Vec<ColumnBatch>,
+    /// Row results (aggregate / sort sinks), byte-identical to the
+    /// serial driver's.
     pub rows: Vec<Row>,
     /// Per-query scan/flow counters (`rows_total` is stamped by the
     /// planner, which knows catalog cardinalities).
     pub stats: ScanStatistics,
+}
+
+impl QueryOutput {
+    /// Total result rows without materializing anything.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(ColumnBatch::len).sum::<usize>() + self.rows.len()
+    }
+
+    /// `true` when the query produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the result as rows — the row boundary for callers
+    /// that want the classic `Vec<Row>`.
+    pub fn into_rows(self) -> Vec<Row> {
+        let mut rows: Vec<Row> =
+            self.batches.into_iter().flat_map(ColumnBatch::into_rows).collect();
+        let mut tail = self.rows;
+        if rows.is_empty() {
+            return tail;
+        }
+        rows.append(&mut tail);
+        rows
+    }
 }
 
 /// The submitting session's end of a query: blocks until the worker
@@ -268,9 +303,12 @@ enum SinkKind {
 
 /// Order-preserving sink state: morsels buffer in a seq-keyed map and
 /// fold in sequence order, exactly as the serial driver emits them.
+/// Collect sinks fold into `batches` (columnar end to end); sort sinks
+/// fold into `rows` (their suffix is a charged row sort).
 struct SinkState {
     pending: BTreeMap<u64, Morsel>,
     next: u64,
+    batches: Vec<ColumnBatch>,
     rows: Vec<Row>,
     /// The in-order aggregation fold (non-exact merges only).
     ordered_agg: Option<PartialAgg>,
@@ -302,6 +340,10 @@ struct ActiveQuery {
     builds: Vec<BuildPhase>,
     probe_specs: Vec<PlannedStage>,
     sink_kind: SinkKind,
+    /// The staged output schema — what every probe morsel conforms to
+    /// after the last stage (used to convert stray row morsels when the
+    /// Collect sink folds columnar batches).
+    out_schema: Schema,
     /// The probe source, opened at admission (serial open order) and
     /// parked until the builds finish.
     probe_source: Mutex<Option<ParallelSource>>,
@@ -422,6 +464,7 @@ impl ActiveQuery {
             builds: build_phases,
             probe_specs,
             sink_kind,
+            out_schema: schema,
             probe_source: Mutex::new(Some(source)),
             parked_probe: Mutex::new(None),
             queues: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -431,6 +474,7 @@ impl ActiveQuery {
             sink: Mutex::new(SinkState {
                 pending: BTreeMap::new(),
                 next: 0,
+                batches: Vec::new(),
                 rows: Vec::new(),
                 ordered_agg,
             }),
@@ -529,12 +573,14 @@ impl ActiveQuery {
                     lock(&self.agg_slots).push(slot);
                     return Ok(());
                 }
+                let collect = matches!(self.sink_kind, SinkKind::Collect);
                 let mut sink = lock(&self.sink);
                 sink.pending.insert(seq, morsel);
-                let SinkState { pending, next, rows, ordered_agg } = &mut *sink;
+                let SinkState { pending, next, batches, rows, ordered_agg } = &mut *sink;
                 while let Some(m) = pending.remove(next) {
                     match ordered_agg.as_mut() {
                         Some(agg) => agg.update(&self.storage, *next, &m)?,
+                        None if collect => batches.push(m.into_batch(&self.out_schema)?),
                         None => rows.extend(m.into_rows()),
                     }
                     *next += 1;
@@ -889,7 +935,7 @@ fn claim_chunk(q: &Arc<ActiveQuery>, core: &SchedCore, widx: usize) -> bool {
     // still present (the source lock is held throughout the claim).
     let k = {
         let c = src.core.as_ref().expect("checked above");
-        claim_size(fixed, c.remaining_hint().unwrap_or(1), core.workers)
+        source_claim(fixed, c.remaining_hint(), core.workers)
     };
     let kind = src.kind;
     let mut claimed: Vec<Pending> = Vec::with_capacity(k);
@@ -1211,11 +1257,13 @@ fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
         complete_err(q, core);
         return;
     }
+    let mut batches = Vec::new();
     let rows = match &q.sink_kind {
         SinkKind::Collect => {
             let mut sink = lock(&q.sink);
             debug_assert!(sink.pending.is_empty(), "ordered sink drained every seq");
-            std::mem::take(&mut sink.rows)
+            batches = std::mem::take(&mut sink.batches);
+            Vec::new()
         }
         SinkKind::Agg { group_cols, aggs, exact: true } => {
             let slots = std::mem::take(&mut *lock(&q.agg_slots));
@@ -1258,7 +1306,7 @@ fn complete_ok(q: &Arc<ActiveQuery>, core: &SchedCore) {
     }
     let mut stats = *lock(&q.stats);
     stats.lock_wait_ns = stats.lock_wait_ns.saturating_add(q.lock_wait_ns.load(Ordering::Relaxed));
-    finish(q, core, Ok(QueryOutput { rows, stats }));
+    finish(q, core, Ok(QueryOutput { batches, rows, stats }));
 }
 
 /// Finish a failed query with its first (lowest-seq) error, releasing
@@ -1275,6 +1323,7 @@ fn complete_err(q: &Arc<ActiveQuery>, core: &SchedCore) {
     {
         let mut sink = lock(&q.sink);
         sink.pending.clear();
+        sink.batches.clear();
         sink.rows.clear();
         sink.ordered_agg = None;
     }
@@ -1384,10 +1433,11 @@ mod tests {
             .collect();
         for (handle, &(lo, hi)) in handles.into_iter().zip(&ranges) {
             let out = handle.wait().unwrap();
-            assert_eq!(out.rows, serial_rows(&heap, lo, hi), "range [{lo},{hi})");
+            assert!(out.rows.is_empty(), "collect sink output stays columnar");
             assert!(out.stats.rows_scanned >= out.stats.rows_processed);
-            assert_eq!(out.stats.rows_processed, out.rows.len() as u64);
+            assert_eq!(out.stats.rows_processed, out.len() as u64);
             assert!(out.stats.morsels > 0);
+            assert_eq!(out.into_rows(), serial_rows(&heap, lo, hi), "range [{lo},{hi})");
         }
     }
 
@@ -1406,7 +1456,7 @@ mod tests {
             .collect();
         for (i, handle) in handles.into_iter().enumerate() {
             let hi = 100 * (i + 1) as i64;
-            assert_eq!(handle.wait().unwrap().rows, serial_rows(&heap, 0, hi));
+            assert_eq!(handle.wait().unwrap().into_rows(), serial_rows(&heap, 0, hi));
         }
     }
 
@@ -1446,12 +1496,12 @@ mod tests {
         // return its complete result — never hang, never a partial).
         match handle.wait() {
             Err(Error::Cancelled) => {}
-            Ok(out) => assert_eq!(out.rows, serial_rows(&heap, 0, 1000)),
+            Ok(out) => assert_eq!(out.into_rows(), serial_rows(&heap, 0, 1000)),
             Err(e) => panic!("unexpected error: {e}"),
         }
         // The pool is untouched: a fresh query still runs to completion.
         let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 250)).unwrap().wait().unwrap();
-        assert_eq!(out.rows, serial_rows(&heap, 0, 250));
+        assert_eq!(out.into_rows(), serial_rows(&heap, 0, 250));
     }
 
     #[test]
@@ -1466,7 +1516,7 @@ mod tests {
         let waiting = scheduler.submit(scan_pipeline(&heap, &s, 0, 500)).unwrap();
         waiting.cancel();
         assert!(matches!(waiting.wait(), Err(Error::Cancelled)));
-        assert_eq!(running.wait().unwrap().rows, serial_rows(&heap, 0, 1000));
+        assert_eq!(running.wait().unwrap().into_rows(), serial_rows(&heap, 0, 1000));
     }
 
     #[test]
@@ -1484,7 +1534,7 @@ mod tests {
         // Disabling the timeout restores normal completion.
         scheduler.set_timeout_ms(0);
         let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap();
-        assert_eq!(out.rows, serial_rows(&heap, 0, 1000));
+        assert_eq!(out.into_rows(), serial_rows(&heap, 0, 1000));
     }
 
     #[test]
@@ -1502,11 +1552,11 @@ mod tests {
         let hc = scheduler.submit(scan_pipeline(&clean_heap, &sc, 0, 1000)).unwrap();
         let err = hp.wait().unwrap_err();
         assert!(matches!(&err, Error::Exec(msg) if msg.contains("injected worker panic")), "{err}");
-        assert_eq!(hc.wait().unwrap().rows, serial_rows(&clean_heap, 0, 1000));
+        assert_eq!(hc.wait().unwrap().into_rows(), serial_rows(&clean_heap, 0, 1000));
         // Containment left the workers alive: a fresh query still runs.
         let out =
             scheduler.submit(scan_pipeline(&clean_heap, &sc, 0, 250)).unwrap().wait().unwrap();
-        assert_eq!(out.rows, serial_rows(&clean_heap, 0, 250));
+        assert_eq!(out.into_rows(), serial_rows(&clean_heap, 0, 250));
     }
 
     #[test]
@@ -1523,7 +1573,7 @@ mod tests {
         let clock0 = s.clock().snapshot();
         let scheduler = Scheduler::new(4, 4);
         let out = scheduler.submit(scan_pipeline(&heap, &s, 0, 1000)).unwrap().wait().unwrap();
-        assert_eq!(out.rows, serial_rows(&heap, 0, 1000));
+        assert_eq!(out.into_rows(), serial_rows(&heap, 0, 1000));
         let spent = s.clock().snapshot().since(&clock0);
         // At p = 0.2 over dozens of page reads some fault draws are
         // certain; each charges at least one base backoff to I/O.

@@ -7,11 +7,15 @@
 //! [`RunStats`] — execution time split into CPU and I/O wait (Fig. 4),
 //! I/O requests and bytes moved (Table II).
 //!
-//! Queries execute through the columnar pipeline: `run`/`run_operator`
-//! drain the operator tree with [`collect_rows`], which requests
-//! [`smooth_types::ColumnBatch`]es of `smooth_executor::batch_size()`
-//! rows (the `SMOOTH_BATCH_ROWS` knob) per virtual call rather than one
-//! tuple at a time; rows materialize only at the sink.
+//! Queries execute through the columnar pipeline: `run_batches` /
+//! `run_operator_batches` drain the operator tree with
+//! [`collect_batches`], which requests [`smooth_types::ColumnBatch`]es
+//! of `smooth_executor::batch_size()` rows (the `SMOOTH_BATCH_ROWS`
+//! knob) per virtual call rather than one tuple at a time, and the
+//! result stays columnar — text columns keep their zero-copy views into
+//! pinned heap pages. `Row`s materialize only when a caller crosses the
+//! user-facing boundary ([`BatchResult::into_rows`], or the
+//! row-carrying [`Database::run`] / [`QueryResult`] wrappers).
 //!
 //! With more than one worker configured (`SMOOTH_WORKERS` /
 //! [`Database::with_workers`], default = available cores), `run`
@@ -39,7 +43,7 @@ use smooth_core::{SmoothScan, SmoothScanConfig, SwitchScan};
 use smooth_executor::scan::FULL_SCAN_READAHEAD;
 use smooth_executor::sort::SortKey;
 use smooth_executor::{
-    batch_size, collect_rows, BoxedOperator, BuildSpec, Filter, FullTableScan, HashAggregate,
+    batch_size, collect_batches, BoxedOperator, BuildSpec, Filter, FullTableScan, HashAggregate,
     HashJoin, IndexNestedLoopJoin, IndexScan, MergeJoin, NestedLoopJoin, Operator,
     ParallelPipeline, ParallelSource, Predicate, Project, QueryHandle, Scheduler, SinkSpec, Sort,
     SortScan, StageSpec,
@@ -49,7 +53,7 @@ use smooth_storage::{
     tap_mark, ClockSnapshot, FaultConfig, HeapLoader, IoStatsDelta, ScanStatistics, Storage,
     StorageConfig,
 };
-use smooth_types::{Error, Result, Row, Schema};
+use smooth_types::{ColumnBatch, Error, Result, Row, Schema};
 
 use crate::catalog::{Catalog, TableEntry};
 use crate::optimizer::{AccessPathKind, Optimizer};
@@ -86,6 +90,55 @@ pub struct QueryResult {
     /// under concurrent sessions (`rows_total` is stamped from catalog
     /// cardinalities of the plan's base tables).
     pub scan: ScanStatistics,
+}
+
+/// A query's *columnar* result plus its measurements — the
+/// late-materialization twin of [`QueryResult`]. Pipeline-shaped output
+/// (scans, filters, projections, joins) arrives as [`ColumnBatch`]es in
+/// serial morsel order; aggregate/sort sinks, which fold to rows by
+/// nature, arrive in `rows`. Exactly one of the two is non-empty for a
+/// non-empty result. Callers that want `Row`s call
+/// [`BatchResult::into_rows`] (or use [`Database::run`], which does it
+/// for them) — that conversion is the only place result tuples
+/// materialize.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Columnar result batches, in serial morsel order.
+    pub batches: Vec<ColumnBatch>,
+    /// Row results from aggregate / sort sinks.
+    pub rows: Vec<Row>,
+    /// Engine-counter deltas around the run (see [`QueryResult::stats`]).
+    pub stats: RunStats,
+    /// Per-query scan statistics (see [`QueryResult::scan`]).
+    pub scan: ScanStatistics,
+}
+
+impl BatchResult {
+    /// Total result rows across batches and folded rows.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(ColumnBatch::len).sum::<usize>() + self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize every result tuple as a [`Row`] — the user-facing
+    /// boundary where zero-copy text views become owned strings.
+    pub fn into_rows(self) -> Vec<Row> {
+        let mut rows: Vec<Row> =
+            self.batches.into_iter().flat_map(ColumnBatch::into_rows).collect();
+        let mut tail = self.rows;
+        rows.append(&mut tail);
+        rows
+    }
+
+    /// Materialize into the row-carrying [`QueryResult`].
+    pub fn into_result(self) -> QueryResult {
+        let (stats, scan) = (self.stats, self.scan);
+        QueryResult { rows: self.into_rows(), stats, scan }
+    }
 }
 
 /// Worker-pool width used by [`Database::run`] when none is set on the
@@ -973,17 +1026,27 @@ impl Database {
     /// way, and so are the virtual clock/I-O totals when the query runs
     /// alone.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        Ok(self.run_batches(plan)?.into_result())
+    }
+
+    /// Cold-run a plan and keep the result *columnar*: the
+    /// late-materialization entry point. Same measurement protocol as
+    /// [`Database::run`] (which is a thin `into_result()` over this),
+    /// but pipeline-shaped results stay as [`ColumnBatch`]es — text
+    /// columns keep their zero-copy views — until the caller decides
+    /// whether rows are needed at all.
+    pub fn run_batches(&self, plan: &LogicalPlan) -> Result<BatchResult> {
         let mut result = if self.workers() > 1 {
             match self.parallel_pipeline(plan)? {
-                Some(pipeline) => self.run_parallel(pipeline)?,
+                Some(pipeline) => self.run_parallel_batches(pipeline)?,
                 None => {
                     let mut op = self.build(plan)?;
-                    self.run_operator(op.as_mut())?
+                    self.run_operator_batches(op.as_mut())?
                 }
             }
         } else {
             let mut op = self.build(plan)?;
-            self.run_operator(op.as_mut())?
+            self.run_operator_batches(op.as_mut())?
         };
         result.scan.rows_total = self.plan_rows_total(plan);
         Ok(result)
@@ -993,17 +1056,23 @@ impl Database {
     /// persistent worker pool (`scan.rows_total` stays 0 here — only
     /// [`Database::run`] sees the plan).
     pub fn run_parallel(&self, pipeline: ParallelPipeline) -> Result<QueryResult> {
+        Ok(self.run_parallel_batches(pipeline)?.into_result())
+    }
+
+    /// Columnar twin of [`Database::run_parallel`]: Collect-sink output
+    /// arrives as the scheduler's ordered batches, untouched.
+    pub fn run_parallel_batches(&self, pipeline: ParallelPipeline) -> Result<BatchResult> {
         self.storage.flush_pool();
         let clock0 = self.storage.clock().snapshot();
         let io0 = self.storage.io_snapshot();
         let scheduler = self.scheduler();
         let out = scheduler.submit(pipeline)?.wait()?;
         let stats = RunStats {
-            rows: out.rows.len() as u64,
+            rows: out.len() as u64,
             clock: self.storage.clock().snapshot().since(&clock0),
             io: self.storage.io_snapshot().since(&io0),
         };
-        Ok(QueryResult { rows: out.rows, stats, scan: out.stats })
+        Ok(BatchResult { batches: out.batches, rows: out.rows, stats, scan: out.stats })
     }
 
     /// Cold-run an already-built operator (used when the caller needs to
@@ -1011,18 +1080,25 @@ impl Database {
     /// protocol end to end; scan statistics come from this thread's
     /// accounting tap bracketing the run.
     pub fn run_operator(&self, op: &mut dyn Operator) -> Result<QueryResult> {
+        Ok(self.run_operator_batches(op)?.into_result())
+    }
+
+    /// Columnar twin of [`Database::run_operator`]: drains via
+    /// [`collect_batches`], so no `Row` materializes anywhere in the
+    /// serial path.
+    pub fn run_operator_batches(&self, op: &mut dyn Operator) -> Result<BatchResult> {
         self.storage.flush_pool();
         let clock0 = self.storage.clock().snapshot();
         let io0 = self.storage.io_snapshot();
         let mark = tap_mark();
-        let rows = collect_rows(op)?;
+        let batches = collect_batches(op)?;
         let scan = mark.delta();
         let stats = RunStats {
-            rows: rows.len() as u64,
+            rows: batches.iter().map(ColumnBatch::len).sum::<usize>() as u64,
             clock: self.storage.clock().snapshot().since(&clock0),
             io: self.storage.io_snapshot().since(&io0),
         };
-        Ok(QueryResult { rows, stats, scan })
+        Ok(BatchResult { batches, rows: Vec::new(), stats, scan })
     }
 
     /// Run with a filter applied on top (for plans whose predicate cannot
@@ -1435,7 +1511,7 @@ mod tests {
         ] {
             let expected = db.run(&plan).unwrap();
             let out = db.session().submit(&plan).unwrap().wait().unwrap();
-            assert_eq!(out.rows, expected.rows);
+            assert_eq!(out.into_rows(), expected.rows);
         }
         // Plan errors surface at submit, before anything runs.
         let missing = LogicalPlan::scan(ScanSpec::new("nope", Predicate::True));
@@ -1453,7 +1529,7 @@ mod tests {
                 // Lost the race: the query finished first — it must
                 // then be complete, never partial.
                 let expected = db.run(&q(250, AccessPathChoice::ForceFull)).unwrap();
-                assert_eq!(out.rows, expected.rows);
+                assert_eq!(out.into_rows(), expected.rows);
             }
             Err(e) => panic!("unexpected error: {e}"),
         }

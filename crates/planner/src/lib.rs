@@ -20,6 +20,6 @@ pub mod optimizer;
 pub mod plan;
 
 pub use catalog::{Catalog, IndexEntry, TableEntry};
-pub use db::{Database, QueryResult, RunStats, Session};
+pub use db::{BatchResult, Database, QueryResult, RunStats, Session};
 pub use optimizer::{AccessPathKind, Optimizer};
 pub use plan::{AccessPathChoice, JoinSpec, JoinStrategy, LogicalPlan, ScanSpec};

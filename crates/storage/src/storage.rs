@@ -349,6 +349,41 @@ mod tests {
     }
 
     #[test]
+    fn read_bytes_counts_pages_once_per_coalesced_run() {
+        // Regression guard for `ScanStatistics.read_bytes`: a coalesced
+        // multi-page run must charge each page's bytes exactly once —
+        // neither once per *request* (undercounting the run) nor again
+        // on pool hits (double-counting warm pages).
+        use crate::scanstats::tap_mark;
+        use smooth_types::PAGE_SIZE;
+        let heap = small_heap(2000);
+        let s = storage(64);
+        // Cold 5-page run: one seek, five transfers, 5×PAGE_SIZE bytes.
+        let mark = tap_mark();
+        s.read_heap_run(&heap, PageId(0), 5).unwrap();
+        let cold = mark.delta();
+        assert_eq!(cold.pages_read, 5);
+        assert_eq!(cold.io_requests, 1, "contiguous misses coalesce into one request");
+        assert_eq!(cold.read_bytes, 5 * PAGE_SIZE as u64);
+        // Warm rerun: all hits, zero device traffic, zero bytes.
+        let mark = tap_mark();
+        s.read_heap_run(&heap, PageId(0), 5).unwrap();
+        let warm = mark.delta();
+        assert_eq!((warm.pages_read, warm.io_requests, warm.read_bytes), (0, 0, 0));
+        assert_eq!(warm.buffer_hits, 5);
+        // Partial warm: pages 0..5 resident, 5..8 missing. The split
+        // run still counts each *missed* page's bytes exactly once.
+        let mark = tap_mark();
+        s.read_heap_run(&heap, PageId(0), 8).unwrap();
+        let mixed = mark.delta();
+        assert_eq!(mixed.pages_read, 3);
+        assert_eq!(mixed.io_requests, 1);
+        assert_eq!(mixed.buffer_hits, 5);
+        assert_eq!(mixed.read_bytes, 3 * PAGE_SIZE as u64);
+        assert_eq!(mixed.mb_read(), 3.0 * PAGE_SIZE as f64 / (1024.0 * 1024.0));
+    }
+
+    #[test]
     fn flush_makes_next_read_cold() {
         let heap = small_heap(500);
         let s = storage(64);

@@ -14,19 +14,250 @@
 //!
 //! Zero-copy-ish adapters ([`ColumnBatch::from_rows`],
 //! [`ColumnBatch::into_rows`]) bridge to the row-major protocol so
-//! unconverted operators keep working; string payloads are *moved*, not
-//! cloned, when a batch is consumed.
+//! unconverted operators keep working; `String`s materialize only at that
+//! row boundary.
 //!
 //! Typing follows the schema: `Int32`/`Int64`/`Date` columns widen into an
-//! `i64` vector, `Float64` into `f64`, `Text` into `String` — exactly the
-//! in-memory widening [`Value`] performs. NULL slots carry a default value
-//! in the typed vector and `true` in the null mask.
+//! `i64` vector, `Float64` into `f64`, `Text` into a [`TextColumn`] — a
+//! view layout of `(buffer, offset, length)` spans over shared page-backed
+//! byte buffers ([`SharedBytes`]) with an owned byte arena for values that
+//! have no backing buffer. NULL slots carry a default value in the typed
+//! vector and `true` in the null mask.
+//!
+//! # Text view rules
+//!
+//! * A span into a [`SharedBytes`] buffer **pins** that buffer (an `Arc`
+//!   clone per distinct buffer, not per value) until the column is
+//!   cleared, compacted or dropped — scans hand their pinned page buffers
+//!   to the decode path (`ColumnVector::push_decoded`) so decoded text
+//!   borrows the page instead of allocating one `String` per qualifying
+//!   value.
+//! * Values with no backing buffer (row pushes, gathered copies of arena
+//!   spans, decode with views disabled via `SMOOTH_TEXT_VIEWS=0`) append
+//!   their bytes to the column-local arena: owned, but still amortized —
+//!   no per-value allocation.
+//! * Views degrade to owned bytes automatically whenever a slice does not
+//!   lie inside its claimed backing buffer, and serialization
+//!   ([`crate::spill`]) always **copies out**, so spill files and caches
+//!   own their bytes and never pin pages.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::row::Row;
 use crate::row::{codec_is_null, codec_skip_field, codec_split_bitmap, codec_take};
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
+
+/// A shared, immutable byte buffer that text views can borrow from. The
+/// storage layer's page buffers (`PageBuf`) are exactly this type, so a
+/// scan can hand its pinned page run straight to the decoder.
+pub type SharedBytes = Arc<[u8]>;
+
+/// Latched `SMOOTH_TEXT_VIEWS` knob: `0` = unread, `1` = on, `2` = off.
+static TEXT_VIEWS: AtomicU8 = AtomicU8::new(0);
+
+/// Text values decoded into owned arena bytes (each one would have been
+/// a `String` allocation under the pre-view layout). Monotone,
+/// process-global; consumers diff around a region of interest.
+static TEXT_DECODE_OWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Text values decoded as zero-copy views into a backing buffer.
+static TEXT_DECODE_VIEWS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether scan decode emits zero-copy text views (the default). Set
+/// `SMOOTH_TEXT_VIEWS=0` to degrade every decoded text value to owned
+/// arena bytes — the escape hatch if view lifetimes are ever suspected
+/// of misbehaving. Read once and latched; [`force_text_views`]
+/// overrides it in-process.
+pub fn text_views_enabled() -> bool {
+    match TEXT_VIEWS.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("SMOOTH_TEXT_VIEWS").map_or(true, |v| v != "0");
+            TEXT_VIEWS.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Override the text-view latch in-process (benchmarks comparing the
+/// view and owned decode paths; tests). Rows are byte-identical either
+/// way — only allocation behavior changes.
+pub fn force_text_views(on: bool) {
+    TEXT_VIEWS.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Cumulative `(owned, views)` text decode counters: how many decoded
+/// text values materialized owned arena bytes vs. zero-copy views.
+/// Monotone and process-global — diff two readings around the region of
+/// interest.
+pub fn text_decode_counters() -> (u64, u64) {
+    (TEXT_DECODE_OWNED.load(Ordering::Relaxed), TEXT_DECODE_VIEWS.load(Ordering::Relaxed))
+}
+
+/// Sentinel `buf` index marking a span that lives in the owned arena.
+const ARENA_SPAN: u32 = u32::MAX;
+
+/// One text value: a `(buffer, offset, length)` triple into either a
+/// shared backing buffer (`buf < ARENA_SPAN`, indexing
+/// [`TextColumn::bufs`]) or the column-local arena (`buf == ARENA_SPAN`).
+#[derive(Debug, Clone, Copy)]
+struct TextSpan {
+    buf: u32,
+    off: usize,
+    len: usize,
+}
+
+/// A `Text` column payload: spans into shared page-backed buffers plus an
+/// owned byte arena — no per-value `String`. See the module docs for the
+/// view rules. Equality is logical (value by value), independent of which
+/// representation each value uses.
+#[derive(Debug, Clone, Default)]
+pub struct TextColumn {
+    /// Distinct backing buffers, deduplicated against the most recent
+    /// entry (scans decode page by page, so consecutive views share one
+    /// buffer). Each entry pins its buffer until `clear` or drop.
+    bufs: Vec<SharedBytes>,
+    /// Owned bytes for values without a backing buffer.
+    arena: Vec<u8>,
+    /// One span per slot, in slot order.
+    spans: Vec<TextSpan>,
+}
+
+impl TextColumn {
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when the column holds no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    #[inline]
+    fn bytes_at(&self, idx: usize) -> &[u8] {
+        let sp = self.spans[idx];
+        if sp.buf == ARENA_SPAN {
+            &self.arena[sp.off..sp.off + sp.len]
+        } else {
+            &self.bufs[sp.buf as usize][sp.off..sp.off + sp.len]
+        }
+    }
+
+    /// The string at `idx` (panics when out of bounds, like indexing).
+    #[inline]
+    pub fn get(&self, idx: usize) -> &str {
+        // invariant: every push validates UTF-8 before recording a span
+        // (views validate at decode; arena bytes come from `&str`s).
+        std::str::from_utf8(self.bytes_at(idx)).expect("text spans hold validated UTF-8")
+    }
+
+    /// Append an owned value: bytes copy into the column arena
+    /// (amortized — no per-value allocation).
+    #[inline]
+    pub fn push_owned(&mut self, s: &str) {
+        let off = self.arena.len();
+        self.arena.extend_from_slice(s.as_bytes());
+        self.spans.push(TextSpan { buf: ARENA_SPAN, off, len: s.len() });
+    }
+
+    /// Append a zero-copy view of `s`, which must be a slice of
+    /// `backing` — the backing buffer is pinned (one `Arc` clone per
+    /// distinct buffer) until the column is cleared or dropped. Degrades
+    /// to [`TextColumn::push_owned`] when the slice does not lie inside
+    /// `backing`, so callers never need to pre-check containment.
+    #[inline]
+    pub fn push_view(&mut self, backing: &SharedBytes, s: &str) {
+        let base = backing.as_ptr() as usize;
+        let p = s.as_ptr() as usize;
+        let Some(off) = p.checked_sub(base).filter(|&o| o + s.len() <= backing.len()) else {
+            self.push_owned(s);
+            return;
+        };
+        let buf = match self.bufs.last() {
+            Some(last) if Arc::ptr_eq(last, backing) => self.bufs.len() - 1,
+            _ => {
+                self.bufs.push(Arc::clone(backing));
+                self.bufs.len() - 1
+            }
+        };
+        debug_assert!(buf < ARENA_SPAN as usize, "text column buffer index overflow");
+        self.spans.push(TextSpan { buf: buf as u32, off, len: s.len() });
+    }
+
+    /// Append slot `idx` of `src`: view spans share the backing buffer
+    /// (an `Arc` clone at most — zero bytes move); arena spans copy
+    /// their bytes into this column's arena. Neither allocates per
+    /// value. This is the gather/move primitive behind
+    /// [`ColumnVector::push_from`] and friends.
+    #[inline]
+    pub fn push_from(&mut self, src: &TextColumn, idx: usize) {
+        let sp = src.spans[idx];
+        if sp.buf == ARENA_SPAN {
+            let off = self.arena.len();
+            self.arena.extend_from_slice(&src.arena[sp.off..sp.off + sp.len]);
+            self.spans.push(TextSpan { buf: ARENA_SPAN, off, len: sp.len });
+        } else {
+            let backing = &src.bufs[sp.buf as usize];
+            let buf = match self.bufs.last() {
+                Some(last) if Arc::ptr_eq(last, backing) => self.bufs.len() - 1,
+                _ => {
+                    self.bufs.push(Arc::clone(backing));
+                    self.bufs.len() - 1
+                }
+            };
+            self.spans.push(TextSpan { buf: buf as u32, ..sp });
+        }
+    }
+
+    /// Append slots `[a, b)` of `src` (see [`TextColumn::push_from`]).
+    fn append_range(&mut self, src: &TextColumn, a: usize, b: usize) {
+        self.spans.reserve(b - a);
+        for i in a..b {
+            self.push_from(src, i);
+        }
+    }
+
+    /// Drop every slot, releasing the arena and every pinned buffer
+    /// (capacity is kept).
+    pub fn clear(&mut self) {
+        self.bufs.clear();
+        self.arena.clear();
+        self.spans.clear();
+    }
+
+    /// Keep the first `n` slots. Arena bytes and buffer pins of the
+    /// dropped tail are *not* reclaimed until the next `clear` /
+    /// compaction — this is the scan-side "undo the last append"
+    /// primitive, and the leaked tail is bounded by one fill cycle.
+    fn truncate(&mut self, n: usize) {
+        self.spans.truncate(n);
+    }
+
+    /// Drop the first `n` slots by rebuilding the column from the
+    /// survivors — views keep sharing their buffers, arena bytes
+    /// recompact — so dead prefixes release their pinned pages. Called
+    /// by the cursor-buffer compaction only when the consumed prefix
+    /// dominates, keeping the rebuild amortized O(1) per slot.
+    fn drop_prefix(&mut self, n: usize) {
+        let mut fresh = TextColumn::default();
+        fresh.spans.reserve(self.spans.len() - n);
+        fresh.append_range(self, n, self.spans.len());
+        *self = fresh;
+    }
+}
+
+impl PartialEq for TextColumn {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.bytes_at(i) == other.bytes_at(i))
+    }
+}
 
 /// Decode only the columns listed in `cols` (ascending ordinals) of one
 /// encoded tuple, appending one slot to each of the parallel vectors
@@ -38,12 +269,16 @@ use crate::value::{DataType, Value};
 ///
 /// This is the columnar twin of [`crate::row::Row::decode_columns_into`]:
 /// the scan-side predicate probe that feeds the vectorized kernels without
-/// materializing a `Value` per field.
+/// materializing a `Value` per field. When `backing` names the shared
+/// buffer that `bytes` is a slice of, decoded text fields become zero-copy
+/// views pinning that buffer (see the module docs); pass `None` to copy
+/// text into the column arena.
 pub fn decode_columns_append(
     schema: &Schema,
     bytes: &[u8],
     cols: &[usize],
     out: &mut [ColumnVector],
+    backing: Option<&SharedBytes>,
 ) -> Result<()> {
     debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be ascending");
     debug_assert_eq!(cols.len(), out.len());
@@ -70,7 +305,7 @@ pub fn decode_columns_append(
             pending_skip = 0;
         }
         match slot {
-            Some(k) => out[k].push_decoded(c.ty, &mut rest)?,
+            Some(k) => out[k].push_decoded(c.ty, &mut rest, backing)?,
             None => codec_skip_field(&mut rest, c.ty)?,
         }
     }
@@ -90,8 +325,8 @@ pub enum ColumnValues {
     Int(Vec<i64>),
     /// `Float64` columns.
     Float(Vec<f64>),
-    /// `Text` columns.
-    Str(Vec<String>),
+    /// `Text` columns (view layout — see [`TextColumn`]).
+    Str(TextColumn),
 }
 
 impl ColumnValues {
@@ -99,7 +334,7 @@ impl ColumnValues {
         match self {
             ColumnValues::Int(v) => drop(v.drain(..n)),
             ColumnValues::Float(v) => drop(v.drain(..n)),
-            ColumnValues::Str(v) => drop(v.drain(..n)),
+            ColumnValues::Str(v) => v.drop_prefix(n),
         }
     }
 
@@ -136,7 +371,7 @@ impl ColumnVector {
         let values = match ty {
             DataType::Int32 | DataType::Int64 | DataType::Date => ColumnValues::Int(Vec::new()),
             DataType::Float64 => ColumnValues::Float(Vec::new()),
-            DataType::Text => ColumnValues::Str(Vec::new()),
+            DataType::Text => ColumnValues::Str(TextColumn::default()),
         };
         ColumnVector { values, nulls: Vec::new() }
     }
@@ -188,7 +423,7 @@ impl ColumnVector {
         match &mut self.values {
             ColumnValues::Int(v) => v.push(0),
             ColumnValues::Float(v) => v.push(0.0),
-            ColumnValues::Str(v) => v.push(String::new()),
+            ColumnValues::Str(v) => v.push_owned(""),
         }
         self.nulls.push(true);
     }
@@ -219,12 +454,13 @@ impl ColumnVector {
         }
     }
 
-    /// Append a string (errors on non-text vectors).
+    /// Append a string (errors on non-text vectors). Bytes copy into the
+    /// column arena — no per-value allocation.
     #[inline]
-    pub fn push_str(&mut self, s: String) -> Result<()> {
+    pub fn push_str(&mut self, s: impl AsRef<str>) -> Result<()> {
         match &mut self.values {
             ColumnValues::Str(v) => {
-                v.push(s);
+                v.push_owned(s.as_ref());
                 self.nulls.push(false);
                 Ok(())
             }
@@ -241,14 +477,22 @@ impl ColumnVector {
             }
             Value::Int(x) => self.push_int(*x),
             Value::Float(x) => self.push_float(*x),
-            Value::Str(s) => self.push_str(s.clone()),
+            Value::Str(s) => self.push_str(s),
         }
     }
 
     /// Decode one non-null field of type `ty` from the front of `rest`
     /// straight into the vector — the allocation-free scan decode path.
+    /// With `backing` (the shared buffer `rest` slices into) and views
+    /// enabled, text fields become zero-copy views pinning that buffer;
+    /// otherwise their bytes copy into the column arena.
     #[inline]
-    pub(crate) fn push_decoded(&mut self, ty: DataType, rest: &mut &[u8]) -> Result<()> {
+    pub(crate) fn push_decoded(
+        &mut self,
+        ty: DataType,
+        rest: &mut &[u8],
+        backing: Option<&SharedBytes>,
+    ) -> Result<()> {
         match ty {
             DataType::Int32 | DataType::Date => {
                 let b = codec_take(rest, 4)?;
@@ -265,16 +509,30 @@ impl ColumnVector {
             DataType::Text => {
                 let b = codec_take(rest, 2)?;
                 let len = u16::from_le_bytes(b.try_into().unwrap()) as usize;
-                let s = codec_take(rest, len)?;
-                let s = std::str::from_utf8(s)
-                    .map_err(|_| Error::corrupt("non-utf8 text field"))?
-                    .to_owned();
-                self.push_str(s)
+                let bytes = codec_take(rest, len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| Error::corrupt("non-utf8 text field"))?;
+                let ColumnValues::Str(v) = &mut self.values else {
+                    return Err(Error::exec("string pushed into a non-text column vector"));
+                };
+                match backing.filter(|_| text_views_enabled()) {
+                    Some(buf) => {
+                        TEXT_DECODE_VIEWS.fetch_add(1, Ordering::Relaxed);
+                        v.push_view(buf, s);
+                    }
+                    None => {
+                        TEXT_DECODE_OWNED.fetch_add(1, Ordering::Relaxed);
+                        v.push_owned(s);
+                    }
+                }
+                self.nulls.push(false);
+                Ok(())
             }
         }
     }
 
-    /// The value at `idx` as a [`Value`] (strings clone).
+    /// The value at `idx` as a [`Value`] (string bytes copy out — this is
+    /// the row-materialization boundary).
     pub fn value(&self, idx: usize) -> Value {
         if self.nulls[idx] {
             return Value::Null;
@@ -282,21 +540,7 @@ impl ColumnVector {
         match &self.values {
             ColumnValues::Int(v) => Value::Int(v[idx]),
             ColumnValues::Float(v) => Value::Float(v[idx]),
-            ColumnValues::Str(v) => Value::Str(v[idx].clone()),
-        }
-    }
-
-    /// The value at `idx`, *moving* string payloads out (the slot is left
-    /// as an empty string). Only cursor-style consumers that never revisit
-    /// a slot may use this.
-    fn take_value(&mut self, idx: usize) -> Value {
-        if self.nulls[idx] {
-            return Value::Null;
-        }
-        match &mut self.values {
-            ColumnValues::Int(v) => Value::Int(v[idx]),
-            ColumnValues::Float(v) => Value::Float(v[idx]),
-            ColumnValues::Str(v) => Value::Str(std::mem::take(&mut v[idx])),
+            ColumnValues::Str(v) => Value::Str(v.get(idx).to_owned()),
         }
     }
 
@@ -332,7 +576,7 @@ impl ColumnVector {
             return Err(Error::exec("expected text, got NULL"));
         }
         match &self.values {
-            ColumnValues::Str(v) => Ok(&v[idx]),
+            ColumnValues::Str(v) => Ok(v.get(idx)),
             _ => Err(Error::exec("expected text column")),
         }
     }
@@ -347,15 +591,17 @@ impl ColumnVector {
             (ColumnValues::Int(v), Value::Float(b)) => (v[idx] as f64).total_cmp(b),
             (ColumnValues::Float(v), Value::Float(b)) => v[idx].total_cmp(b),
             (ColumnValues::Float(v), Value::Int(b)) => v[idx].total_cmp(&(*b as f64)),
-            (ColumnValues::Str(v), Value::Str(b)) => v[idx].as_str().cmp(b.as_str()),
+            (ColumnValues::Str(v), Value::Str(b)) => v.get(idx).cmp(b.as_str()),
             _ => self.value(idx).total_cmp(other),
         }
     }
 
-    /// Append slot `idx` of `src` *by value* (strings clone) — the gather
-    /// primitive of the columnar hash-join probe, where one build row can
-    /// be emitted under many probe rows. Both vectors must share their
-    /// typing (they come from batches of the same schema column).
+    /// Append slot `idx` of `src` — the gather primitive of the columnar
+    /// hash-join probe, where one build row can be emitted under many
+    /// probe rows. Text views share their backing buffer (an `Arc` clone
+    /// at most); arena text copies bytes — never a per-value allocation.
+    /// Both vectors must share their typing (they come from batches of
+    /// the same schema column).
     #[inline]
     pub fn push_from(&mut self, src: &ColumnVector, idx: usize) {
         if src.nulls[idx] {
@@ -366,39 +612,31 @@ impl ColumnVector {
         match (&mut self.values, &src.values) {
             (ColumnValues::Int(dst), ColumnValues::Int(s)) => dst.push(s[idx]),
             (ColumnValues::Float(dst), ColumnValues::Float(s)) => dst.push(s[idx]),
-            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.push(s[idx].clone()),
+            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.push_from(s, idx),
             _ => unreachable!("gather between column vectors of different typing"),
         }
     }
 
-    /// Append slot `idx` of `src`, *moving* string payloads out (the slot
-    /// is left as an empty string and must not be read again). Cursor-style
-    /// single-visit consumption only; typing must match.
+    /// Append slot `idx` of `src` for cursor-style single-visit
+    /// consumption. Under the view layout this is [`ColumnVector::
+    /// push_from`] — the source stays intact (text shares or copies,
+    /// nothing is hollowed out) — but callers should keep treating the
+    /// source slot as consumed. Typing must match.
     #[inline]
     pub fn push_taken(&mut self, src: &mut ColumnVector, idx: usize) {
-        if src.nulls[idx] {
-            self.push_null();
-            return;
-        }
-        self.nulls.push(false);
-        match (&mut self.values, &mut src.values) {
-            (ColumnValues::Int(dst), ColumnValues::Int(s)) => dst.push(s[idx]),
-            (ColumnValues::Float(dst), ColumnValues::Float(s)) => dst.push(s[idx]),
-            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.push(std::mem::take(&mut s[idx])),
-            _ => unreachable!("taken push between column vectors of different typing"),
-        }
+        self.push_from(src, idx);
     }
 
-    /// Append slots `[a, b)` of `src`, *moving* string payloads out of the
-    /// source range (which must not be read again).
+    /// Append slots `[a, b)` of `src`. Fixed-width payloads copy with one
+    /// `memcpy`; text spans share their backing buffers or copy arena
+    /// bytes (the source range stays intact but should be treated as
+    /// consumed).
     fn extend_taken_range(&mut self, src: &mut ColumnVector, a: usize, b: usize) {
         self.nulls.extend_from_slice(&src.nulls[a..b]);
         match (&mut self.values, &mut src.values) {
             (ColumnValues::Int(dst), ColumnValues::Int(s)) => dst.extend_from_slice(&s[a..b]),
             (ColumnValues::Float(dst), ColumnValues::Float(s)) => dst.extend_from_slice(&s[a..b]),
-            (ColumnValues::Str(dst), ColumnValues::Str(s)) => {
-                dst.extend(s[a..b].iter_mut().map(std::mem::take))
-            }
+            (ColumnValues::Str(dst), ColumnValues::Str(s)) => dst.append_range(s, a, b),
             _ => unreachable!("column vectors of one batch share their typing"),
         }
     }
@@ -435,7 +673,7 @@ impl ColumnBatch {
                     values: match &c.values {
                         ColumnValues::Int(_) => ColumnValues::Int(Vec::new()),
                         ColumnValues::Float(_) => ColumnValues::Float(Vec::new()),
-                        ColumnValues::Str(_) => ColumnValues::Str(Vec::new()),
+                        ColumnValues::Str(_) => ColumnValues::Str(TextColumn::default()),
                     },
                     nulls: Vec::new(),
                 })
@@ -595,7 +833,8 @@ impl ColumnBatch {
         Ok(())
     }
 
-    /// Append one owned row, moving string payloads instead of cloning.
+    /// Append one owned row; string bytes copy into the column arena and
+    /// the row's buffers are dropped (no fresh allocation either way).
     pub fn push_owned_row(&mut self, row: Row) -> Result<()> {
         debug_assert!(self.selection.is_none(), "push under a selection vector");
         if row.len() != self.columns.len() {
@@ -621,8 +860,22 @@ impl ColumnBatch {
     /// vectors — no intermediate `Row` or `Vec<Value>` is materialized.
     /// Validation is as strict as [`crate::row::Row::decode`] (truncated
     /// or trailing bytes error); on error the batch state is unspecified
-    /// and the query aborts.
+    /// and the query aborts. Text fields copy into the column arena; use
+    /// [`ColumnBatch::push_tuple_backed`] for zero-copy views.
     pub fn push_tuple(&mut self, schema: &Schema, bytes: &[u8]) -> Result<()> {
+        self.push_tuple_backed(schema, bytes, None)
+    }
+
+    /// [`ColumnBatch::push_tuple`] with a backing buffer: when `backing`
+    /// names the shared buffer `bytes` slices into (a pinned page run),
+    /// text fields decode as zero-copy views pinning that buffer — see
+    /// the module docs for the view rules.
+    pub fn push_tuple_backed(
+        &mut self,
+        schema: &Schema,
+        bytes: &[u8],
+        backing: Option<&SharedBytes>,
+    ) -> Result<()> {
         debug_assert!(self.selection.is_none(), "push under a selection vector");
         debug_assert_eq!(schema.len(), self.columns.len());
         let (bitmap, mut rest) = codec_split_bitmap(schema, bytes)?;
@@ -630,7 +883,7 @@ impl ColumnBatch {
             if codec_is_null(bitmap, i) {
                 self.columns[i].push_null();
             } else {
-                self.columns[i].push_decoded(c.ty, &mut rest)?;
+                self.columns[i].push_decoded(c.ty, &mut rest, backing)?;
             }
         }
         if !rest.is_empty() {
@@ -640,7 +893,8 @@ impl ColumnBatch {
         Ok(())
     }
 
-    /// Materialize the live row at `selection[live_idx]` (strings clone).
+    /// Materialize the live row at `selection[live_idx]` (string bytes
+    /// copy out).
     pub fn row(&self, live_idx: usize) -> crate::row::Row {
         let phys = match &self.selection {
             Some(sel) => sel[live_idx] as usize,
@@ -649,13 +903,14 @@ impl ColumnBatch {
         crate::row::Row::new(self.columns.iter().map(|c| c.value(phys)).collect())
     }
 
-    /// Materialize the *physical* row at `idx`, moving string payloads out
-    /// (cursor-style consumption; the slot must not be read again).
+    /// Materialize the *physical* row at `idx` for cursor-style
+    /// consumption. String bytes copy out of their span (the batch stays
+    /// intact, but callers should treat the slot as consumed).
     pub fn take_row(&mut self, idx: usize) -> crate::row::Row {
-        crate::row::Row::new(self.columns.iter_mut().map(|c| c.take_value(idx)).collect())
+        crate::row::Row::new(self.columns.iter().map(|c| c.value(idx)).collect())
     }
 
-    /// Materialize physical rows `[a, b)`, moving string payloads out.
+    /// Materialize physical rows `[a, b)` (string bytes copy out).
     /// Selection must be unset (dense cursor buffers only).
     pub fn take_rows_range(&mut self, a: usize, b: usize) -> Vec<crate::row::Row> {
         debug_assert!(self.selection.is_none(), "range take under a selection vector");
@@ -663,11 +918,12 @@ impl ColumnBatch {
     }
 
     /// Split physical rows `[a, b)` into a new batch. Fixed-width
-    /// payloads copy (one `memcpy` per column); string payloads *move*
-    /// out of the source range, which must not be read again. The source
-    /// keeps its physical rows — and, crucially, its vector capacity, so
-    /// a fill buffer that extracts morsels and then clears never
-    /// reallocates in steady state. Selection must be unset.
+    /// payloads copy (one `memcpy` per column); text spans share their
+    /// backing buffers or copy arena bytes — the source range stays
+    /// intact but should be treated as consumed. The source keeps its
+    /// physical rows — and, crucially, its vector capacity, so a fill
+    /// buffer that extracts morsels and then clears never reallocates in
+    /// steady state. Selection must be unset.
     pub fn extract_range(&mut self, a: usize, b: usize) -> ColumnBatch {
         debug_assert!(self.selection.is_none(), "range extract under a selection vector");
         debug_assert!(a <= b && b <= self.rows);
@@ -681,9 +937,9 @@ impl ColumnBatch {
 
     /// Move-append every physical row of `other` (which must be dense and
     /// share this batch's column typing). Fixed-width payloads copy with
-    /// one `memcpy` per column; string payloads hand their buffers over —
-    /// no per-row `String` clone. This is the bulk-ingest primitive of the
-    /// columnar hash-join build side.
+    /// one `memcpy` per column; text views hand their backing buffers
+    /// over — no per-row `String` clone. This is the bulk-ingest
+    /// primitive of the columnar hash-join build side.
     pub fn append_dense(&mut self, mut other: ColumnBatch) {
         debug_assert!(self.selection.is_none(), "append under a selection vector");
         debug_assert!(other.selection.is_none(), "dense append of a selected batch");
@@ -695,10 +951,11 @@ impl ColumnBatch {
         self.rows += n;
     }
 
-    /// Append the physical row `phys` of `src`, *moving* string payloads
-    /// out of the source slot (single-visit consumption; typing must
-    /// match). The per-row companion of [`ColumnBatch::append_dense`] for
-    /// batches that carry a selection vector or need null-key skips.
+    /// Append the physical row `phys` of `src` (single-visit consumption;
+    /// typing must match; text shares or copies — see
+    /// [`ColumnVector::push_taken`]). The per-row companion of
+    /// [`ColumnBatch::append_dense`] for batches that carry a selection
+    /// vector or need null-key skips.
     pub fn append_taken_row(&mut self, src: &mut ColumnBatch, phys: usize) {
         debug_assert!(self.selection.is_none(), "append under a selection vector");
         debug_assert_eq!(self.columns.len(), src.columns.len());
@@ -709,8 +966,8 @@ impl ColumnBatch {
     }
 
     /// Consume into rows (the column→row adapter), honoring the selection
-    /// vector. String payloads are moved, not cloned, which is why a
-    /// selection consumed this way must not repeat indices.
+    /// vector. This is the row-materialization boundary: string bytes
+    /// copy out of their spans into owned `String`s.
     pub fn into_rows(mut self) -> Vec<crate::row::Row> {
         match self.selection.take() {
             None => (0..self.rows).map(|i| self.take_row(i)).collect(),
@@ -796,7 +1053,7 @@ impl ColumnBuffer {
         }
     }
 
-    /// Emit one row (strings move out).
+    /// Emit one row (string bytes copy out).
     pub fn pop_row(&mut self) -> Option<Row> {
         if self.is_drained() {
             return None;
@@ -930,7 +1187,7 @@ mod tests {
         let mut v = ColumnVector::for_type(DataType::Int64);
         assert!(v.push_int(1).is_ok());
         assert!(v.push_float(1.0).is_err());
-        assert!(v.push_str("x".into()).is_err());
+        assert!(v.push_str("x").is_err());
         v.push_null();
         assert!(v.is_null(1));
         assert_eq!(v.value(1), Value::Null);
@@ -968,7 +1225,7 @@ mod tests {
         ];
         for r in rows() {
             let bytes = r.encode(&s).unwrap();
-            decode_columns_append(&s, &bytes, &[0, 2], &mut probe).unwrap();
+            decode_columns_append(&s, &bytes, &[0, 2], &mut probe, None).unwrap();
         }
         assert_eq!(probe[0].int(1).unwrap(), 2);
         assert!(probe[1].is_null(1));
@@ -976,11 +1233,13 @@ mod tests {
         // corruption past the probed columns still errors (full validation)
         let bytes = rows()[0].encode(&s).unwrap();
         let mut probe = vec![ColumnVector::for_type(DataType::Int64)];
-        assert!(decode_columns_append(&s, &bytes[..bytes.len() - 1], &[0], &mut probe).is_err());
+        assert!(
+            decode_columns_append(&s, &bytes[..bytes.len() - 1], &[0], &mut probe, None).is_err()
+        );
         let mut extra = bytes.clone();
         extra.push(0);
         let mut probe = vec![ColumnVector::for_type(DataType::Int64)];
-        assert!(decode_columns_append(&s, &extra, &[0], &mut probe).is_err());
+        assert!(decode_columns_append(&s, &extra, &[0], &mut probe, None).is_err());
     }
 
     #[test]
@@ -1045,7 +1304,8 @@ mod tests {
         assert_eq!(out.row(0), rows()[2]);
         assert_eq!(out.row(1), rows()[0]);
         assert_eq!(src.column(1).str(2).unwrap(), "z", "gather never moves the source");
-        // push_taken moves string payloads out (single-visit consumption).
+        // push_taken is single-visit consumption; under the view layout
+        // the source stays intact (text shares or copies).
         let mut taken_src = ColumnBatch::from_rows(&s, &rows()).unwrap();
         let mut taken = ColumnVector::for_type(DataType::Text);
         {
@@ -1053,7 +1313,7 @@ mod tests {
             taken.push_taken(&mut cols[1], 0);
         }
         assert_eq!(taken.str(0).unwrap(), "x");
-        assert_eq!(taken_src.column(1).str(0).unwrap(), "", "source slot left empty");
+        assert_eq!(taken_src.column(1).str(0).unwrap(), "x", "source stays intact");
         // append_taken_row moves a whole row; append_dense a whole batch.
         let mut dst = ColumnBatch::for_schema(&s);
         let mut row_src = ColumnBatch::from_rows(&s, &rows()).unwrap();
@@ -1074,5 +1334,73 @@ mod tests {
         batch.truncate_rows(1);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch.into_rows(), rows()[..1].to_vec());
+    }
+
+    #[test]
+    fn text_views_pin_backing_without_copying() {
+        let mut col = TextColumn::default();
+        let backing: SharedBytes = Arc::from(&b"hello world"[..]);
+        let s = std::str::from_utf8(&backing[0..5]).unwrap();
+        col.push_view(&backing, s);
+        let tail = std::str::from_utf8(&backing[6..11]).unwrap();
+        col.push_view(&backing, tail);
+        assert_eq!(col.get(0), "hello");
+        assert_eq!(col.get(1), "world");
+        assert_eq!(col.bufs.len(), 1, "consecutive views dedup their buffer");
+        assert!(col.arena.is_empty(), "views copy no bytes");
+        assert_eq!(Arc::strong_count(&backing), 2, "column pins the buffer");
+        col.clear();
+        assert_eq!(Arc::strong_count(&backing), 1, "clear releases the pin");
+    }
+
+    #[test]
+    fn text_view_degrades_to_owned_outside_backing() {
+        let mut col = TextColumn::default();
+        let backing: SharedBytes = Arc::from(&b"abc"[..]);
+        col.push_view(&backing, "elsewhere");
+        assert_eq!(col.get(0), "elsewhere");
+        assert!(col.bufs.is_empty(), "foreign slice falls back to the arena");
+        assert_eq!(col.arena, b"elsewhere");
+    }
+
+    #[test]
+    fn text_equality_is_representation_independent() {
+        let backing: SharedBytes = Arc::from(&b"xyz"[..]);
+        let mut viewed = TextColumn::default();
+        viewed.push_view(&backing, std::str::from_utf8(&backing[0..3]).unwrap());
+        let mut owned = TextColumn::default();
+        owned.push_owned("xyz");
+        assert_eq!(viewed, owned);
+        owned.push_owned("more");
+        assert_ne!(viewed, owned);
+    }
+
+    #[test]
+    fn text_drop_prefix_recompacts_and_releases() {
+        let backing: SharedBytes = Arc::from(&b"aabb"[..]);
+        let mut col = TextColumn::default();
+        col.push_view(&backing, std::str::from_utf8(&backing[0..2]).unwrap());
+        col.push_owned("kept");
+        col.drop_prefix(1);
+        assert_eq!(col.len(), 1);
+        assert_eq!(col.get(0), "kept");
+        assert!(col.bufs.is_empty(), "dropping the only view releases its pin");
+        assert_eq!(col.arena, b"kept", "arena recompacts to the survivors");
+    }
+
+    #[test]
+    fn push_tuple_backed_decodes_views_byte_identical() {
+        let s = schema();
+        force_text_views(true);
+        let mut owned = ColumnBatch::for_schema(&s);
+        let mut viewed = ColumnBatch::for_schema(&s);
+        for r in rows() {
+            let bytes = r.encode(&s).unwrap();
+            let backing: SharedBytes = Arc::from(bytes.as_slice());
+            owned.push_tuple(&s, &bytes).unwrap();
+            viewed.push_tuple_backed(&s, &backing, Some(&backing)).unwrap();
+        }
+        assert_eq!(owned, viewed, "views are logically identical to owned decode");
+        assert_eq!(viewed.into_rows(), rows());
     }
 }

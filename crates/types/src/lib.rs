@@ -20,7 +20,10 @@ pub mod tid;
 pub mod value;
 
 pub use batch::{RowBatch, DEFAULT_BATCH_SIZE};
-pub use columns::{ColumnBatch, ColumnBuffer, ColumnValues, ColumnVector};
+pub use columns::{
+    force_text_views, text_decode_counters, text_views_enabled, ColumnBatch, ColumnBuffer,
+    ColumnValues, ColumnVector, SharedBytes, TextColumn,
+};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Column, Schema};
@@ -42,6 +45,7 @@ const _: () = {
     assert_send_sync::<Row>();
     assert_send_sync::<RowBatch>();
     assert_send_sync::<Schema>();
+    assert_send_sync::<TextColumn>();
     assert_send_sync::<ColumnVector>();
     assert_send_sync::<ColumnBatch>();
     assert_send_sync::<ColumnBuffer>();

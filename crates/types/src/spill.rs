@@ -128,7 +128,7 @@ pub fn batch_row_len(batch: &ColumnBatch, phys: usize) -> usize {
         } else {
             match col.values() {
                 ColumnValues::Int(_) | ColumnValues::Float(_) => 9,
-                ColumnValues::Str(v) => 5 + v[phys].len(),
+                ColumnValues::Str(v) => 5 + v.get(phys).len(),
             }
         };
     }
@@ -136,10 +136,32 @@ pub fn batch_row_len(batch: &ColumnBatch, phys: usize) -> usize {
 }
 
 /// Append physical row `phys` of a [`ColumnBatch`] to `out` under the
-/// spill codec (strings copy; the batch is untouched).
+/// spill codec. This is the view layout's copy-on-spill escape hatch:
+/// string bytes are written straight from their spans (views included)
+/// without materializing a [`Value`], so spill files always own their
+/// bytes and never pin page buffers.
 pub fn encode_batch_row(batch: &ColumnBatch, phys: usize, out: &mut Vec<u8>) {
     for col in batch.columns() {
-        encode_value(&col.value(phys), out);
+        if col.is_null(phys) {
+            out.push(0);
+            continue;
+        }
+        match col.values() {
+            ColumnValues::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v[phys].to_le_bytes());
+            }
+            ColumnValues::Float(v) => {
+                out.push(2);
+                out.extend_from_slice(&v[phys].to_bits().to_le_bytes());
+            }
+            ColumnValues::Str(v) => {
+                let s = v.get(phys);
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
     }
 }
 

@@ -1,0 +1,108 @@
+//! Allocation-count regression guard for the zero-copy text-view scan
+//! path.
+//!
+//! A counting [`GlobalAlloc`] wrapper tallies heap allocations while
+//! [`collect_batches`] drains a full scan over a pad-heavy (Text-column
+//! dominated) table. Doubling the row count must **not** double the
+//! allocation count: `TextColumn` stores text as spans into pinned page
+//! buffers (views) or into a shared append-only arena (owned), so
+//! neither mode allocates per value — the marginal allocation cost of
+//! extra rows is per-*page* and per-*batch* (buffer growth, span
+//! vectors, `Arc` bookkeeping). The bound below — fewer than one
+//! allocation per 8 marginal rows — fails loudly if anyone
+//! reintroduces a per-row allocation straggler (a `String` per decoded
+//! value, a `Vec<Value>` per tuple) into decode, filter, or batch
+//! handoff.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test pollutes
+//! the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smooth_executor::{collect_batches, FullTableScan, Predicate};
+use smooth_storage::{CpuCosts, DeviceProfile, HeapFile, HeapLoader, Storage, StorageConfig};
+use smooth_types::{force_text_views, Column, DataType, Row, Schema, Value};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn pad_heavy_heap(rows: i64) -> Arc<HeapFile> {
+    let schema =
+        Schema::new(vec![Column::new("id", DataType::Int64), Column::new("pad", DataType::Text)])
+            .unwrap();
+    let mut loader = HeapLoader::new_mem("t", schema);
+    for i in 0..rows {
+        loader.push(&Row::new(vec![Value::Int(i), Value::str("x".repeat(64))])).unwrap();
+    }
+    Arc::new(loader.finish().unwrap())
+}
+
+fn storage() -> Storage {
+    Storage::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: 4096,
+    })
+}
+
+/// Allocations spent draining `heap` through the columnar driver, and
+/// the row count it produced.
+fn allocs_for_scan(heap: &Arc<HeapFile>) -> (u64, usize) {
+    let s = storage();
+    let mut op = FullTableScan::new(Arc::clone(heap), s, Predicate::True);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let batches = collect_batches(&mut op).unwrap();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let rows: usize = batches.iter().map(|b| b.len()).sum();
+    drop(batches);
+    (after - before, rows)
+}
+
+#[test]
+fn text_views_keep_scan_allocations_sublinear_in_rows() {
+    force_text_views(true);
+    const N: i64 = 4000;
+    // Warm-up drains one-time lazy state (env latches, thread locals)
+    // so it never lands in either measured window.
+    allocs_for_scan(&pad_heavy_heap(64));
+
+    let (small_allocs, small_rows) = allocs_for_scan(&pad_heavy_heap(N));
+    let (large_allocs, large_rows) = allocs_for_scan(&pad_heavy_heap(2 * N));
+    assert_eq!(small_rows, N as usize);
+    assert_eq!(large_rows, 2 * N as usize);
+
+    let marginal_rows = (large_rows - small_rows) as u64;
+    let marginal_allocs = large_allocs.saturating_sub(small_allocs);
+    assert!(
+        marginal_allocs < marginal_rows / 8,
+        "per-row allocation straggler: {marginal_allocs} extra allocations \
+         for {marginal_rows} extra rows ({small_allocs} at N, {large_allocs} at 2N)"
+    );
+}

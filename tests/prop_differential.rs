@@ -482,6 +482,166 @@ fn ordered_scans_parallelize_with_sort_sink() {
     }
 }
 
+/// Pad-heavy database: Text columns dominate every tuple (one fixed
+/// 80-byte pad plus one variable-length tail), so these legs push the
+/// zero-copy text-view path — page-backed decode, cross-operator
+/// handoff, ordered sink merge — through every driver. Fresh per run,
+/// for the same cold-run independence as [`database`].
+fn text_database() -> Database {
+    let mut db = Database::new(StorageConfig {
+        device: DeviceProfile::custom("t", 1, 10),
+        cpu: CpuCosts::default(),
+        pool_pages: 48,
+    });
+    let schema = Schema::new(vec![
+        Column::new("c0", DataType::Int64),
+        Column::new("c1", DataType::Int64),
+        Column::new("pad", DataType::Text),
+        Column::new("tail", DataType::Text),
+    ])
+    .unwrap();
+    db.load_table(
+        "t",
+        schema.clone(),
+        (0..1000).map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(scramble(i, 1000)),
+                Value::str("p".repeat(80)),
+                Value::str(format!("tail-{i:04}-{}", "y".repeat((i % 17) as usize))),
+            ])
+        }),
+    )
+    .unwrap();
+    db.load_table(
+        "r",
+        schema,
+        (0..300).map(|i| {
+            Row::new(vec![
+                Value::Int(scramble(i, 1000)),
+                Value::Int(i),
+                Value::str("q".repeat(64)),
+                Value::str(format!("r{i}")),
+            ])
+        }),
+    )
+    .unwrap();
+    db
+}
+
+/// Volcano oracle over [`text_database`] under a memory budget
+/// (0 = unlimited).
+fn text_volcano(plan: &LogicalPlan, budget: usize) -> QueryResult {
+    let mut db = text_database();
+    db.set_mem_bytes(budget);
+    let mut op = db.build(plan).expect("plan builds");
+    db.storage().flush_pool();
+    let clock0 = db.storage().clock().snapshot();
+    let io0 = db.storage().io_snapshot();
+    let rows = collect_rows_volcano(op.as_mut()).expect("volcano run");
+    let stats = RunStats {
+        rows: rows.len() as u64,
+        clock: db.storage().clock().snapshot().since(&clock0),
+        io: db.storage().io_snapshot().since(&io0),
+    };
+    QueryResult { rows, stats, scan: Default::default() }
+}
+
+/// `Database::run` over [`text_database`] at a worker count and budget.
+fn text_run(plan: &LogicalPlan, workers: usize, budget: usize) -> QueryResult {
+    let mut db = text_database();
+    db.set_workers(workers);
+    db.set_mem_bytes(budget);
+    db.run(plan).expect("driver run")
+}
+
+/// Text-heavy scans at 1% / 10% / 100% selectivity: the zero-copy view
+/// decode path must be accounting-invisible. Rows (with their text
+/// payloads), virtual clock and I/O counters are identical across the
+/// Volcano oracle, the columnar driver and the parallel driver at
+/// every worker count — views change where string bytes live, never
+/// what the query returns or is charged.
+#[test]
+fn text_heavy_scans_agree_across_drivers() {
+    // c1 = scramble(i, 1000) over 1000 rows: width w selects ~w/1000.
+    for width in [10i64, 100, 1000] {
+        for access in [AccessPathChoice::ForceFull, AccessPathChoice::Auto] {
+            let plan = LogicalPlan::scan(
+                ScanSpec::new("t", Predicate::int_half_open(1, 0, width))
+                    .with_access(access.clone()),
+            );
+            let context = format!("width={width} {access:?}");
+            let volcano = text_volcano(&plan, 0);
+            assert!(!volcano.rows.is_empty(), "{context} selects nothing");
+            // The text payload really flows through the drivers.
+            assert!(volcano.rows.iter().all(|r| r.str(2).unwrap().len() == 80), "{context}");
+            for workers in [1usize, 2, 4, 8] {
+                let got = text_run(&plan, workers, 0);
+                assert_eq!(got.rows, volcano.rows, "text rows diverge at {workers}w: {context}");
+                assert_eq!(
+                    (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                    (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                    "text clock diverges at {workers}w: {context}"
+                );
+                assert_eq!(
+                    io_key(&got.stats.io),
+                    io_key(&volcano.stats.io),
+                    "text I/O diverges at {workers}w: {context}"
+                );
+            }
+        }
+    }
+}
+
+/// Spill-under-views legs: a tiny per-operator budget forces the grace
+/// hash join (and, sorted, the external sort) to run text through the
+/// copy-on-spill codec — views may never leak a page pin into an
+/// overflow file. Rows stay byte-identical to the unbudgeted run and
+/// every driver charges the same clock and I/O under the same budget.
+#[test]
+fn text_heavy_spill_legs_agree_under_views() {
+    for sorted in [false, true] {
+        let mut plan = LogicalPlan::scan(
+            ScanSpec::new("t", Predicate::int_half_open(1, 0, 400))
+                .with_access(AccessPathChoice::ForceFull),
+        )
+        .join(
+            LogicalPlan::scan(ScanSpec::new("r", Predicate::True)),
+            1,
+            0,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+        );
+        if sorted {
+            plan = plan.sort(vec![SortKey::asc(1), SortKey::asc(0)]);
+        }
+        let context = format!("sorted={sorted}");
+        let free = text_volcano(&plan, 0);
+        assert!(!free.rows.is_empty(), "{context} selects nothing");
+        let budget = 4096;
+        let volcano = text_volcano(&plan, budget);
+        assert_eq!(volcano.rows, free.rows, "budget changed the rows: {context}");
+        assert!(
+            volcano.stats.clock.io_ns > free.stats.clock.io_ns,
+            "text join under a 4 KiB budget must actually spill: {context}"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let got = text_run(&plan, workers, budget);
+            assert_eq!(got.rows, volcano.rows, "spill rows diverge at {workers}w: {context}");
+            assert_eq!(
+                (got.stats.clock.cpu_ns, got.stats.clock.io_ns),
+                (volcano.stats.clock.cpu_ns, volcano.stats.clock.io_ns),
+                "spill clock diverges at {workers}w: {context}"
+            );
+            assert_eq!(
+                io_key(&got.stats.io),
+                io_key(&volcano.stats.io),
+                "spill I/O diverges at {workers}w: {context}"
+            );
+        }
+    }
+}
+
 /// Bushy trees: a hash join whose build side is itself a hash join
 /// resolves its nested probe stage inside the build pipeline and
 /// parallelizes end to end, byte- and charge-identical to the serial
